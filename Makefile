@@ -1,0 +1,34 @@
+# Development shortcuts.  `pip install -e .` needs the `wheel` package;
+# `make install` falls back to setup.py develop on minimal environments.
+
+PYTHON ?= python
+
+.PHONY: install test bench selftest experiments report examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+selftest:
+	$(PYTHON) -m repro selftest
+
+experiments:
+	$(PYTHON) -m repro all --profile $${REPRO_PROFILE:-quick}
+
+report:
+	$(PYTHON) -m repro report --out report.md --profile $${REPRO_PROFILE:-quick}
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done; echo "all examples ok"
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,57 @@
+"""Pruning-rule ablation benches (DESIGN.md §5).
+
+One benchmark per pruning configuration on the low-churn workload where
+Properties 1-2 are designed to fire; pytest-benchmark's comparison table
+shows how much each rule saves.
+"""
+
+import pytest
+
+from repro.core.crashsim_t import crashsim_t
+from repro.core.params import CrashSimParams
+from repro.core.queries import ThresholdQuery
+from repro.datasets.registry import load_static_dataset
+from repro.graph.generators import evolve_snapshots
+
+CONFIGS = {
+    "none": (False, False),
+    "delta_only": (True, False),
+    "difference_only": (False, True),
+    "both": (True, True),
+}
+
+
+@pytest.fixture(scope="module")
+def workload(profile):
+    base = load_static_dataset("as_caida", scale=profile.scale, seed=profile.seed)
+    temporal = evolve_snapshots(
+        base,
+        max(profile.fig6_snapshots, 8),
+        churn_rate=1 / max(base.num_edges, 1),
+        seed=profile.seed,
+        name="as_caida-lowchurn",
+    )
+    return temporal
+
+
+@pytest.mark.parametrize("config", list(CONFIGS))
+def test_pruning_configuration(benchmark, workload, profile, config):
+    use_delta, use_difference = CONFIGS[config]
+    params = CrashSimParams(
+        c=profile.c, epsilon=0.025, delta=profile.delta, n_r_cap=profile.n_r_cap
+    )
+    result = benchmark.pedantic(
+        lambda: crashsim_t(
+            workload,
+            workload.num_nodes // 2,
+            ThresholdQuery(theta=profile.threshold_theta),
+            params=params,
+            use_delta_pruning=use_delta,
+            use_difference_pruning=use_difference,
+            seed=profile.seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    if config == "none":
+        assert result.stats.candidates_carried == 0

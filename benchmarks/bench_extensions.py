@@ -1,0 +1,134 @@
+"""Benches for the extension features (DESIGN.md "beyond the paper").
+
+* adaptive top-k vs plain single-source + sort;
+* durable top-k over a snapshot window;
+* weighted vs unweighted CrashSim (the weighted sampler's overhead);
+* the SLING stored index: build cost vs its O(list-join) query.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sling import SlingStoredIndex
+from repro.core.crashsim import crashsim
+from repro.core.params import CrashSimParams
+from repro.core.temporal_topk import durable_topk
+from repro.core.topk import crashsim_topk
+from repro.datasets.registry import load_dataset, load_static_dataset
+from repro.graph.digraph import DiGraph
+from repro.rng import ensure_rng
+
+
+@pytest.fixture(scope="module")
+def params(profile):
+    return CrashSimParams(
+        c=profile.c, epsilon=0.025, delta=profile.delta, n_r_cap=profile.n_r_cap
+    )
+
+
+@pytest.fixture(scope="module")
+def graph(profile, static_graphs):
+    return static_graphs[next(iter(profile.datasets))]
+
+
+def test_adaptive_topk(benchmark, graph, params, profile):
+    source = int(np.argmax(graph.in_degrees()))
+    result = benchmark(
+        lambda: crashsim_topk(graph, source, 10, params=params, seed=profile.seed)
+    )
+    assert len(result.ranking) <= 10
+
+
+def test_plain_topk_via_single_source(benchmark, graph, params, profile):
+    source = int(np.argmax(graph.in_degrees()))
+    result = benchmark(
+        lambda: crashsim(graph, source, params=params, seed=profile.seed).top_k(10)
+    )
+    assert len(result) <= 10
+
+
+def test_durable_topk(benchmark, profile, params):
+    temporal = load_dataset(
+        profile.datasets[0],
+        scale=profile.scale,
+        num_snapshots=min(profile.fig6_snapshots, 8),
+        seed=profile.seed,
+    )
+    source = temporal.num_nodes // 3
+    result = benchmark.pedantic(
+        lambda: durable_topk(temporal, source, 10, params=params, seed=profile.seed),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.snapshots_processed >= 1
+
+
+def test_weighted_crashsim(benchmark, graph, params, profile):
+    rng = ensure_rng(profile.seed)
+    arcs = list(graph.edges())
+    weighted = DiGraph.from_edges(
+        graph.num_nodes,
+        arcs,
+        weights=rng.uniform(0.5, 4.0, size=len(arcs)),
+        directed=True,
+    )
+    source = int(np.argmax(weighted.in_degrees()))
+    result = benchmark(
+        lambda: crashsim(weighted, source, params=params, seed=profile.seed)
+    )
+    assert result.scores.max() <= 1.0
+
+
+def test_sling_stored_index_build(benchmark, graph, profile):
+    index = benchmark.pedantic(
+        lambda: SlingStoredIndex(
+            graph,
+            c=profile.c,
+            num_d_samples=profile.sling_d_samples,
+            threshold=0.005,
+            seed=profile.seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert index.size_entries > 0
+
+
+def test_sling_stored_index_query(benchmark, graph, profile):
+    index = SlingStoredIndex(
+        graph,
+        c=profile.c,
+        num_d_samples=profile.sling_d_samples,
+        threshold=0.005,
+        seed=profile.seed,
+    )
+    source = int(np.argmax(graph.in_degrees()))
+    scores = benchmark(lambda: index.query(source))
+    assert scores[source] == 1.0
+
+
+def test_multi_source_shared_walks(benchmark, graph, params, profile):
+    from repro.core.multi_source import crashsim_multi_source
+
+    sources = list(range(min(8, graph.num_nodes)))
+    results = benchmark.pedantic(
+        lambda: crashsim_multi_source(
+            graph, sources, params=params, seed=profile.seed
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == len(sources)
+
+
+def test_independent_sources_baseline(benchmark, graph, params, profile):
+    sources = list(range(min(8, graph.num_nodes)))
+    results = benchmark.pedantic(
+        lambda: [
+            crashsim(graph, source, params=params, seed=profile.seed)
+            for source in sources
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == len(sources)

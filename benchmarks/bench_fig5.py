@@ -1,0 +1,126 @@
+"""Figure 5 benches: single-source response time per algorithm per dataset.
+
+Each benchmark measures one single-source query (the quantity Fig. 5's time
+axis plots) and asserts the ME against the Power-Method ground truth stays
+within the profile's expectations.  Index construction for SLING / READS is
+benchmarked separately — the paper folds it into response time; the split
+here makes the trade-off visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.probesim import probesim
+from repro.baselines.reads import ReadsIndex
+from repro.baselines.sling import SlingIndex
+from repro.core.crashsim import crashsim
+from repro.core.params import CrashSimParams
+from repro.metrics.accuracy import max_error
+
+
+def _source_for(graph):
+    """A deterministic, well-connected source (max in-degree node)."""
+    return int(np.argmax(graph.in_degrees()))
+
+
+def _dataset_params(profile):
+    return [(name, idx) for idx, name in enumerate(profile.datasets)]
+
+
+@pytest.fixture(params=["as733", "as_caida", "wiki_vote", "hepth", "hepph"])
+def dataset(request, profile):
+    if request.param not in profile.datasets:
+        pytest.skip(f"{request.param} not in profile {profile.name!r}")
+    return request.param
+
+
+@pytest.mark.parametrize("epsilon", [0.1, 0.05, 0.025, 0.0125])
+def test_crashsim_single_source(benchmark, dataset, epsilon, profile, static_graphs, ground_truths):
+    graph = static_graphs[dataset]
+    source = _source_for(graph)
+    params = CrashSimParams(
+        c=profile.c,
+        epsilon=epsilon,
+        delta=profile.delta,
+        n_r_cap=max(1, int(profile.n_r_cap * (0.025 / epsilon) ** 2)),
+    )
+    result = benchmark(
+        lambda: crashsim(graph, source, params=params, seed=profile.seed)
+    )
+    estimate = np.zeros(graph.num_nodes)
+    estimate[result.candidates] = result.scores
+    estimate[source] = 1.0
+    error = max_error(ground_truths[dataset][source], estimate, exclude=[source])
+    assert error < max(4 * epsilon, 0.3)
+
+
+def test_probesim_single_source(benchmark, dataset, profile, static_graphs, ground_truths):
+    graph = static_graphs[dataset]
+    source = _source_for(graph)
+    scores = benchmark(
+        lambda: probesim(
+            graph,
+            source,
+            c=profile.c,
+            n_r=profile.probesim_n_r,
+            seed=profile.seed,
+        )
+    )
+    error = max_error(ground_truths[dataset][source], scores, exclude=[source])
+    assert error < 0.2
+
+
+def test_sling_index_build(benchmark, dataset, profile, static_graphs):
+    graph = static_graphs[dataset]
+    index = benchmark(
+        lambda: SlingIndex(
+            graph,
+            c=profile.c,
+            num_d_samples=profile.sling_d_samples,
+            seed=profile.seed,
+        )
+    )
+    assert index.d.shape == (graph.num_nodes,)
+
+
+def test_sling_query(benchmark, dataset, profile, static_graphs, ground_truths):
+    graph = static_graphs[dataset]
+    source = _source_for(graph)
+    index = SlingIndex(
+        graph, c=profile.c, num_d_samples=profile.sling_d_samples, seed=profile.seed
+    )
+    scores = benchmark(lambda: index.query(source))
+    error = max_error(ground_truths[dataset][source], scores, exclude=[source])
+    assert error < 0.2
+
+
+def test_reads_index_build(benchmark, dataset, profile, static_graphs):
+    graph = static_graphs[dataset]
+    index = benchmark(
+        lambda: ReadsIndex(
+            graph,
+            r=profile.reads_r,
+            t=profile.reads_t,
+            r_q=profile.reads_r_q,
+            c=profile.c,
+            seed=profile.seed,
+        )
+    )
+    assert index.pointers.shape == (profile.reads_r, graph.num_nodes)
+
+
+def test_reads_query(benchmark, dataset, profile, static_graphs, ground_truths):
+    graph = static_graphs[dataset]
+    source = _source_for(graph)
+    index = ReadsIndex(
+        graph,
+        r=profile.reads_r,
+        t=profile.reads_t,
+        r_q=profile.reads_r_q,
+        c=profile.c,
+        seed=profile.seed,
+    )
+    scores = benchmark(lambda: index.query(source))
+    # READS has no error guarantee (paper §V-A): sanity bound only.
+    error = max_error(ground_truths[dataset][source], scores, exclude=[source])
+    assert error < 0.5

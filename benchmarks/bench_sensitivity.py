@@ -1,0 +1,29 @@
+"""Benches for the parameter-sensitivity sweeps."""
+
+import pytest
+
+from repro.experiments.sensitivity import run_c_sensitivity, run_theta_sensitivity
+
+
+def test_c_sensitivity(benchmark, profile):
+    dataset = profile.datasets[-1]
+    rows = benchmark.pedantic(
+        lambda: run_c_sensitivity(
+            profile, dataset=dataset, c_values=(0.4, 0.6), repetitions=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 4
+
+
+def test_theta_sensitivity(benchmark, profile):
+    dataset = profile.datasets[-1]
+    rows = benchmark.pedantic(
+        lambda: run_theta_sensitivity(
+            profile, dataset=dataset, thetas=(0.02, 0.05)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 2

@@ -1,0 +1,9 @@
+"""Table II bench: Power-Method SimRank on the running-example graph."""
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2(benchmark):
+    rows = benchmark(run_table2)
+    assert [row["node"] for row in rows] == list("ABCDEFGH")
+    assert rows[0]["sim(A, node)"] == 1.0

@@ -1,0 +1,10 @@
+"""Table III bench: dataset synthesis plus statistics."""
+
+from repro.experiments.table3 import run_table3
+
+
+def test_table3(benchmark, profile):
+    rows = benchmark.pedantic(
+        run_table3, args=(profile,), rounds=1, iterations=1
+    )
+    assert [row["dataset"] for row in rows] == list(profile.datasets)

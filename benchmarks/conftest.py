@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Profile selection follows the experiment harness: ``REPRO_PROFILE`` picks
+``quick`` (default; CI-sized), ``default``, or ``full``.  Dataset graphs are
+generated once per session so benchmark iterations measure the algorithms,
+not the generators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.power_method import power_method_all_pairs
+from repro.datasets.registry import load_static_dataset
+from repro.experiments.config import get_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return get_profile()
+
+
+@pytest.fixture(scope="session")
+def static_graphs(profile):
+    """``{dataset: DiGraph}`` for the profile's datasets."""
+    return {
+        name: load_static_dataset(name, scale=profile.scale, seed=profile.seed)
+        for name in profile.datasets
+    }
+
+
+@pytest.fixture(scope="session")
+def ground_truths(profile, static_graphs):
+    """Power-Method all-pairs matrices, one per dataset."""
+    return {
+        name: power_method_all_pairs(graph, profile.c)
+        for name, graph in static_graphs.items()
+    }

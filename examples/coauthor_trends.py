@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Rising collaborators in a temporal co-authorship network (paper §I).
+
+The paper's introduction cites DBLP-style networks where "cooperative
+relationships between authors are established and dissolved over time".
+This example takes the HepTh synthetic stand-in and plants a *rising
+collaborator*: one author who, snapshot by snapshot, co-authors with more
+of the source's collaborators.  A temporal SimRank trend query (Definition
+4) answered by CrashSim-T picks the rising author out, and the same query
+run through the per-snapshot ProbeSim baseline shows the Fig. 7 time
+comparison in miniature.
+
+Run:  python examples/coauthor_trends.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import CrashSimParams, TrendQuery, crashsim_t
+from repro.baselines.temporal_adapters import (
+    make_snapshot_algorithm,
+    temporal_query_by_recompute,
+)
+from repro.datasets.registry import load_static_dataset
+from repro.graph.temporal import TemporalGraphBuilder
+
+NUM_SNAPSHOTS = 8
+
+
+def plant_rising_collaborator(base, source):
+    """Temporal graph where author ``rising`` joins one more of the
+    source's co-authors per snapshot; everything else stays fixed."""
+    neighbors = [int(v) for v in base.in_neighbors(source)]
+    # Pick the least-connected author outside the source's circle as the
+    # rising collaborator — the lower their base similarity, the clearer
+    # the planted rise.
+    excluded = set(neighbors) | {source}
+    rising = min(
+        (v for v in range(base.num_nodes) if v not in excluded),
+        key=base.in_degree,
+    )
+    canonical = {
+        (min(s, t), max(s, t)) for s, t in base.edges()
+    }
+    builder = TemporalGraphBuilder(
+        base.num_nodes, directed=False, name="hepth-rising"
+    )
+    builder.push_snapshot(canonical)
+    for step in range(1, NUM_SNAPSHOTS):
+        new_partner = neighbors[(step - 1) % len(neighbors)]
+        builder.push_delta(added=[(rising, new_partner)])
+    return builder.build(), rising
+
+
+def main() -> None:
+    base = load_static_dataset("hepth", scale=0.03, seed=3)
+    degrees = base.in_degrees()
+    # A low-degree source makes each shared co-author count: SimRank's
+    # 1/|I(u)| weighting dilutes the planted signal on hub authors.
+    source = int(np.argsort(degrees)[len(degrees) // 10])
+    temporal, rising = plant_rising_collaborator(base, source)
+    print(f"temporal co-authorship network: {temporal}")
+    print(
+        f"source author: node {source} (degree {int(degrees[source])}); "
+        f"planted rising collaborator: node {rising}"
+    )
+
+    query = TrendQuery(direction="increasing", tolerance=0.01)
+    params = CrashSimParams(c=0.6, epsilon=0.025, n_r_override=400)
+
+    start = time.perf_counter()
+    ours = crashsim_t(temporal, source, query, params=params, seed=11)
+    ours_time = time.perf_counter() - start
+
+    # The non-strict trend also admits flat trajectories; insist on a net
+    # rise over the window using the carried history.
+    first, last = ours.history[0], ours.history[-1]
+    risers = sorted(
+        node
+        for node in ours.survivors
+        if last.get(node, 0.0) - first.get(node, 0.0) > 0.03
+    )
+    print(
+        f"\nCrashSim-T: {len(ours.survivors)} monotone candidates, "
+        f"{len(risers)} with a real net rise, in {ours_time:.2f}s"
+    )
+    print(f"  risers: {risers}  (planted: {rising})")
+    assert rising in risers, "the planted collaborator must be detected"
+
+    probesim = make_snapshot_algorithm("probesim", n_r=400, seed=11)
+    start = time.perf_counter()
+    baseline = temporal_query_by_recompute(temporal, source, query, probesim)
+    baseline_time = time.perf_counter() - start
+    print(
+        f"ProbeSim x{temporal.num_snapshots} snapshots: "
+        f"{len(baseline.survivors)} monotone candidates in {baseline_time:.2f}s "
+        f"(CrashSim-T speedup: {baseline_time / max(ours_time, 1e-9):.1f}x)"
+    )
+
+    series = [
+        f"{snapshot_scores[rising]:.3f}"
+        for snapshot_scores in ours.history
+        if rising in snapshot_scores
+    ]
+    print(f"\nSimRank trajectory of node {rising}: {' -> '.join(series)}")
+    print(f"pruning stats: {ours.stats.as_dict()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Top-k similarity, static and durable-over-time.
+
+Two extension queries built on CrashSim's partial-computation design:
+
+* :func:`repro.crashsim_topk` — adaptive static top-k: a cheap screening
+  pass prunes hopeless candidates before the refinement pass spends the
+  real trial budget;
+* :func:`repro.durable_topk` — the k nodes with the best *worst-case*
+  similarity across a whole snapshot window (``max-min`` — the "stable
+  friends" of the paper's recommendation example, without hand-picking θ).
+
+The scenario: a messaging network of tight groups; two accounts durably
+co-located with the source, one account similar only in a burst.  The
+static top-k at the burst snapshot ranks the burst account highly; the
+durable top-k correctly drops it.
+
+Run:  python examples/durable_topk.py
+"""
+
+import numpy as np
+
+from repro import CrashSimParams, crashsim_topk, durable_topk
+from repro.baselines.power_method import power_method_all_pairs
+from repro.graph.temporal import TemporalGraphBuilder
+from repro.rng import ensure_rng
+
+NUM_USERS = 80
+GROUP = 10
+SNAPSHOTS = 6
+SOURCE = 0
+STEADY = (1, 2)  # always share the source's hubs
+BURSTY = 5  # shares them only in snapshot 2
+
+
+def build_network(seed: int = 0):
+    rng = ensure_rng(seed)
+    builder = TemporalGraphBuilder(NUM_USERS, directed=True, name="messaging")
+    hubs = (70, 71, 72)
+    for step in range(SNAPSHOTS):
+        edges = set()
+        # Hubs broadcast to the source and the steady accounts always...
+        for hub in hubs:
+            edges.add((hub, SOURCE))
+            for steady in STEADY:
+                edges.add((hub, steady))
+            # ...and to the bursty account only during the burst.
+            if step == 2:
+                edges.add((hub, BURSTY))
+        # Background noise: random chatter among the rest.
+        for user in range(GROUP, 60):
+            for target in rng.integers(GROUP, 60, size=3):
+                if int(target) != user:
+                    edges.add((user, int(target)))
+        # The bursty account otherwise listens to unrelated chatter.
+        if True:
+            edges.add((40, BURSTY))
+            edges.add((41, BURSTY))
+        builder.push_snapshot(edges)
+    return builder.build()
+
+
+def main() -> None:
+    temporal = build_network()
+    params = CrashSimParams(c=0.6, epsilon=0.05, n_r_override=600)
+    print(f"temporal graph: {temporal}")
+
+    burst_graph = temporal.snapshot(2)
+    static = crashsim_topk(burst_graph, SOURCE, 4, params=params, seed=1)
+    print(
+        f"\nStatic top-4 at the burst snapshot "
+        f"(screened {burst_graph.num_nodes - 1} -> "
+        f"{static.candidates_after_pruning} candidates):"
+    )
+    truth = power_method_all_pairs(burst_graph, params.c)[SOURCE]
+    for node, score in static.ranking:
+        print(f"  node {node:>2}  est {score:.3f}  exact {truth[node]:.3f}")
+    assert BURSTY in static.nodes(), "the burst makes node 5 look similar"
+
+    durable = durable_topk(temporal, SOURCE, 4, params=params, seed=2)
+    print(
+        f"\nDurable top-4 over all {temporal.num_snapshots} snapshots "
+        f"(candidates per snapshot: {durable.candidates_per_snapshot}):"
+    )
+    for node, worst in durable.ranking:
+        print(f"  node {node:>2}  worst-case similarity {worst:.3f}")
+    assert set(STEADY) <= set(durable.nodes()), "steady accounts must rank"
+    assert BURSTY not in durable.nodes(), "bursty account must be dropped"
+    print(
+        f"\nstatic ranking includes bursty node {BURSTY}; "
+        f"durable ranking drops it — the burst was not durable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: single-source SimRank with CrashSim in ~30 lines.
+
+Builds a small citation-style graph, runs CrashSim from one paper, and
+checks the estimates against the exact Power-Method SimRank.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CrashSimParams, GraphBuilder, crashsim, power_method_all_pairs
+
+
+def main() -> None:
+    # A toy citation graph: an edge u -> v means "u cites v".  SimRank's
+    # reverse walks then say two papers are similar when similar papers
+    # cite them both.
+    citations = [
+        ("survey", "foundations"),
+        ("survey", "classic-a"),
+        ("survey", "classic-b"),
+        ("followup-a", "classic-a"),
+        ("followup-a", "foundations"),
+        ("followup-b", "classic-b"),
+        ("followup-b", "foundations"),
+        ("recent", "followup-a"),
+        ("recent", "followup-b"),
+        ("recent", "survey"),
+    ]
+    builder = GraphBuilder(directed=True)
+    builder.add_edges(citations)
+    graph = builder.build()
+    print(f"graph: {graph}")
+
+    source = builder.node_id("classic-a")
+    params = CrashSimParams(c=0.6, epsilon=0.025, n_r_override=2000)
+    print(f"CrashSim parameters: {params.describe(graph.num_nodes)}")
+
+    # On a graph this small and cyclic, pairs of walks can meet repeatedly;
+    # the exact first-meeting correction ("dp") removes that over-count and
+    # is cheap here.  On large sparse graphs the default mode suffices.
+    result = crashsim(graph, source, params=params, first_meeting="dp", seed=42)
+
+    truth = power_method_all_pairs(graph, params.c)[source]
+    labels = graph.node_labels
+    print(f"\nSimRank w.r.t. {labels[source]!r}:")
+    print(f"{'node':<14} {'crashsim':>9} {'exact':>9}")
+    for node, score in result.top_k(len(labels)):
+        print(f"{labels[node]:<14} {score:>9.4f} {truth[node]:>9.4f}")
+
+    worst = max(
+        abs(result.score(node) - truth[node]) for node in result.candidates
+    )
+    print(f"\nmax error vs Power Method: {worst:.4f} (ε = {params.epsilon})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""End-to-end file pipeline: export, reload, query — the real-data path.
+
+The experiment harness generates synthetic SNAP stand-ins in memory, but a
+downstream user has *files*: SNAP edge lists and per-snapshot directories.
+This example exercises that path end to end:
+
+1. export a synthetic temporal dataset as a snapshot directory
+   (`repro.graph.io.write_snapshot_directory` — the same layout AS-733
+   ships in);
+2. reload it with `read_snapshot_directory` (node labels preserved,
+   isolated nodes kept — the paper's fixed-V temporal model);
+3. verify the round trip snapshot by snapshot;
+4. run a temporal threshold query on the reloaded graph.
+
+Point `read_snapshot_directory` at a directory of real `asYYYYMMDD.txt`
+files and everything downstream is identical.
+
+Run:  python examples/snap_pipeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import CrashSimParams, ThresholdQuery, crashsim_t
+from repro.datasets import load_dataset
+from repro.graph.io import read_snapshot_directory, write_snapshot_directory
+
+
+def main() -> None:
+    temporal = load_dataset("as733", scale=0.05, num_snapshots=8, seed=1)
+    print(f"generated: {temporal}")
+
+    with tempfile.TemporaryDirectory() as workdir:
+        directory = Path(workdir) / "as733"
+        paths = write_snapshot_directory(temporal, directory, prefix="as733")
+        total_bytes = sum(path.stat().st_size for path in paths)
+        print(f"exported {len(paths)} snapshot files ({total_bytes} bytes)")
+
+        reloaded = read_snapshot_directory(
+            directory, directed=False, name="as733-from-disk"
+        )
+        print(f"reloaded:  {reloaded}")
+
+        # Round-trip check: same edges per snapshot (modulo node renumbering
+        # by first-seen order, resolved through the preserved labels).
+        for index in range(temporal.num_snapshots):
+            original = temporal.snapshot(index)
+            loaded = reloaded.snapshot(index)
+            labels = loaded.node_labels
+            loaded_edges = {
+                tuple(sorted((labels[s], labels[t])))
+                for s, t in loaded.edges()
+            }
+            original_edges = {
+                tuple(sorted((str(s), str(t)))) for s, t in original.edges()
+            }
+            assert loaded_edges == original_edges, f"snapshot {index} differs"
+        print("round trip verified for every snapshot")
+
+        result = crashsim_t(
+            reloaded,
+            source=0,
+            query=ThresholdQuery(theta=0.03),
+            params=CrashSimParams(c=0.6, epsilon=0.05, n_r_override=300),
+            seed=2,
+        )
+        print(
+            f"\nthreshold query on the reloaded data: "
+            f"{len(result.survivors)} stable nodes, "
+            f"stats {result.stats.as_dict()}"
+        )
+
+
+if __name__ == "__main__":
+    main()

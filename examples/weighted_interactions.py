@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Weighted SimRank: interaction *intensity* matters (extension feature).
+
+An unweighted graph treats one co-purchase the same as fifty.  With edge
+weights, the reverse √c-walk picks in-neighbours proportionally to weight,
+so heavily-interacting pairs dominate the similarity — the weighted
+SimRank generalisation this library supports end-to-end (Power Method,
+CrashSim, ProbeSim, SLING).
+
+The scenario: two users share the source's two suppliers, but user
+"loyal" buys almost exclusively from the same main supplier as the source
+while "occasional" spreads purchases evenly.  Unweighted SimRank ties
+them; weighted SimRank ranks "loyal" clearly higher.
+
+Run:  python examples/weighted_interactions.py
+"""
+
+import numpy as np
+
+from repro import CrashSimParams, GraphBuilder, crashsim, power_method_all_pairs
+
+
+def build(weighted: bool) -> tuple:
+    builder = GraphBuilder(directed=True, weighted=weighted)
+    # supplier -> customer edges, weight = purchase count.
+    purchases = [
+        ("main-supplier", "source", 40),
+        ("side-supplier", "source", 10),
+        ("main-supplier", "loyal", 45),
+        ("side-supplier", "loyal", 5),
+        ("main-supplier", "occasional", 25),
+        ("side-supplier", "occasional", 25),
+        ("main-supplier", "stranger", 1),
+        ("other-supplier", "stranger", 30),
+    ]
+    for supplier, customer, count in purchases:
+        if weighted:
+            builder.add_edge(supplier, customer, float(count))
+        else:
+            builder.add_edge(supplier, customer)
+    return builder.build(), builder
+
+
+def main() -> None:
+    for weighted in (False, True):
+        graph, builder = build(weighted)
+        source = builder.node_id("source")
+        kind = "weighted" if weighted else "unweighted"
+        print(f"\n=== {kind} graph: {graph}")
+
+        truth = power_method_all_pairs(graph, 0.6)[source]
+        params = CrashSimParams(c=0.6, epsilon=0.05, n_r_override=4000)
+        result = crashsim(graph, source, params=params, seed=0)
+
+        print(f"{'customer':<12} {'exact':>8} {'crashsim':>9}")
+        for name in ("loyal", "occasional", "stranger"):
+            node = builder.node_id(name)
+            print(
+                f"{name:<12} {truth[node]:>8.4f} {result.score(node):>9.4f}"
+            )
+
+        loyal = truth[builder.node_id("loyal")]
+        occasional = truth[builder.node_id("occasional")]
+        if weighted:
+            assert loyal > occasional * 1.1, "weights must separate them"
+            print("-> weighted SimRank separates loyal from occasional")
+        else:
+            print(
+                f"-> unweighted SimRank barely separates them "
+                f"(gap {loyal - occasional:+.4f})"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""repro — a reproduction of *CrashSim: An Efficient Algorithm for Computing
+SimRank over Static and Temporal Graphs* (Li et al., ICDE 2020).
+
+Quickstart
+----------
+
+>>> from repro import GraphBuilder, crashsim, CrashSimParams
+>>> builder = GraphBuilder(directed=True)
+>>> builder.add_edges([("b", "a"), ("c", "a"), ("a", "b"), ("d", "c")])
+>>> graph = builder.build()
+>>> result = crashsim(
+...     graph,
+...     builder.node_id("a"),
+...     params=CrashSimParams(c=0.6, epsilon=0.1, n_r_override=200),
+...     seed=7,
+... )
+>>> sorted(result.as_dict()) == [builder.node_id(x) for x in ("b", "c", "d")]
+True
+
+The package layout mirrors the paper (see DESIGN.md for the full map):
+
+* :mod:`repro.graph` — CSR digraphs, temporal snapshot graphs, generators;
+* :mod:`repro.walks` — √c-walk sampling, scalar and batch;
+* :mod:`repro.core` — CrashSim, revReach, CrashSim-T, temporal queries;
+* :mod:`repro.baselines` — Power Method, naive MC, ProbeSim, SLING, READS;
+* :mod:`repro.datasets` — synthetic SNAP stand-ins and the example graphs;
+* :mod:`repro.metrics` — ME / precision / timing;
+* :mod:`repro.experiments` — regenerators for every paper table and figure.
+"""
+
+from repro.baselines import (
+    ReadsIndex,
+    SlingIndex,
+    naive_monte_carlo,
+    power_method_all_pairs,
+    power_method_single_source,
+    probesim,
+)
+from repro.api import single_pair, single_source
+from repro.core import (
+    CompositeQuery,
+    CrashSimParams,
+    CrashSimResult,
+    DurableTopKResult,
+    TemporalQueryResult,
+    TemporalQuerySession,
+    ThresholdQuery,
+    TopKResult,
+    TrendQuery,
+    crashsim,
+    crashsim_multi_source,
+    crashsim_t,
+    crashsim_topk,
+    durable_topk,
+    revreach_levels,
+    revreach_queue,
+)
+from repro.errors import ReproError
+from repro.graph import (
+    DiGraph,
+    EdgeDelta,
+    GraphBuilder,
+    TemporalGraph,
+    TemporalGraphBuilder,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph substrate
+    "DiGraph",
+    "GraphBuilder",
+    "TemporalGraph",
+    "TemporalGraphBuilder",
+    "EdgeDelta",
+    # core
+    "CrashSimParams",
+    "CrashSimResult",
+    "crashsim",
+    "crashsim_multi_source",
+    "crashsim_t",
+    "crashsim_topk",
+    "TopKResult",
+    "durable_topk",
+    "DurableTopKResult",
+    "TemporalQueryResult",
+    "ThresholdQuery",
+    "TrendQuery",
+    "CompositeQuery",
+    "TemporalQuerySession",
+    "revreach_levels",
+    "revreach_queue",
+    # facade
+    "single_source",
+    "single_pair",
+    # baselines
+    "power_method_all_pairs",
+    "power_method_single_source",
+    "naive_monte_carlo",
+    "probesim",
+    "SlingIndex",
+    "ReadsIndex",
+    # errors
+    "ReproError",
+]

@@ -1,0 +1,169 @@
+"""High-level convenience API: one entry point over every algorithm.
+
+:func:`single_source` dispatches a single-source SimRank computation to any
+implemented algorithm by name, returning a uniform dense score vector —
+the surface a downstream user (or the experiment harness) programs against
+without learning five call signatures.  :func:`single_pair` answers the
+classic single-pair query ``sim(u, v)`` with a vectorised Monte-Carlo
+estimator or the exact oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.naive_mc import naive_monte_carlo
+from repro.baselines.power_method import power_method_all_pairs
+from repro.baselines.probesim import probesim
+from repro.baselines.reads import ReadsIndex
+from repro.baselines.sling import SlingIndex
+from repro.core.crashsim import crashsim
+from repro.core.params import CrashSimParams
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.rng import RngLike, ensure_rng
+
+__all__ = ["SINGLE_SOURCE_METHODS", "single_source", "single_pair"]
+
+SINGLE_SOURCE_METHODS = (
+    "crashsim",
+    "probesim",
+    "sling",
+    "reads",
+    "naive-mc",
+    "exact",
+)
+
+
+def single_source(
+    graph: DiGraph,
+    source: int,
+    *,
+    method: str = "crashsim",
+    c: float = 0.6,
+    epsilon: float = 0.025,
+    delta: float = 0.01,
+    n_r: Optional[int] = None,
+    seed: RngLike = None,
+) -> np.ndarray:
+    """Single-source SimRank ``s(source, ·)`` by any implemented method.
+
+    Parameters
+    ----------
+    graph, source:
+        Query graph and source node.
+    method:
+        One of :data:`SINGLE_SOURCE_METHODS`.  ``"exact"`` is the Power
+        Method (55 iterations); the index-based methods build their index
+        per call — use their classes directly to amortise.
+    c, epsilon, delta:
+        SimRank decay and, for the Monte-Carlo methods, the (ε, δ) target.
+    n_r:
+        Trial-count override for ``crashsim`` / ``probesim`` / ``naive-mc``
+        (the theoretical counts are expensive; see DESIGN.md §2.3).
+    seed:
+        Anything :func:`repro.rng.ensure_rng` accepts.
+
+    Returns
+    -------
+    numpy.ndarray
+        Dense vector of length ``n`` with ``result[source] == 1``.
+    """
+    rng = ensure_rng(seed)
+    if method == "crashsim":
+        params = CrashSimParams(
+            c=c, epsilon=epsilon, delta=delta, n_r_override=n_r
+        )
+        result = crashsim(graph, source, params=params, seed=rng)
+        scores = np.zeros(graph.num_nodes)
+        scores[result.candidates] = result.scores
+        scores[int(source)] = 1.0
+        return scores
+    if method == "probesim":
+        return probesim(
+            graph, source, c=c, epsilon=epsilon, delta=delta, n_r=n_r, seed=rng
+        )
+    if method == "sling":
+        index = SlingIndex(graph, c=c, epsilon=epsilon, seed=rng)
+        return index.query(source)
+    if method == "reads":
+        index = ReadsIndex(graph, c=c, seed=rng)
+        return index.query(source)
+    if method == "naive-mc":
+        samples = n_r if n_r is not None else 1000
+        return naive_monte_carlo(
+            graph, source, c=c, num_samples=samples, seed=rng
+        )
+    if method == "exact":
+        return power_method_all_pairs(graph, c)[int(source)].copy()
+    raise ParameterError(
+        f"unknown method {method!r}; expected one of {SINGLE_SOURCE_METHODS}"
+    )
+
+
+def single_pair(
+    graph: DiGraph,
+    u: int,
+    v: int,
+    *,
+    method: str = "monte-carlo",
+    c: float = 0.6,
+    num_samples: int = 10_000,
+    max_steps: int = 40,
+    seed: RngLike = None,
+) -> float:
+    """The classic single-pair query ``sim(u, v)``.
+
+    ``method="monte-carlo"`` runs all coupled walk pairs simultaneously
+    (one vectorised pass of ``num_samples`` pairs, unbiased up to the
+    ``max_steps`` truncation — tail mass ≤ ``c^max_steps``);
+    ``method="exact"`` delegates to the Power Method.
+    """
+    n = graph.num_nodes
+    for node in (u, v):
+        if not 0 <= int(node) < n:
+            raise ParameterError(f"node {node} outside the node range [0, {n})")
+    u, v = int(u), int(v)
+    if u == v:
+        return 1.0
+    if method == "exact":
+        return float(power_method_all_pairs(graph, c)[u, v])
+    if method != "monte-carlo":
+        raise ParameterError(
+            f"unknown method {method!r}; expected 'monte-carlo' or 'exact'"
+        )
+    if num_samples < 1:
+        raise ParameterError(f"num_samples must be positive, got {num_samples}")
+    rng = ensure_rng(seed)
+    # Both walks advance through the batch stepper (weight-aware) with the
+    # pair's survival factored analytically as c^step.
+    from repro.walks.engine import BatchWalkStepper
+
+    stepper = BatchWalkStepper(graph, c)
+    walker_u = stepper.walk(
+        np.full(num_samples, u, dtype=np.int64),
+        max_steps,
+        seed=rng,
+        survival="always",
+    )
+    walker_v = stepper.walk(
+        np.full(num_samples, v, dtype=np.int64),
+        max_steps,
+        seed=rng,
+        survival="always",
+    )
+    resolved = np.zeros(num_samples, dtype=bool)
+    total = 0.0
+    for batch_u, batch_v in zip(walker_u, walker_v):
+        pos_u = batch_u.scatter_positions(num_samples, fill=-1)
+        pos_v = batch_v.scatter_positions(num_samples, fill=-2)
+        met = ~resolved & (pos_u == pos_v)
+        count = int(np.count_nonzero(met))
+        if count:
+            total += count * c**batch_u.step
+            resolved |= met
+        if resolved.all():
+            break
+    return total / num_samples

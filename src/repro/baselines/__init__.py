@@ -1,0 +1,41 @@
+"""Baselines the paper compares against, implemented from their sources.
+
+* :mod:`power_method` — Jeh & Widom's iterative all-pairs SimRank; the
+  paper's ground truth (55 iterations, ≤ 1e-5 error at c = 0.6).
+* :mod:`naive_mc` — Fogaras & Rácz's coupled-random-walk Monte Carlo.
+* :mod:`probesim` — Liu et al.'s index-free ProbeSim (VLDB 2017), the
+  paper's primary static baseline.
+* :mod:`sling` — Tian & Xiao's SLING (SIGMOD 2016): local-push hitting
+  probabilities plus Monte-Carlo correction factors ``d(·)``.
+* :mod:`reads` — Jiang et al.'s READS (VLDB 2017): one-way-graph index
+  with localized dynamic updates.
+* :mod:`temporal_adapters` — the paper's §II-D extension of each static /
+  dynamic algorithm to temporal SimRank queries (re-run per snapshot,
+  filter the candidate set).
+"""
+
+from repro.baselines.naive_mc import naive_monte_carlo
+from repro.baselines.power_method import (
+    power_method_all_pairs,
+    power_method_single_source,
+)
+from repro.baselines.probesim import probesim
+from repro.baselines.reads import ReadsIndex
+from repro.baselines.sling import SlingIndex
+from repro.baselines.temporal_adapters import (
+    SnapshotAlgorithm,
+    make_snapshot_algorithm,
+    temporal_query_by_recompute,
+)
+
+__all__ = [
+    "power_method_all_pairs",
+    "power_method_single_source",
+    "naive_monte_carlo",
+    "probesim",
+    "SlingIndex",
+    "ReadsIndex",
+    "SnapshotAlgorithm",
+    "make_snapshot_algorithm",
+    "temporal_query_by_recompute",
+]

@@ -1,0 +1,148 @@
+"""Save / load for the index-based baselines.
+
+Index construction is the expensive phase (SLING's d-estimation and
+hitting lists, READS' r one-way graphs); persisting them is how a real
+deployment amortises it across sessions.  Format: a single ``.npz``
+archive holding the index arrays plus a JSON-encoded header with the
+construction parameters and a structural fingerprint of the graph, checked
+on load so an index is never silently applied to the wrong graph.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.baselines.reads import ReadsIndex
+from repro.baselines.sling import SlingIndex
+from repro.errors import DatasetError, ParameterError
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "graph_fingerprint",
+    "save_sling_index",
+    "load_sling_index",
+    "save_reads_index",
+    "load_reads_index",
+]
+
+PathLike = Union[str, os.PathLike]
+_FORMAT = 1
+
+
+def graph_fingerprint(graph: DiGraph) -> str:
+    """Stable hash of a graph's structure (nodes, arcs, weights)."""
+    digest = hashlib.sha256()
+    digest.update(str(graph.num_nodes).encode())
+    digest.update(b"directed" if graph.directed else b"undirected")
+    digest.update(graph.out_indptr.tobytes())
+    digest.update(graph.out_indices.tobytes())
+    if graph.is_weighted:
+        digest.update(graph.out_weights.tobytes())
+    return digest.hexdigest()
+
+
+def _write(path: Path, header: dict, arrays: dict) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path, __header__=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        **arrays,
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def _read(path: PathLike, kind: str, graph: DiGraph) -> tuple:
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"index file not found: {path}")
+    archive = np.load(path)
+    if "__header__" not in archive:
+        raise DatasetError(f"{path} is not a repro index file")
+    header = json.loads(bytes(archive["__header__"]).decode())
+    if header.get("format") != _FORMAT:
+        raise DatasetError(
+            f"{path} has index format {header.get('format')}, expected {_FORMAT}"
+        )
+    if header.get("kind") != kind:
+        raise DatasetError(
+            f"{path} holds a {header.get('kind')!r} index, expected {kind!r}"
+        )
+    if header.get("graph_fingerprint") != graph_fingerprint(graph):
+        raise ParameterError(
+            "index was built for a different graph (fingerprint mismatch); "
+            "rebuild or load it with the original graph"
+        )
+    return header, archive
+
+
+def save_sling_index(index: SlingIndex, path: PathLike) -> Path:
+    """Persist a :class:`SlingIndex` (its ``d`` vector + parameters)."""
+    header = {
+        "format": _FORMAT,
+        "kind": "sling",
+        "c": index.c,
+        "epsilon": index.epsilon,
+        "graph_fingerprint": graph_fingerprint(index.graph),
+    }
+    return _write(Path(path), header, {"d": index.d})
+
+
+def load_sling_index(path: PathLike, graph: DiGraph) -> SlingIndex:
+    """Load a :class:`SlingIndex` back against the same graph."""
+    header, archive = _read(path, "sling", graph)
+    return SlingIndex(
+        graph,
+        c=header["c"],
+        epsilon=header["epsilon"],
+        d_values=archive["d"],
+    )
+
+
+def save_reads_index(index: ReadsIndex, path: PathLike) -> Path:
+    """Persist a :class:`ReadsIndex` (pointers + coins + parameters)."""
+    header = {
+        "format": _FORMAT,
+        "kind": "reads",
+        "c": index.c,
+        "r": index.r,
+        "t": index.t,
+        "r_q": index.r_q,
+        "graph_fingerprint": graph_fingerprint(index.graph),
+    }
+    return _write(
+        Path(path),
+        header,
+        {"pointers": index.pointers, "alive": index.alive},
+    )
+
+
+def load_reads_index(
+    path: PathLike, graph: DiGraph, *, seed=None
+) -> ReadsIndex:
+    """Load a :class:`ReadsIndex`; ``seed`` drives future query walks."""
+    header, archive = _read(path, "reads", graph)
+    index = ReadsIndex(
+        graph,
+        r=header["r"],
+        t=header["t"],
+        r_q=header["r_q"],
+        c=header["c"],
+        seed=seed,
+    )
+    pointers = archive["pointers"]
+    alive = archive["alive"]
+    if pointers.shape != index.pointers.shape:
+        raise DatasetError(
+            f"stored pointer table shape {pointers.shape} does not match "
+            f"(r={header['r']}, n={graph.num_nodes})"
+        )
+    index.pointers = pointers
+    index.alive = alive
+    index._children = None  # rebuild the inverse adjacency lazily
+    return index

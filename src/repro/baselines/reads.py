@@ -1,0 +1,251 @@
+"""READS (Jiang et al., VLDB 2017) — dynamic index-based SimRank baseline.
+
+READS materialises ``r`` independent *one-way graphs*: in sample ``j`` every
+node draws one uniform in-neighbour pointer and one √c continuation coin.
+Within a sample the reverse walk of any node is deterministic — follow the
+pointers while the coins hold — so walks coalesce and the first meeting of
+two walks is *the* meeting, the coupled-walk estimator READS builds on.
+
+* **Query** (single source ``u``): per sample, ``r_q`` fresh √c-walks
+  ``(u, w_1, ..., w_L)`` are drawn from ``u`` on the real graph.  For each
+  step ``i`` the nodes whose sample walk sits on ``w_i`` at step ``i`` are
+  collected by an ``i``-level reverse BFS over the sample's pointer
+  inverses (passing only through nodes whose coin keeps their walk alive).
+  A candidate counts once per (sample, walk) pair, at its first meeting;
+  the estimate is the meeting fraction over ``r · r_q`` pairs.
+* **Dynamic update** (:meth:`apply_delta`): an edge change ``x → y`` only
+  perturbs the pointer distribution of ``y``.  Insertion re-points ``y`` at
+  ``x`` with probability ``1/|I_new(y)|`` (preserving uniformity); deletion
+  resamples ``y``'s pointer only where it pointed at ``x``.  This locality
+  is READS' selling point — and, as the paper notes (§IV-A), re-running it
+  per temporal snapshot still recomputes full single-source scores.
+
+READS provides no maximum-error guarantee (paper §V-A observes its ME is
+the worst of the four algorithms); accuracy is controlled only through
+``r`` and ``r_q``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.rng import RngLike, ensure_rng
+from repro.walks.sqrt_c import sample_sqrt_c_walk
+
+__all__ = ["ReadsIndex"]
+
+Edge = Tuple[int, int]
+
+
+class ReadsIndex:
+    """One-way-graph SimRank index with localized dynamic updates.
+
+    Parameters
+    ----------
+    graph:
+        The graph to index; rebased with :meth:`apply_delta` on change.
+    r:
+        Number of one-way-graph samples (paper setting: 100).
+    t:
+        Depth cap of indexed and query walks (paper setting: 10).
+    r_q:
+        Fresh source walks per sample at query time (paper setting: 10).
+    c:
+        SimRank decay factor.
+    seed:
+        Anything :func:`repro.rng.ensure_rng` accepts; drives both index
+        construction and query-time walks.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        r: int = 100,
+        t: int = 10,
+        r_q: int = 10,
+        c: float = 0.6,
+        seed: RngLike = None,
+    ):
+        if r < 1 or r_q < 1 or t < 1:
+            raise ParameterError("r, r_q, and t must all be positive")
+        if not 0.0 < c < 1.0:
+            raise ParameterError(f"decay factor c must be in (0, 1), got {c}")
+        if graph.is_weighted:
+            raise ParameterError(
+                "ReadsIndex supports unweighted graphs only (its localized "
+                "pointer updates assume uniform in-neighbour sampling)"
+            )
+        self.graph = graph
+        self.r = int(r)
+        self.t = int(t)
+        self.r_q = int(r_q)
+        self.c = float(c)
+        self.sqrt_c = math.sqrt(c)
+        self._rng = ensure_rng(seed)
+        n = graph.num_nodes
+        # pointers[j, v]: v's sampled in-neighbour in sample j (-1 if none).
+        self.pointers = np.full((self.r, n), -1, dtype=np.int64)
+        # alive[j, v]: v's continuation coin in sample j (walks stop at the
+        # first node whose coin is False).
+        self.alive = self._rng.random((self.r, n)) < self.sqrt_c
+        degrees = graph.in_degrees()
+        for node in range(n):
+            degree = int(degrees[node])
+            if degree == 0:
+                continue
+            block = graph.in_neighbors(node)
+            picks = self._rng.integers(0, degree, size=self.r)
+            self.pointers[:, node] = block[picks]
+        self._children: Optional[List[Dict[int, List[int]]]] = None
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+
+    def _ensure_children(self) -> List[Dict[int, List[int]]]:
+        """Inverse pointer adjacency per sample, built lazily and kept in
+        sync by :meth:`apply_delta`."""
+        if self._children is None:
+            children: List[Dict[int, List[int]]] = []
+            for j in range(self.r):
+                inverse: Dict[int, List[int]] = {}
+                row = self.pointers[j]
+                for node in np.nonzero(row >= 0)[0]:
+                    inverse.setdefault(int(row[node]), []).append(int(node))
+                children.append(inverse)
+            self._children = children
+        return self._children
+
+    def _preimages_at_depth(
+        self, sample: int, anchor: int, depth: int
+    ) -> Set[int]:
+        """Nodes whose sample walk is at ``anchor`` after exactly ``depth``
+        steps: the depth-level preimage set under the pointer map,
+        traversing only alive nodes."""
+        children = self._ensure_children()[sample]
+        alive = self.alive[sample]
+        frontier: Set[int] = {anchor}
+        for _ in range(depth):
+            next_frontier: Set[int] = set()
+            for node in frontier:
+                for child in children.get(node, ()):
+                    if alive[child]:
+                        next_frontier.add(child)
+            if not next_frontier:
+                return set()
+            frontier = next_frontier
+        return frontier
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+
+    def query(self, source: int) -> np.ndarray:
+        """Single-source SimRank estimate ``s(source, ·)``, length ``n``."""
+        n = self.graph.num_nodes
+        if not 0 <= int(source) < n:
+            raise ParameterError(f"source {source} outside the node range [0, {n})")
+        source = int(source)
+        totals = np.zeros(n, dtype=np.float64)
+        for sample in range(self.r):
+            for _ in range(self.r_q):
+                walk = sample_sqrt_c_walk(
+                    self.graph, source, self.c, max_length=self.t, seed=self._rng
+                )
+                met: Set[int] = set()
+                for step in range(1, len(walk)):
+                    hitters = self._preimages_at_depth(sample, walk[step], step)
+                    for node in hitters:
+                        if node != source and node not in met:
+                            met.add(node)
+                if met:
+                    totals[list(met)] += 1.0
+        totals /= self.r * self.r_q
+        totals[source] = 1.0
+        return totals
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance
+    # ------------------------------------------------------------------
+
+    def apply_delta(
+        self,
+        new_graph: DiGraph,
+        added: Iterable[Edge] = (),
+        removed: Iterable[Edge] = (),
+    ) -> int:
+        """Rebase the index onto ``new_graph`` given the edge changes.
+
+        ``added`` / ``removed`` are arcs ``(x, y)`` (for undirected graphs
+        pass canonical edges — both orientations are handled).  Returns the
+        number of pointer entries resampled, the locality measure the
+        paper's READS discussion is about.
+        """
+        if new_graph.num_nodes != self.graph.num_nodes:
+            raise ParameterError("apply_delta cannot change the node count")
+        resampled = 0
+        heads: List[Tuple[int, int, bool]] = []  # (tail, head, is_insert)
+        for x, y in added:
+            heads.append((int(x), int(y), True))
+            if not new_graph.directed:
+                heads.append((int(y), int(x), True))
+        for x, y in removed:
+            heads.append((int(x), int(y), False))
+            if not new_graph.directed:
+                heads.append((int(y), int(x), False))
+        self.graph = new_graph
+        for tail, head, is_insert in heads:
+            neighbors = new_graph.in_neighbors(head)
+            degree = neighbors.size
+            if is_insert:
+                if degree == 0:
+                    continue
+                # Re-point at the new in-neighbour with probability 1/deg,
+                # which keeps every sample's pointer uniform over I_new.
+                flips = self._rng.random(self.r) < 1.0 / degree
+                resampled += self._repoint(head, flips, tail)
+            else:
+                stale = self.pointers[:, head] == tail
+                if degree == 0:
+                    resampled += self._repoint(head, stale, -1)
+                else:
+                    picks = neighbors[
+                        self._rng.integers(0, degree, size=self.r)
+                    ].astype(np.int64)
+                    resampled += self._repoint_array(head, stale, picks)
+        return resampled
+
+    def _repoint(self, node: int, mask: np.ndarray, value: int) -> int:
+        values = np.full(self.r, value, dtype=np.int64)
+        return self._repoint_array(node, mask, values)
+
+    def _repoint_array(
+        self, node: int, mask: np.ndarray, values: np.ndarray
+    ) -> int:
+        """Set ``pointers[j, node] = values[j]`` where ``mask[j]``, keeping
+        the inverse adjacency in sync."""
+        changed = 0
+        samples = np.nonzero(mask)[0]
+        for j in samples:
+            old = int(self.pointers[j, node])
+            new = int(values[j])
+            if old == new:
+                continue
+            changed += 1
+            self.pointers[j, node] = new
+            if self._children is not None:
+                if old >= 0:
+                    bucket = self._children[j].get(old)
+                    if bucket is not None and node in bucket:
+                        bucket.remove(node)
+                        if not bucket:
+                            del self._children[j][old]
+                if new >= 0:
+                    self._children[j].setdefault(new, []).append(node)
+        return changed

@@ -1,0 +1,301 @@
+"""SLING (Tian & Xiao, SIGMOD 2016) — index-based SimRank baseline.
+
+SLING rests on the *last-meeting* decomposition of SimRank:
+
+    sim(u, v) = Σ_{t ≥ 0} Σ_x  H_t(u, x) · H_t(v, x) · d(x)
+
+where ``H_t(u, x)`` is the probability that a √c-walk from ``u`` is alive
+and at ``x`` after ``t`` steps, and the correction factor
+
+    d(x) = Pr[two independent √c-walks from x never co-locate at any step ≥ 1]
+
+prevents double counting pairs of walks that coincide more than once.
+
+Index construction (the expensive phase the paper's Fig. 5 bars include):
+
+* ``d(x)`` is estimated for *every* node by Monte Carlo — ``num_d_samples``
+  pairs of coupled walk simulations per node;
+* the one-step occupancy operator ``√c·P`` is materialised once.
+
+A single-source query then evaluates the decomposition without touching the
+per-``v`` hitting probabilities explicitly: with ``z_t = H_t(u, ·) ⊙ d``,
+
+    s(u, ·) = Σ_t (√c·P)ᵗ z_t
+
+is accumulated with ``t`` sparse matvecs per term, truncated at the depth
+where the remaining mass ``(√c)^t`` falls below the error budget.  With an
+exact ``d`` and no truncation this is exact SimRank — tests exploit that.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.rng import RngLike, ensure_rng
+from repro.walks.engine import BatchWalkStepper
+
+__all__ = [
+    "SlingIndex",
+    "SlingStoredIndex",
+    "estimate_d_monte_carlo",
+    "exact_d_small_graph",
+]
+
+
+def estimate_d_monte_carlo(
+    graph: DiGraph,
+    c: float,
+    num_samples: int,
+    *,
+    max_steps: int = 40,
+    seed: RngLike = None,
+) -> np.ndarray:
+    """Monte-Carlo estimate of ``d(x)`` for every node.
+
+    For each node, ``num_samples`` pairs of independent √c-walks are
+    advanced in lock-step; ``d(x)`` is the fraction of pairs that never
+    co-locate at the same step.  All nodes' pairs advance together, so the
+    cost is ``O(num_samples · max_steps)`` vectorised steps.
+    """
+    if num_samples < 1:
+        raise ParameterError(f"num_samples must be positive, got {num_samples}")
+    n = graph.num_nodes
+    rng = ensure_rng(seed)
+    stepper = BatchWalkStepper(graph, c)
+    never_met = np.zeros(n, dtype=np.float64)
+    starts = np.arange(n, dtype=np.int64)
+    for _ in range(num_samples):
+        met = np.zeros(n, dtype=bool)
+        walker_a = stepper.walk(starts, max_steps, seed=rng)
+        walker_b = stepper.walk(starts, max_steps, seed=rng)
+        for batch_a, batch_b in zip(walker_a, walker_b):
+            pos_a = batch_a.scatter_positions(n)
+            pos_b = batch_b.scatter_positions(n, fill=-2)  # distinct fills so
+            met |= pos_a == pos_b  # a dead pair can never compare equal
+        never_met += ~met
+    return never_met / num_samples
+
+
+def exact_d_small_graph(graph: DiGraph, c: float, *, iterations: int = 60) -> np.ndarray:
+    """Exact ``d(x)`` on small graphs via the pair-state meeting system.
+
+    ``meet(x, y) = Pr[walks from x and y co-locate at some step ≥ 1]``
+    satisfies a linear fixed point over node pairs; iterating it to
+    convergence and reading the diagonal gives ``d(x) = 1 - meet(x, x)``.
+    ``O(iterations · n · m)`` — a test oracle, not an index path.
+    """
+    n = graph.num_nodes
+    transition = graph.reverse_transition_matrix()  # rows: current, cols: next
+    meet = np.zeros((n, n), dtype=np.float64)
+    for _ in range(iterations):
+        # One synchronous step: both walks survive with probability c and
+        # move; a pair that lands co-located has met (value 1), otherwise
+        # the sub-problem recurses — i.e. absorb the diagonal at 1 before
+        # stepping.
+        absorbed = meet.copy()
+        np.fill_diagonal(absorbed, 1.0)
+        meet = c * np.asarray(transition @ absorbed @ transition.T)
+    return 1.0 - np.diag(meet).copy()
+
+
+class SlingIndex:
+    """SLING-style index: ``d(·)`` estimates plus the occupancy operator.
+
+    Parameters
+    ----------
+    graph:
+        The static graph to index.
+    c:
+        SimRank decay factor.
+    epsilon:
+        Additive error target; sets the query-time depth truncation
+        ``T = ⌈log_√c(ε/4)⌉`` (decomposition tail mass below ε/4).
+    num_d_samples:
+        Monte-Carlo pairs per node for ``d(·)`` (index cost knob).
+    d_values:
+        Optional externally supplied ``d`` vector (e.g. the exact oracle in
+        tests); skips the Monte-Carlo estimation.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        c: float = 0.6,
+        epsilon: float = 0.025,
+        num_d_samples: int = 100,
+        d_values: Optional[np.ndarray] = None,
+        seed: RngLike = None,
+    ):
+        if not 0.0 < c < 1.0:
+            raise ParameterError(f"decay factor c must be in (0, 1), got {c}")
+        if not 0.0 < epsilon < 1.0:
+            raise ParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.graph = graph
+        self.c = float(c)
+        self.epsilon = float(epsilon)
+        self.sqrt_c = math.sqrt(c)
+        if d_values is not None:
+            d_values = np.asarray(d_values, dtype=np.float64)
+            if d_values.shape != (graph.num_nodes,):
+                raise ParameterError(
+                    f"d_values must have shape ({graph.num_nodes},), got {d_values.shape}"
+                )
+            self.d = d_values
+        else:
+            self.d = estimate_d_monte_carlo(
+                graph, c, num_d_samples, seed=seed
+            )
+        # Query-time truncation depth: tail mass (√c)^T ≤ ε/4.
+        self.depth = max(1, math.ceil(math.log(epsilon / 4.0) / math.log(self.sqrt_c)))
+        self._operator = (self.sqrt_c * graph.reverse_transition_matrix()).tocsr()
+
+    def query(self, source: int) -> np.ndarray:
+        """Single-source SimRank ``s(source, ·)`` from the index."""
+        n = self.graph.num_nodes
+        if not 0 <= int(source) < n:
+            raise ParameterError(f"source {source} outside the node range [0, {n})")
+        source = int(source)
+        operator = self._operator
+        # Source occupancies H_t(u, ·) for t = 0..depth.
+        occupancy = np.zeros(n, dtype=np.float64)
+        occupancy[source] = 1.0
+        layers = [occupancy]
+        for _ in range(self.depth):
+            occupancy = np.asarray(occupancy @ operator).ravel()
+            layers.append(occupancy)
+        # s(u, ·) = Σ_t (√c·P)^t (H_t(u,·) ⊙ d): push each weighted layer
+        # back out t steps.  Accumulate from the deepest layer inward so the
+        # whole sum costs `depth` matvecs instead of Σ t.
+        accumulator = layers[self.depth] * self.d
+        for t in range(self.depth - 1, -1, -1):
+            accumulator = np.asarray(operator @ accumulator).ravel()
+            accumulator += layers[t] * self.d
+        scores = accumulator
+        scores[source] = 1.0
+        return np.clip(scores, 0.0, 1.0)
+
+
+class SlingStoredIndex:
+    """SLING's *stored* index: per-node hitting-probability lists.
+
+    The SLING paper materialises, for every node ``u``, the significant
+    entries ``{(t, x): h_t(u, x) ≥ θ}`` of its √c-walk occupancies, plus
+    the correction factors ``d(·)``.  A single-source query then never
+    touches the graph: it joins the source's list with an inverted
+    ``(t, x) → [(v, h)]`` index,
+
+        s(u, v) = Σ_{t,x} h_t(u, x) · h_t(v, x) · d(x).
+
+    This is the architecture whose construction cost the paper criticises
+    ("several hours even on medium-size graphs", §I): building the lists is
+    ``O(n · depth · m)`` before thresholding.  :class:`SlingIndex` (above)
+    is the light-weight variant that recomputes the source's occupancies
+    per query; this class trades that per-query work for index size,
+    exactly the SLING trade-off.
+
+    Parameters
+    ----------
+    graph, c, epsilon, num_d_samples, d_values, seed:
+        As for :class:`SlingIndex`.
+    threshold:
+        Occupancy entries below this are dropped from the stored lists
+        (SLING's θ); defaults to ``epsilon / 8``.  Thresholding introduces
+        at most ``Σ_t (√c)^t · θ``-sized additional error per side.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        c: float = 0.6,
+        epsilon: float = 0.025,
+        num_d_samples: int = 100,
+        d_values: Optional[np.ndarray] = None,
+        threshold: Optional[float] = None,
+        seed: RngLike = None,
+    ):
+        from repro.core.revreach import revreach_levels
+
+        if not 0.0 < c < 1.0:
+            raise ParameterError(f"decay factor c must be in (0, 1), got {c}")
+        if not 0.0 < epsilon < 1.0:
+            raise ParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.graph = graph
+        self.c = float(c)
+        self.epsilon = float(epsilon)
+        self.sqrt_c = math.sqrt(c)
+        self.threshold = float(threshold) if threshold is not None else epsilon / 8.0
+        if self.threshold <= 0.0:
+            raise ParameterError("threshold must be positive")
+        if d_values is not None:
+            d_values = np.asarray(d_values, dtype=np.float64)
+            if d_values.shape != (graph.num_nodes,):
+                raise ParameterError(
+                    f"d_values must have shape ({graph.num_nodes},), "
+                    f"got {d_values.shape}"
+                )
+            self.d = d_values
+        else:
+            self.d = estimate_d_monte_carlo(graph, c, num_d_samples, seed=seed)
+        self.depth = max(
+            1, math.ceil(math.log(self.threshold) / math.log(self.sqrt_c))
+        )
+        # hit_lists[u] = [(t, x, h)], thresholded; inverted[(t, x)] = [(v, h)].
+        self.hit_lists: list = []
+        self.inverted: dict = {}
+        for node in range(graph.num_nodes):
+            tree = revreach_levels(
+                graph, node, self.depth, c, prune_below=self.threshold
+            )
+            entries = []
+            steps, positions = np.nonzero(tree.matrix)
+            for t, x in zip(steps.tolist(), positions.tolist()):
+                h = float(tree.matrix[t, x])
+                entries.append((t, x, h))
+                self.inverted.setdefault((t, x), []).append((node, h))
+            self.hit_lists.append(entries)
+
+    @property
+    def size_entries(self) -> int:
+        """Total stored (t, x, h) entries — the index-size metric."""
+        return sum(len(entries) for entries in self.hit_lists)
+
+    def query(self, source: int) -> np.ndarray:
+        """Single-source SimRank from the stored lists (graph untouched)."""
+        n = self.graph.num_nodes
+        if not 0 <= int(source) < n:
+            raise ParameterError(f"source {source} outside the node range [0, {n})")
+        source = int(source)
+        scores = np.zeros(n, dtype=np.float64)
+        for t, x, h_source in self.hit_lists[source]:
+            weight = h_source * self.d[x]
+            for node, h_node in self.inverted.get((t, x), ()):
+                scores[node] += weight * h_node
+        scores[source] = 1.0
+        return np.clip(scores, 0.0, 1.0)
+
+    def single_pair(self, u: int, v: int) -> float:
+        """``s(u, v)`` by merging the two stored lists — SLING's original
+        single-pair query."""
+        n = self.graph.num_nodes
+        for node in (u, v):
+            if not 0 <= int(node) < n:
+                raise ParameterError(
+                    f"node {node} outside the node range [0, {n})"
+                )
+        u, v = int(u), int(v)
+        if u == v:
+            return 1.0
+        table = {(t, x): h for t, x, h in self.hit_lists[u]}
+        total = 0.0
+        for t, x, h_v in self.hit_lists[v]:
+            h_u = table.get((t, x))
+            if h_u is not None:
+                total += h_u * h_v * self.d[x]
+        return float(min(max(total, 0.0), 1.0))

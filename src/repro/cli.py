@@ -1,0 +1,268 @@
+"""Command-line entry point: ``python -m repro <command> [options]``.
+
+Examples
+--------
+::
+
+    python -m repro table2
+    python -m repro table3 --profile default
+    python -m repro fig5 --profile quick --dataset hepth
+    python -m repro fig6
+    python -m repro fig7 --profile default
+    python -m repro ablation
+    python -m repro ablation-estimator
+    python -m repro scalability
+    python -m repro all --profile quick
+    python -m repro export-dataset --dataset hepth --out /tmp/hepth --snapshots 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional, Sequence
+
+from repro.experiments import (
+    get_profile,
+    print_table,
+    run_estimator_ablation,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_pruning_ablation,
+    run_c_sensitivity,
+    run_scalability,
+    run_table2,
+    run_table3,
+    run_theta_sensitivity,
+)
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS = [
+    "table2",
+    "table3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "ablation",
+    "ablation-estimator",
+    "scalability",
+    "sensitivity-c",
+    "sensitivity-theta",
+    "all",
+    "report",
+    "export-dataset",
+    "check",
+    "selftest",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the CrashSim paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS,
+        help="which paper artefact to regenerate (or export-dataset)",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        help="sizing profile: quick (default), default, or full "
+        "(also via REPRO_PROFILE)",
+    )
+    parser.add_argument(
+        "--dataset",
+        action="append",
+        default=None,
+        help="restrict to one dataset (repeatable; fig5/fig6/export-dataset)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (export-dataset: directory; report: .md file)",
+    )
+    parser.add_argument(
+        "--snapshots",
+        type=int,
+        default=None,
+        help="snapshot count override (export-dataset only)",
+    )
+    parser.add_argument(
+        "--save",
+        default=None,
+        help="also write the result rows as JSON to this path "
+        "(directory when running 'all')",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="directory of saved result JSONs to regress against "
+        "('check' only)",
+    )
+    return parser
+
+
+def _export_dataset(args, profile) -> None:
+    from repro.datasets.registry import load_dataset
+    from repro.graph.io import write_snapshot_directory
+
+    if not args.out:
+        raise SystemExit("export-dataset requires --out <directory>")
+    names = args.dataset or ["hepth"]
+    for name in names:
+        temporal = load_dataset(
+            name,
+            scale=profile.scale,
+            num_snapshots=args.snapshots,
+            seed=profile.seed,
+        )
+        paths = write_snapshot_directory(
+            temporal, f"{args.out}/{name}", prefix=name
+        )
+        print(f"wrote {len(paths)} snapshot files to {args.out}/{name}")
+
+
+def _check_baselines(args, runners) -> int:
+    """Re-run every experiment with a saved baseline and report drift."""
+    from pathlib import Path
+
+    from repro.experiments.serialization import load_rows, rows_differ
+
+    if not args.baseline:
+        raise SystemExit("check requires --baseline <directory>")
+    baseline_dir = Path(args.baseline)
+    files = sorted(baseline_dir.glob("*.json"))
+    if not files:
+        raise SystemExit(f"no baseline JSON files in {baseline_dir}")
+    failures = 0
+    for path in files:
+        saved_rows, meta = load_rows(path)
+        name = meta.get("experiment")
+        if name not in runners:
+            print(f"{path.name}: unknown experiment {name!r}, skipping")
+            continue
+        _, runner = runners[name]
+        problems = rows_differ(saved_rows, runner())
+        if problems:
+            failures += 1
+            print(f"{name}: DRIFT ({len(problems)} differences)")
+            for problem in problems[:10]:
+                print(f"  {problem}")
+        else:
+            print(f"{name}: ok ({len(saved_rows)} rows)")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    profile = get_profile(args.profile)
+    datasets = args.dataset
+
+    runners: Dict[str, tuple] = {
+        "table2": (
+            "Table II — SimRank w.r.t. A (c=0.25)",
+            lambda: run_table2(),
+        ),
+        "table3": (
+            "Table III — datasets (paper vs synthetic)",
+            lambda: run_table3(profile),
+        ),
+        "fig5": (
+            f"Figure 5 — static response time and ME [{profile.name}]",
+            lambda: run_figure5(profile, datasets=datasets),
+        ),
+        "fig6": (
+            f"Figure 6 — temporal query precision [{profile.name}]",
+            lambda: run_figure6(profile, datasets=datasets),
+        ),
+        "fig7": (
+            f"Figure 7 — time vs interval length [{profile.name}]",
+            lambda: run_figure7(profile),
+        ),
+        "ablation": (
+            f"Pruning ablation [{profile.name}]",
+            lambda: run_pruning_ablation(profile),
+        ),
+        "ablation-estimator": (
+            f"Estimator ablation [{profile.name}]",
+            lambda: run_estimator_ablation(profile),
+        ),
+        "scalability": (
+            f"Scalability — time vs graph size [{profile.name}]",
+            lambda: run_scalability(profile),
+        ),
+        "sensitivity-c": (
+            f"Sensitivity — decay factor c [{profile.name}]",
+            lambda: run_c_sensitivity(profile),
+        ),
+        "sensitivity-theta": (
+            f"Sensitivity — threshold θ [{profile.name}]",
+            lambda: run_theta_sensitivity(profile),
+        ),
+    }
+
+    def run_one(name: str, save_path: Optional[str]) -> None:
+        title, runner = runners[name]
+        rows = runner()
+        print_table(rows, title=title)
+        if name == "fig7" and rows and "snapshots" in rows[0]:
+            from repro.experiments.report import print_series
+
+            print_series(
+                rows,
+                x="snapshots",
+                y="total_time_s",
+                group="algorithm",
+                title="total time by interval length (taller = slower)",
+            )
+        elif name == "scalability" and rows and "n" in rows[0]:
+            from repro.experiments.report import print_series
+
+            print_series(
+                rows,
+                x="n",
+                y="mean_time_s",
+                group="algorithm",
+                title="query time by graph size (taller = slower)",
+            )
+        if save_path:
+            from repro.experiments.serialization import save_rows
+
+            written = save_rows(
+                rows, save_path, experiment=name, profile=profile.name
+            )
+            print(f"saved {len(rows)} rows to {written}")
+
+    if args.experiment == "report":
+        from repro.experiments.full_report import write_report
+
+        if not args.out:
+            raise SystemExit("report requires --out <file.md>")
+        written = write_report(args.out, profile)
+        print(f"wrote report to {written}")
+        return 0
+    if args.experiment == "selftest":
+        from repro.selftest import run_selftest
+
+        return 0 if run_selftest() else 1
+    if args.experiment == "export-dataset":
+        _export_dataset(args, profile)
+    elif args.experiment == "check":
+        return _check_baselines(args, runners)
+    elif args.experiment == "all":
+        for name in runners:
+            save_path = (
+                f"{args.save}/{name}.json" if args.save else None
+            )
+            run_one(name, save_path)
+    else:
+        run_one(args.experiment, args.save)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""The paper's contribution: CrashSim (§III) and CrashSim-T (§IV).
+
+Public surface:
+
+* :class:`CrashSimParams` — Theorem 1's derived quantities (``l_max``, ``p``,
+  ``ε_t``, ``n_r``) from ``(c, ε, δ)``.
+* :func:`crashsim` — single-source / partial SimRank on one static graph
+  (Algorithm 1), returning a :class:`CrashSimResult`.
+* :func:`revreach_levels` / :func:`revreach_queue` — the reverse reachable
+  tree of Algorithm 2 (level-synchronous default and the literal queue
+  formulation).
+* :class:`ThresholdQuery` / :class:`TrendQuery` — temporal SimRank query
+  predicates (Definitions 4 and 5).
+* :func:`crashsim_t` — Algorithm 3 with delta and difference pruning,
+  returning a :class:`TemporalQueryResult`.
+"""
+
+from repro.core.crashsim import CrashSimResult, crashsim
+from repro.core.crashsim_t import CrashSimTStats, TemporalQueryResult, crashsim_t
+from repro.core.multi_source import crashsim_multi_source
+from repro.core.params import CrashSimParams
+from repro.core.pruning import (
+    affected_area,
+    edge_subgraph,
+    tree_unaffected_by_delta,
+    tree_unchanged,
+)
+from repro.core.queries import (
+    CompositeQuery,
+    TemporalQuery,
+    ThresholdQuery,
+    TrendQuery,
+)
+from repro.core.revreach import (
+    ReverseReachableTree,
+    revreach_levels,
+    revreach_queue,
+    revreach_update,
+)
+from repro.core.streaming import TemporalQuerySession
+from repro.core.temporal_topk import DurableTopKResult, durable_topk
+from repro.core.topk import TopKResult, crashsim_topk
+
+__all__ = [
+    "CrashSimParams",
+    "CrashSimResult",
+    "crashsim",
+    "crashsim_multi_source",
+    "ReverseReachableTree",
+    "revreach_levels",
+    "revreach_queue",
+    "TemporalQuery",
+    "ThresholdQuery",
+    "TrendQuery",
+    "CompositeQuery",
+    "TemporalQuerySession",
+    "revreach_update",
+    "crashsim_t",
+    "TemporalQueryResult",
+    "CrashSimTStats",
+    "affected_area",
+    "tree_unchanged",
+    "tree_unaffected_by_delta",
+    "edge_subgraph",
+    "crashsim_topk",
+    "TopKResult",
+    "durable_topk",
+    "DurableTopKResult",
+]

@@ -1,0 +1,68 @@
+"""Concentration bounds shared by the Monte-Carlo components.
+
+Two families:
+
+* :func:`chernoff_trial_count` — Lemma 3 / ProbeSim's worst-case trial
+  count for a uniform (ε, δ) guarantee over all nodes.  Safe but enormous
+  at practical ε (DESIGN.md §2.3).
+* :func:`bernstein_radius` — per-estimate confidence radii exploiting that
+  a single CrashSim trial value lies in ``[0, c]`` with mean ``s``, hence
+  variance at most ``c·s``.  These are what the adaptive top-k pruning
+  (:mod:`repro.core.topk`) and the durable top-k cut
+  (:mod:`repro.core.temporal_topk`) consume: tight enough to prune at
+  practical trial counts, conservative through the ``z`` factor and the
+  Bernstein ``O(1/n)`` tail term.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["chernoff_trial_count", "bernstein_radius"]
+
+
+def chernoff_trial_count(
+    num_nodes: int, c: float, epsilon: float, delta: float
+) -> int:
+    """``⌈3c/ε² · ln(n/δ)⌉`` — the uniform worst-case Monte-Carlo trial
+    count behind Lemma 3 (with ε already net of any truncation slack)."""
+    if not 0.0 < c < 1.0:
+        raise ParameterError(f"decay factor c must be in (0, 1), got {c}")
+    if epsilon <= 0.0 or delta <= 0.0:
+        raise ParameterError("epsilon and delta must be positive")
+    if num_nodes < 1:
+        raise ParameterError(f"num_nodes must be positive, got {num_nodes}")
+    return math.ceil(3.0 * c / epsilon**2 * math.log(max(num_nodes, 2) / delta))
+
+
+def bernstein_radius(
+    scores: Union[float, np.ndarray],
+    c: float,
+    trials: int,
+    *,
+    z: float = 4.0,
+) -> Union[float, np.ndarray]:
+    """Confidence radius around Monte-Carlo estimates ``scores``.
+
+    ``z · sqrt(c·max(s, 1/n)/n) + z·c/n`` for ``n = trials``: ``z``
+    standard errors under the variance bound ``Var ≤ c·s`` plus the
+    Bernstein lower-order term.  Accepts a scalar or an array and returns
+    the same shape.
+    """
+    if not 0.0 < c < 1.0:
+        raise ParameterError(f"decay factor c must be in (0, 1), got {c}")
+    if trials < 1:
+        raise ParameterError(f"trials must be positive, got {trials}")
+    if z <= 0.0:
+        raise ParameterError(f"z must be positive, got {z}")
+    values = np.asarray(scores, dtype=np.float64)
+    variance_bound = c * np.maximum(values, 1.0 / trials)
+    radius = z * np.sqrt(variance_bound / trials) + z * c / trials
+    if np.isscalar(scores) or getattr(scores, "ndim", 1) == 0:
+        return float(radius)
+    return radius

@@ -1,0 +1,282 @@
+"""CrashSim (paper Algorithm 1): single-source / partial SimRank.
+
+The algorithm:
+
+1. derive ``l_max`` and ``n_r`` from ``(c, ε, δ)`` (:class:`CrashSimParams`);
+2. build the source's reverse reachable tree ``U`` once (Algorithm 2);
+3. for each of ``n_r`` trials, sample one truncated √c-walk from every
+   candidate ``v ∈ Ω`` and accumulate the probability that it *crashes*
+   into ``W(u)`` — read off as ``U[step, position]`` at every step;
+4. average the trials.
+
+Step 3 runs through :class:`repro.walks.BatchWalkStepper`, so a trial is
+``O(l_max)`` vectorised operations over the whole candidate set, and the
+accumulation ``totals += U[step, positions]`` is a single fancy-indexing
+gather per step.
+
+Estimator switches (DESIGN.md §2):
+
+* ``tree_variant`` — ``"corrected"`` (unbiased occupancy; default) or
+  ``"paper"`` (literal Algorithm 2 arithmetic).
+* ``first_meeting`` — ``"none"`` (paper literal: sum every meeting
+  opportunity; default) or ``"dp"`` (exact per-walk first-meeting dynamic
+  program; unbiased for the first-meeting series but ``O(l·m)`` per walk —
+  an accuracy-ablation mode for small graphs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Literal, Optional, Tuple
+
+import numpy as np
+
+from repro.core.params import CrashSimParams
+from repro.core.revreach import ReverseReachableTree, revreach_levels
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.rng import RngLike, ensure_rng
+from repro.walks.engine import BatchWalkStepper
+
+__all__ = ["CrashSimResult", "crashsim"]
+
+FirstMeeting = Literal["none", "dp"]
+
+
+@dataclass(frozen=True)
+class CrashSimResult:
+    """SimRank estimators ``s(u, v)`` for every candidate ``v ∈ Ω``.
+
+    Attributes
+    ----------
+    source:
+        The query source ``u``.
+    candidates:
+        Candidate node ids, sorted ascending, ``shape (k,)``.
+    scores:
+        Estimated SimRank per candidate, aligned with ``candidates``.
+    n_r:
+        Number of Monte-Carlo trials actually run.
+    params:
+        The parameter object the run used.
+    tree:
+        The source's reverse reachable tree (reusable by CrashSim-T).
+    """
+
+    source: int
+    candidates: np.ndarray
+    scores: np.ndarray
+    n_r: int
+    params: CrashSimParams
+    tree: ReverseReachableTree
+
+    def score(self, node: int) -> float:
+        """``s(u, node)``; raises if ``node`` was not a candidate."""
+        position = np.searchsorted(self.candidates, node)
+        if position >= self.candidates.size or self.candidates[position] != node:
+            raise ParameterError(f"node {node} was not in the candidate set")
+        return float(self.scores[position])
+
+    def as_dict(self) -> Dict[int, float]:
+        """``{candidate: score}`` mapping."""
+        return {
+            int(node): float(value)
+            for node, value in zip(self.candidates, self.scores)
+        }
+
+    def top_k(self, k: int) -> List[Tuple[int, float]]:
+        """The ``k`` highest-scoring candidates, score-descending then id."""
+        if k < 0:
+            raise ParameterError(f"k must be non-negative, got {k}")
+        order = np.lexsort((self.candidates, -self.scores))
+        return [
+            (int(self.candidates[i]), float(self.scores[i])) for i in order[:k]
+        ]
+
+
+def _resolve_candidates(
+    graph: DiGraph, source: int, candidates: Optional[Iterable[int]]
+) -> np.ndarray:
+    if candidates is None:
+        others = np.arange(graph.num_nodes, dtype=np.int64)
+        return others[others != source]
+    arr = np.unique(np.asarray(list(candidates), dtype=np.int64))
+    if arr.size and (arr.min() < 0 or arr.max() >= graph.num_nodes):
+        raise ParameterError("candidate node outside the graph's node range")
+    return arr
+
+
+def crashsim(
+    graph: DiGraph,
+    source: int,
+    *,
+    candidates: Optional[Iterable[int]] = None,
+    params: Optional[CrashSimParams] = None,
+    tree: Optional[ReverseReachableTree] = None,
+    tree_variant: str = "corrected",
+    first_meeting: FirstMeeting = "none",
+    seed: RngLike = None,
+) -> CrashSimResult:
+    """Run CrashSim from ``source`` over candidate set ``Ω`` (Algorithm 1).
+
+    Parameters
+    ----------
+    graph:
+        Snapshot graph ``G(V, E)``.
+    source:
+        Query source ``u``.
+    candidates:
+        Candidate set ``Ω``; ``None`` means all nodes except the source
+        (single-source mode).  If ``source`` is included its score is the
+        SimRank base case 1.0.
+    params:
+        :class:`CrashSimParams`; defaults to the paper's ``c = 0.6``,
+        ``ε = 0.025``, ``δ = 0.01``.
+    tree:
+        A precomputed reverse reachable tree for ``source`` (CrashSim-T
+        reuses the tree it built for the pruning gate); must match
+        ``source``, ``c``, ``l_max``, and ``tree_variant``.
+    tree_variant, first_meeting:
+        Estimator switches, see module docstring.
+    seed:
+        Anything :func:`repro.rng.ensure_rng` accepts.
+
+    Returns
+    -------
+    CrashSimResult
+        Scores satisfying Theorem 1's guarantee when ``params`` uses the
+        theoretical ``n_r``.
+    """
+    params = params or CrashSimParams()
+    if not 0 <= int(source) < graph.num_nodes:
+        raise ParameterError(
+            f"source {source} outside the graph's node range [0, {graph.num_nodes})"
+        )
+    source = int(source)
+    rng = ensure_rng(seed)
+    candidate_array = _resolve_candidates(graph, source, candidates)
+    l_max = params.l_max
+    n_r = params.n_r(max(graph.num_nodes, 2))
+
+    if tree is None:
+        tree = revreach_levels(graph, source, l_max, params.c, variant=tree_variant)
+    elif (
+        tree.source != source
+        or tree.l_max != l_max
+        or tree.variant != tree_variant
+        or not math.isclose(tree.c, params.c)
+    ):
+        raise ParameterError(
+            "precomputed tree does not match this query's source/c/l_max/variant"
+        )
+
+    walk_targets = candidate_array[candidate_array != source]
+    # A candidate with no in-neighbours cannot take a single walk step, so
+    # its estimator is exactly 0 — drop it before paying n_r walks for it.
+    walk_targets = walk_targets[graph.in_degrees()[walk_targets] > 0]
+    if first_meeting == "none":
+        totals = _accumulate_crashes(
+            graph, tree, walk_targets, n_r, params, rng
+        )
+    elif first_meeting == "dp":
+        totals = _accumulate_crashes_dp(
+            graph, tree, walk_targets, n_r, params, rng
+        )
+    else:
+        raise ParameterError(f"unknown first_meeting mode {first_meeting!r}")
+
+    scores = np.zeros(candidate_array.size, dtype=np.float64)
+    walk_positions = np.searchsorted(candidate_array, walk_targets)
+    scores[walk_positions] = totals / n_r
+    scores[candidate_array == source] = 1.0
+    scores = np.clip(scores, 0.0, 1.0)
+    return CrashSimResult(
+        source=source,
+        candidates=candidate_array,
+        scores=scores,
+        n_r=n_r,
+        params=params,
+        tree=tree,
+    )
+
+
+_WALK_CHUNK = 1 << 20  # max simultaneous walks per batched pass
+
+
+def _accumulate_crashes(
+    graph: DiGraph,
+    tree: ReverseReachableTree,
+    targets: np.ndarray,
+    n_r: int,
+    params: CrashSimParams,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Paper-literal accumulation: ``Σ_k Σ_step U[step, W_k(v)_step]``.
+
+    All ``n_r`` trials' walks are independent, so they advance together:
+    chunks of up to ``_WALK_CHUNK`` walks (trials × candidates) run through
+    the batch stepper in one pass, reducing the whole Monte-Carlo loop to
+    ``O(l_max)`` NumPy operations per chunk.
+    """
+    totals = np.zeros(targets.size, dtype=np.float64)
+    if targets.size == 0:
+        return totals
+    stepper = BatchWalkStepper(graph, params.c)
+    matrix = tree.matrix
+    trials_per_chunk = max(1, _WALK_CHUNK // targets.size)
+    candidate_index = np.arange(targets.size, dtype=np.int64)
+    remaining = n_r
+    while remaining > 0:
+        trials = min(trials_per_chunk, remaining)
+        remaining -= trials
+        starts = np.tile(targets, trials)
+        walk_owner = np.tile(candidate_index, trials)
+        for batch in stepper.walk(starts, params.l_max, seed=rng):
+            contributions = matrix[batch.step, batch.positions]
+            totals += np.bincount(
+                walk_owner[batch.walk_ids],
+                weights=contributions,
+                minlength=targets.size,
+            )
+    return totals
+
+
+def _accumulate_crashes_dp(
+    graph: DiGraph,
+    tree: ReverseReachableTree,
+    targets: np.ndarray,
+    n_r: int,
+    params: CrashSimParams,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Exact first-meeting accumulation.
+
+    For each sampled candidate walk ``(v_1, v_2, ...)`` the contribution of
+    step ``i`` must be ``Pr[W(u)_i = v_i ∧ ∀j<i: W(u)_j ≠ v_j]``.  We
+    re-propagate the source's occupancy ``D_j`` along the walk, zeroing the
+    entry at ``v_j`` after harvesting it — a per-walk dynamic program over
+    the corrected transition.  ``O(l · m)`` per walk: an accuracy-ablation
+    mode, not a performance path.
+    """
+    totals = np.zeros(targets.size, dtype=np.float64)
+    if targets.size == 0:
+        return totals
+    transition = graph.reverse_transition_matrix()  # rows: current, cols: next
+    sqrt_c = params.sqrt_c
+    stepper = BatchWalkStepper(graph, params.c)
+    n = graph.num_nodes
+    for _ in range(n_r):
+        paths = stepper.sample_paths(targets, params.l_max, seed=rng)
+        for index in range(targets.size):
+            path = paths[index]
+            occupancy = np.zeros(n, dtype=np.float64)
+            occupancy[tree.source] = 1.0
+            for step in range(1, params.l_max + 1):
+                position = path[step]
+                if position < 0:
+                    break
+                occupancy = sqrt_c * (occupancy @ transition)
+                totals[index] += occupancy[position]
+                occupancy[position] = 0.0
+    return totals

@@ -1,0 +1,156 @@
+"""Theorem 1's derived parameters: ``l_max``, ``p``, ``ε_t``, and ``n_r``.
+
+Paper §III-C:
+
+* Lemma 1 — the √c-walk length is geometric; truncating at
+  ``l_max = (1 + √c) / (1 - √c)²`` covers probability
+  ``p = Σ_{k=1..l_max} (√c)^{k-1} (1 - √c) = 1 - (√c)^{l_max}``.
+* Lemma 2 — truncation displaces the estimator by at most
+  ``p · ε_t`` with ``ε_t = (√c)^{l_max}``.
+* Lemma 3 — ``n_r = 3c / (ε - p·ε_t)² · ln(n/δ)`` trials suffice for
+  ``|s(u,v) - sim(u,v)| ≤ ε`` with probability ``≥ 1 - δ``.
+
+The theoretical ``n_r`` is a worst-case Chernoff count: for the paper's own
+settings (``c = 0.6``, ``ε = 0.025``, ``n ≈ 10⁴``) it exceeds 30 000 trials,
+which neither the paper's reported response times nor ProbeSim's published
+evaluation actually pay.  :class:`CrashSimParams` therefore exposes the
+exact theoretical value via :meth:`n_r_theoretical` and lets callers bound
+the practical trial count with ``n_r_override`` / ``n_r_cap`` — experiments
+record both (see DESIGN.md §2.3 and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ParameterError
+
+__all__ = ["CrashSimParams", "DEFAULT_C", "DEFAULT_EPSILON", "DEFAULT_DELTA"]
+
+DEFAULT_C = 0.6
+DEFAULT_EPSILON = 0.025
+DEFAULT_DELTA = 0.01
+
+
+@dataclass(frozen=True)
+class CrashSimParams:
+    """Validated CrashSim parameters and their Theorem-1 derivations.
+
+    Parameters
+    ----------
+    c:
+        SimRank decay factor, in (0, 1).  The paper uses 0.6.
+    epsilon:
+        Maximum tolerated absolute error ε, in (0, 1).
+    delta:
+        Failure probability δ of the Monte-Carlo guarantee, in (0, 1).
+    n_r_override:
+        If set, use exactly this many trials instead of the theoretical
+        count.  Must be positive.
+    n_r_cap:
+        If set, clamp the theoretical count to at most this many trials.
+        Ignored when ``n_r_override`` is given.
+    """
+
+    c: float = DEFAULT_C
+    epsilon: float = DEFAULT_EPSILON
+    delta: float = DEFAULT_DELTA
+    n_r_override: Optional[int] = None
+    n_r_cap: Optional[int] = None
+
+    def __post_init__(self):
+        if not 0.0 < self.c < 1.0:
+            raise ParameterError(f"decay factor c must be in (0, 1), got {self.c}")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ParameterError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if not 0.0 < self.delta < 1.0:
+            raise ParameterError(f"delta must be in (0, 1), got {self.delta}")
+        if self.n_r_override is not None and self.n_r_override < 1:
+            raise ParameterError(
+                f"n_r_override must be positive, got {self.n_r_override}"
+            )
+        if self.n_r_cap is not None and self.n_r_cap < 1:
+            raise ParameterError(f"n_r_cap must be positive, got {self.n_r_cap}")
+        if self.epsilon <= self.truncation_slack:
+            raise ParameterError(
+                f"epsilon={self.epsilon} does not exceed the truncation slack "
+                f"p·ε_t={self.truncation_slack:.3g}; increase epsilon or c"
+            )
+
+    # ------------------------------------------------------------------
+    # Lemma 1
+    # ------------------------------------------------------------------
+
+    @property
+    def sqrt_c(self) -> float:
+        return math.sqrt(self.c)
+
+    @property
+    def l_max(self) -> int:
+        """Truncated walk length ``⌈(1 + √c) / (1 - √c)²⌉`` (Lemma 1)."""
+        return math.ceil((1.0 + self.sqrt_c) / (1.0 - self.sqrt_c) ** 2)
+
+    @property
+    def p(self) -> float:
+        """``Pr(l ≤ l_max) = 1 - (√c)^{l_max}`` — geometric CDF at l_max."""
+        return 1.0 - self.sqrt_c ** self.l_max
+
+    # ------------------------------------------------------------------
+    # Lemma 2
+    # ------------------------------------------------------------------
+
+    @property
+    def epsilon_t(self) -> float:
+        """Truncation error bound ``ε_t = (√c)^{l_max}`` (Lemma 2)."""
+        return self.sqrt_c ** self.l_max
+
+    @property
+    def truncation_slack(self) -> float:
+        """``p · ε_t`` — the part of the ε budget consumed by truncation."""
+        return self.p * self.epsilon_t
+
+    # ------------------------------------------------------------------
+    # Lemma 3
+    # ------------------------------------------------------------------
+
+    def n_r_theoretical(self, num_nodes: int) -> int:
+        """Exact Lemma-3 trial count ``⌈3c/(ε - p·ε_t)² · ln(n/δ)⌉``."""
+        if num_nodes < 1:
+            raise ParameterError(f"num_nodes must be positive, got {num_nodes}")
+        margin = self.epsilon - self.truncation_slack
+        return math.ceil(
+            3.0 * self.c / margin**2 * math.log(num_nodes / self.delta)
+        )
+
+    def n_r(self, num_nodes: int) -> int:
+        """Effective trial count after override / cap (what experiments run)."""
+        if self.n_r_override is not None:
+            return self.n_r_override
+        theoretical = self.n_r_theoretical(num_nodes)
+        if self.n_r_cap is not None:
+            return min(theoretical, self.n_r_cap)
+        return theoretical
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def with_epsilon(self, epsilon: float) -> "CrashSimParams":
+        """Copy with a different ε (used by the Fig. 5 ε sweep)."""
+        return CrashSimParams(
+            c=self.c,
+            epsilon=epsilon,
+            delta=self.delta,
+            n_r_override=self.n_r_override,
+            n_r_cap=self.n_r_cap,
+        )
+
+    def describe(self, num_nodes: int) -> str:
+        """One-line human summary, used in experiment logs."""
+        return (
+            f"c={self.c} ε={self.epsilon} δ={self.delta} "
+            f"l_max={self.l_max} p={self.p:.6f} ε_t={self.epsilon_t:.3g} "
+            f"n_r={self.n_r(num_nodes)} (theoretical {self.n_r_theoretical(num_nodes)})"
+        )

@@ -1,0 +1,168 @@
+"""Delta and difference pruning primitives (paper Theorem 2, Props. 1–2).
+
+Both pruning rules of CrashSim-T reduce to deciding, per candidate, whether
+its SimRank estimate can possibly have changed between adjacent snapshots:
+
+* **Delta pruning** (Property 1) walks *forward* from the head ``y`` of each
+  changed edge ``x → y``: every node reachable from ``y`` via out-edges
+  within ``l_max - 1`` steps might route a reverse √c-walk through the
+  changed edge (Theorem 2); everything else is exempt.  Worth paying when
+  ``|E(Δ)| < |Ω|·n_r / |E(Ω)|``.
+* **Difference pruning** (Property 2) compares each candidate's own reverse
+  reachable tree between the two snapshots (on the ``Ω``-induced subgraph,
+  as Algorithm 3 lines 16–17 prescribe); an unchanged tree means an
+  unchanged estimate.  Worth paying when ``|E(Ω)| < n_r``.
+
+Soundness of both rules is pinned by property tests
+(``tests/core/test_pruning.py``): pruned and unpruned CrashSim-T runs must
+select the same nodes when fed identical walk randomness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.revreach import revreach_levels
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "affected_area",
+    "edge_subgraph",
+    "tree_unchanged",
+    "tree_unaffected_by_delta",
+    "count_candidate_edges",
+]
+
+Edge = Tuple[int, int]
+
+
+def affected_area(
+    graph: DiGraph,
+    changed_edges: Iterable[Edge],
+    l_max: int,
+    *,
+    include_tails: bool = True,
+) -> Set[int]:
+    """Nodes whose SimRank to the source may change (Theorem 2 part ii).
+
+    For each changed edge ``x → y``, collects ``y`` and every node
+    forward-reachable from ``y`` within ``l_max - 1`` out-steps on
+    ``graph``.  ``include_tails`` additionally marks ``x`` itself: a
+    removed edge leaves ``x`` with a changed in-neighbour *sharing* at ``y``
+    only, but ``x``'s own estimate is affected when walks from other nodes
+    pass through it — including the tail is the conservative choice our
+    soundness tests require for undirected graphs (where a changed edge
+    touches both endpoints' neighbourhoods).
+    """
+    if l_max < 1:
+        raise ParameterError(f"l_max must be at least 1, got {l_max}")
+    seeds: Set[int] = set()
+    for x, y in changed_edges:
+        x, y = int(x), int(y)
+        seeds.add(y)
+        if include_tails:
+            seeds.add(x)
+    affected: Set[int] = set(seeds)
+    frontier = deque((node, 0) for node in seeds)
+    limit = l_max - 1
+    while frontier:
+        node, depth = frontier.popleft()
+        if depth >= limit:
+            continue
+        for successor in graph.out_neighbors(node):
+            successor = int(successor)
+            if successor not in affected:
+                affected.add(successor)
+                frontier.append((successor, depth + 1))
+    return affected
+
+
+def edge_subgraph(graph: DiGraph, nodes: Sequence[int]) -> DiGraph:
+    """Subgraph ``G(V, E_Ω)``: same node-id space, only edges within ``Ω``.
+
+    Algorithm 3 evaluates revReach on this restriction for the
+    difference-pruning comparisons; keeping the full id space means trees of
+    different snapshots stay directly comparable.
+    """
+    mask = np.zeros(graph.num_nodes, dtype=bool)
+    node_array = np.asarray(list(nodes), dtype=np.int64)
+    if node_array.size and (node_array.min() < 0 or node_array.max() >= graph.num_nodes):
+        raise ParameterError("candidate node outside the graph's node range")
+    mask[node_array] = True
+    sources = graph.arc_sources()
+    targets = graph.out_indices
+    keep = mask[sources] & mask[targets]
+    return DiGraph(
+        graph.num_nodes,
+        sources[keep].astype(np.int64),
+        targets[keep].astype(np.int64),
+        directed=graph.directed,
+        node_labels=graph.node_labels,
+    )
+
+
+def count_candidate_edges(graph: DiGraph, nodes: Sequence[int]) -> int:
+    """``|E(Ω)|`` — arcs with both endpoints in the candidate set."""
+    mask = np.zeros(graph.num_nodes, dtype=bool)
+    node_array = np.asarray(list(nodes), dtype=np.int64)
+    if node_array.size == 0:
+        return 0
+    mask[node_array] = True
+    sources = graph.arc_sources()
+    targets = graph.out_indices
+    return int(np.count_nonzero(mask[sources] & mask[targets]))
+
+
+def tree_unaffected_by_delta(
+    tree,
+    added: Iterable[Edge],
+    removed: Iterable[Edge],
+    *,
+    directed: bool = True,
+) -> bool:
+    """Exact O(|Δ|) gate: does the snapshot delta leave ``tree`` intact?
+
+    A changed arc ``x → y`` alters the source's reverse reachable tree iff
+    ``y`` carries occupancy mass at some step ``< l_max`` — only then does
+    the walk's transition out of ``y`` (whose in-neighbour set changed)
+    participate in any propagated level.  Checking the tree's occupancy at
+    every changed head costs O(|Δ| · l_max) instead of the O(l_max · m)
+    rebuild, which is what makes per-snapshot tree reuse in CrashSim-T
+    essentially free on low-churn horizons.
+
+    For undirected graphs each edge is two arcs, so both endpoints are
+    checked.
+    """
+    occupancy = tree.matrix[: tree.l_max].sum(axis=0)
+    for collection in (added, removed):
+        for x, y in collection:
+            if occupancy[int(y)] > 0.0:
+                return False
+            if not directed and occupancy[int(x)] > 0.0:
+                return False
+    return True
+
+
+def tree_unchanged(
+    previous_graph: DiGraph,
+    current_graph: DiGraph,
+    node: int,
+    l_max: int,
+    c: float,
+    *,
+    variant: str = "corrected",
+    tol: float = 0.0,
+) -> bool:
+    """Whether ``node``'s reverse reachable tree matches across snapshots.
+
+    The literal Algorithm 3 check (lines 16–18): build both trees and
+    compare.  Used by difference pruning; delta pruning's forward BFS is
+    the cheaper sufficient test.
+    """
+    previous_tree = revreach_levels(previous_graph, node, l_max, c, variant=variant)
+    current_tree = revreach_levels(current_graph, node, l_max, c, variant=variant)
+    return previous_tree.same_as(current_tree, tol=tol)

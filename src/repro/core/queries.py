@@ -1,0 +1,149 @@
+"""Temporal SimRank query predicates (paper Definitions 3–5).
+
+A :class:`TemporalQuery` decides, per snapshot, which candidates survive.
+CrashSim-T and the baseline adapters both drive these objects, so "the
+query" is defined exactly once:
+
+* :class:`ThresholdQuery` — keep ``v`` while ``s_t(u, v) > θ`` at *every*
+  instant of the interval (Definition 5);
+* :class:`TrendQuery` — keep ``v`` while ``s_t(u, v)`` is continuously
+  increasing (or decreasing) across the interval (Definition 4).
+
+Scores arrive as parallel NumPy arrays; predicates return boolean masks so
+filtering stays vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import QueryError
+
+__all__ = ["TemporalQuery", "ThresholdQuery", "TrendQuery", "CompositeQuery"]
+
+
+@runtime_checkable
+class TemporalQuery(Protocol):
+    """Protocol every temporal SimRank query implements."""
+
+    def initial_mask(self, scores: np.ndarray) -> np.ndarray:
+        """Survivors after the interval's *first* snapshot."""
+        ...
+
+    def step_mask(self, previous_scores: np.ndarray, scores: np.ndarray) -> np.ndarray:
+        """Survivors after a subsequent snapshot, given both score vectors."""
+        ...
+
+    def describe(self) -> str:
+        """Human-readable one-liner for experiment reports."""
+        ...
+
+
+@dataclass(frozen=True)
+class ThresholdQuery:
+    """Temporal SimRank Thresholds Query (Definition 5).
+
+    ``v ∈ Ω`` iff ``s_t(u, v) > theta`` for every ``t`` in the interval.
+    """
+
+    theta: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.theta < 1.0:
+            raise QueryError(f"theta must be in [0, 1), got {self.theta}")
+
+    def initial_mask(self, scores: np.ndarray) -> np.ndarray:
+        return np.asarray(scores) > self.theta
+
+    def step_mask(self, previous_scores: np.ndarray, scores: np.ndarray) -> np.ndarray:
+        return np.asarray(scores) > self.theta
+
+    def describe(self) -> str:
+        return f"threshold(theta={self.theta})"
+
+
+@dataclass(frozen=True)
+class TrendQuery:
+    """Temporal SimRank Trend Query (Definition 4).
+
+    ``v ∈ Ω`` iff ``s_t(u, v)`` is continuously increasing (or decreasing)
+    over the interval.  ``tolerance`` absorbs Monte-Carlo noise: with the
+    default 0 the comparison is the literal ``s_t ≥ s_{t-1}`` (monotone
+    non-strict); a positive tolerance accepts ``s_t ≥ s_{t-1} - tolerance``.
+    """
+
+    direction: Literal["increasing", "decreasing"] = "increasing"
+    tolerance: float = 0.0
+
+    def __post_init__(self):
+        if self.direction not in ("increasing", "decreasing"):
+            raise QueryError(
+                f"direction must be 'increasing' or 'decreasing', got {self.direction!r}"
+            )
+        if self.tolerance < 0.0:
+            raise QueryError(f"tolerance must be non-negative, got {self.tolerance}")
+
+    def initial_mask(self, scores: np.ndarray) -> np.ndarray:
+        # A trend needs at least two observations; everyone survives the
+        # first snapshot.
+        return np.ones(np.asarray(scores).shape, dtype=bool)
+
+    def step_mask(self, previous_scores: np.ndarray, scores: np.ndarray) -> np.ndarray:
+        previous_scores = np.asarray(previous_scores)
+        scores = np.asarray(scores)
+        if self.direction == "increasing":
+            return scores >= previous_scores - self.tolerance
+        return scores <= previous_scores + self.tolerance
+
+    def describe(self) -> str:
+        return f"trend({self.direction}, tol={self.tolerance})"
+
+
+@dataclass(frozen=True)
+class CompositeQuery:
+    """Conjunction / disjunction of temporal queries.
+
+    The paper's motivating Example 1 wants users whose similarity is
+    *stably high* — a threshold condition AND a non-decreasing trend — in
+    one interval scan.  ``mode="all"`` keeps a candidate only while every
+    sub-query keeps it; ``mode="any"`` while at least one does.
+
+    >>> import numpy as np
+    >>> query = CompositeQuery(
+    ...     (ThresholdQuery(theta=0.1), TrendQuery(direction="increasing")),
+    ...     mode="all",
+    ... )
+    >>> query.step_mask(np.array([0.2, 0.2]), np.array([0.25, 0.05])).tolist()
+    [True, False]
+    """
+
+    queries: tuple
+    mode: Literal["all", "any"] = "all"
+
+    def __post_init__(self):
+        if not self.queries:
+            raise QueryError("CompositeQuery needs at least one sub-query")
+        if self.mode not in ("all", "any"):
+            raise QueryError(f"mode must be 'all' or 'any', got {self.mode!r}")
+        object.__setattr__(self, "queries", tuple(self.queries))
+
+    def _combine(self, masks) -> np.ndarray:
+        stacked = np.vstack(masks)
+        if self.mode == "all":
+            return stacked.all(axis=0)
+        return stacked.any(axis=0)
+
+    def initial_mask(self, scores: np.ndarray) -> np.ndarray:
+        return self._combine([q.initial_mask(scores) for q in self.queries])
+
+    def step_mask(self, previous_scores: np.ndarray, scores: np.ndarray) -> np.ndarray:
+        return self._combine(
+            [q.step_mask(previous_scores, scores) for q in self.queries]
+        )
+
+    def describe(self) -> str:
+        joiner = " & " if self.mode == "all" else " | "
+        return "(" + joiner.join(q.describe() for q in self.queries) + ")"

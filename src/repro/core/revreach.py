@@ -1,0 +1,345 @@
+"""revReach (paper Algorithm 2): the reverse reachable tree of a source.
+
+The output is a matrix ``U`` whose entry ``U[step, x]`` describes the
+source's √c-walk ``W(u)`` at distance ``step``.  Two transition variants are
+supported (DESIGN.md §2.1):
+
+* ``"corrected"`` (default) — ``U[step+1, v] += √c / |I(tu)| · U[step, tu]``
+  for ``v ∈ I(tu)``: the exact occupancy distribution of ``W(u)``, which
+  makes CrashSim's crash estimator unbiased for the meeting probability.
+* ``"paper"`` — ``U[step+1, v] += √c / |I(v)| · U[step, tu]``: the literal
+  Algorithm 2 / Example 2 arithmetic.
+
+Two traversal strategies compute the same per-variant matrix:
+
+* :func:`revreach_levels` — level-synchronous sparse propagation with NumPy
+  scatter-adds, ``O(l_max · m)`` worst case (default everywhere);
+* :func:`revreach_queue` — the literal queue/BFS of Algorithm 2, including
+  its parent-exclusion rule, kept for fidelity tests (the parent exclusion
+  drops some cyclic mass, so its ``U`` can differ on graphs with 2-cycles —
+  tests pin exactly where).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Literal
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "ReverseReachableTree",
+    "revreach_levels",
+    "revreach_queue",
+    "revreach_update",
+]
+
+TreeVariant = Literal["corrected", "paper"]
+
+
+@dataclass(frozen=True)
+class ReverseReachableTree:
+    """The ``U`` matrix of Algorithm 2 plus its provenance.
+
+    Attributes
+    ----------
+    source:
+        The source node ``u``.
+    c:
+        Decay factor the tree was built with.
+    l_max:
+        Number of propagated levels; ``matrix`` has ``l_max + 1`` rows.
+    variant:
+        Transition variant (see module docstring).
+    matrix:
+        Dense float64 array, ``shape (l_max + 1, n)``; row ``step`` holds
+        ``U[step, ·]``.  Marked read-only so trees can be shared safely.
+    """
+
+    source: int
+    c: float
+    l_max: int
+    variant: str
+    matrix: np.ndarray
+
+    def probability(self, step: int, node: int) -> float:
+        """``U[step, node]`` with bounds checking."""
+        if not 0 <= step <= self.l_max:
+            raise ParameterError(f"step {step} outside [0, {self.l_max}]")
+        return float(self.matrix[step, node])
+
+    def level(self, step: int) -> Dict[int, float]:
+        """Sparse view of one level as ``{node: probability}``."""
+        row = self.matrix[step]
+        nonzero = np.nonzero(row)[0]
+        return {int(node): float(row[node]) for node in nonzero}
+
+    def support(self) -> np.ndarray:
+        """Nodes with non-zero probability at any level (sorted ids)."""
+        return np.nonzero(self.matrix.any(axis=0))[0]
+
+    def total_mass(self, step: int) -> float:
+        """Σ_x U[step, x] — equals ``(√c)^step`` for the corrected variant
+        on graphs with no dangling nodes."""
+        return float(self.matrix[step].sum())
+
+    def same_as(self, other: "ReverseReachableTree", *, tol: float = 0.0) -> bool:
+        """Whether two trees are (numerically) identical — the comparison
+        both pruning gates of Algorithm 3 perform."""
+        if (
+            self.source != other.source
+            or self.l_max != other.l_max
+            or self.variant != other.variant
+            or self.matrix.shape != other.matrix.shape
+        ):
+            return False
+        if tol == 0.0:
+            return bool(np.array_equal(self.matrix, other.matrix))
+        return bool(np.allclose(self.matrix, other.matrix, atol=tol, rtol=0.0))
+
+
+def _validate(graph: DiGraph, source: int, l_max: int, c: float) -> None:
+    if not 0.0 < c < 1.0:
+        raise ParameterError(f"decay factor c must be in (0, 1), got {c}")
+    if l_max < 0:
+        raise ParameterError(f"l_max must be non-negative, got {l_max}")
+    if not 0 <= source < graph.num_nodes:
+        raise ParameterError(
+            f"source {source} outside the graph's node range [0, {graph.num_nodes})"
+        )
+
+
+def revreach_levels(
+    graph: DiGraph,
+    source: int,
+    l_max: int,
+    c: float,
+    *,
+    variant: TreeVariant = "corrected",
+    prune_below: float = 0.0,
+) -> ReverseReachableTree:
+    """Level-synchronous revReach: exact ``U`` in ``O(l_max · m)``.
+
+    ``prune_below`` optionally drops per-level entries smaller than the
+    given mass before propagating — a speed knob for huge graphs; 0 keeps
+    the computation exact.
+    """
+    _validate(graph, source, l_max, c)
+    if variant not in ("corrected", "paper"):
+        raise ParameterError(f"unknown tree variant {variant!r}")
+    if variant == "paper" and graph.is_weighted:
+        raise ParameterError(
+            "the literal Algorithm-2 variant is defined for unweighted "
+            "graphs only; use variant='corrected'"
+        )
+    n = graph.num_nodes
+    matrix = np.zeros((l_max + 1, n), dtype=np.float64)
+    matrix[0, source] = 1.0
+    _propagate_levels(
+        graph, matrix, 0, l_max, math.sqrt(c), variant, prune_below
+    )
+    matrix.setflags(write=False)
+    return ReverseReachableTree(
+        source=int(source), c=float(c), l_max=int(l_max), variant=variant, matrix=matrix
+    )
+
+
+def _propagate_levels(
+    graph: DiGraph,
+    matrix: np.ndarray,
+    start_step: int,
+    l_max: int,
+    sqrt_c: float,
+    variant: str,
+    prune_below: float = 0.0,
+) -> None:
+    """Fill ``matrix[start_step+1 .. l_max]`` by propagating level by level
+    from ``matrix[start_step]`` over ``graph``'s in-adjacency (in place)."""
+    n = graph.num_nodes
+    in_degrees = graph.in_degrees().astype(np.float64)
+    indptr = graph.in_indptr
+    indices = graph.in_indices
+    weight_totals = graph.in_weight_totals() if graph.is_weighted else None
+
+    frontier_nodes = np.nonzero(matrix[start_step])[0].astype(np.int64)
+    frontier_probs = matrix[start_step, frontier_nodes]
+    for step in range(start_step, l_max):
+        if frontier_nodes.size == 0:
+            matrix[step + 1 :] = 0.0
+            return
+        counts = (indptr[frontier_nodes + 1] - indptr[frontier_nodes]).astype(np.int64)
+        keep = counts > 0
+        nodes = frontier_nodes[keep]
+        probs = frontier_probs[keep]
+        counts = counts[keep]
+        if nodes.size == 0:
+            matrix[step + 1 :] = 0.0
+            return
+        total = int(counts.sum())
+        # Flatten every frontier node's in-neighbour CSR block.
+        starts = indptr[nodes]
+        cum = np.zeros(nodes.size, dtype=np.int64)
+        np.cumsum(counts[:-1], out=cum[1:])
+        flat = np.repeat(starts - cum, counts) + np.arange(total, dtype=np.int64)
+        children = indices[flat].astype(np.int64)
+        if variant == "corrected":
+            if weight_totals is None:
+                weights = np.repeat(sqrt_c * probs / counts, counts)
+            else:
+                # Weighted walk: arc (child -> node) is taken with
+                # probability w / W(node).
+                weights = (
+                    np.repeat(sqrt_c * probs / weight_totals[nodes], counts)
+                    * graph.in_weights[flat]
+                )
+        else:
+            child_degrees = in_degrees[children]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                weights = np.where(
+                    child_degrees > 0,
+                    sqrt_c * np.repeat(probs, counts) / child_degrees,
+                    0.0,
+                )
+        level = np.bincount(children, weights=weights, minlength=n)
+        if prune_below > 0.0:
+            level[level < prune_below] = 0.0
+        matrix[step + 1] = level
+        frontier_nodes = np.nonzero(level)[0]
+        frontier_probs = level[frontier_nodes]
+
+
+def revreach_update(
+    tree: ReverseReachableTree,
+    new_graph: DiGraph,
+    added,
+    removed,
+    *,
+    directed: bool = True,
+) -> ReverseReachableTree:
+    """Incrementally rebase a reverse reachable tree onto a changed graph.
+
+    A changed arc ``x → y`` first takes effect at the *shallowest* step
+    ``t₀`` at which ``y`` carries occupancy mass: levels ``0..t₀`` of the
+    old tree are still exact on ``new_graph``, so only levels
+    ``t₀+1..l_max`` are re-propagated.  When no changed head is occupied
+    at all, the old tree object is returned untouched (the
+    :func:`~repro.core.pruning.tree_unaffected_by_delta` case).
+
+    The result is bit-identical to a full :func:`revreach_levels` on
+    ``new_graph`` (tests pin this); the saving grows with how deep the
+    change sits relative to the source.
+    """
+    if tree.variant != "corrected":
+        # The literal variant divides by the *child's* in-degree, so a
+        # changed arc perturbs transitions wherever any parent of its head
+        # is occupied — the shallowest-occupied-head analysis below does
+        # not apply.
+        raise ParameterError(
+            "revreach_update supports the corrected variant only"
+        )
+    heads = set()
+    for collection in (added, removed):
+        for x, y in collection:
+            heads.add(int(y))
+            if not directed:
+                heads.add(int(x))
+    first_affected = None
+    for step in range(tree.l_max):
+        row = tree.matrix[step]
+        if any(row[head] > 0.0 for head in heads):
+            first_affected = step
+            break
+    if first_affected is None:
+        return tree
+    matrix = tree.matrix.copy()
+    matrix.setflags(write=True)
+    _propagate_levels(
+        new_graph,
+        matrix,
+        first_affected,
+        tree.l_max,
+        math.sqrt(tree.c),
+        tree.variant,
+    )
+    matrix.setflags(write=False)
+    return ReverseReachableTree(
+        source=tree.source,
+        c=tree.c,
+        l_max=tree.l_max,
+        variant=tree.variant,
+        matrix=matrix,
+    )
+
+
+def revreach_queue(
+    graph: DiGraph,
+    source: int,
+    l_max: int,
+    c: float,
+    *,
+    variant: TreeVariant = "paper",
+) -> ReverseReachableTree:
+    """Literal Algorithm 2: queue traversal with parent exclusion.
+
+    Kept for fidelity testing and the Example-2 arithmetic; the parent
+    exclusion (line 9, ``v ≠ tpr``) prevents an item from re-entering via
+    the node it came from, so on graphs with 2-cycles this under-counts
+    relative to :func:`revreach_levels`.  Cost is proportional to the number
+    of tree paths, which can be exponential in ``l_max`` — use only on small
+    graphs.
+    """
+    _validate(graph, source, l_max, c)
+    if variant not in ("corrected", "paper"):
+        raise ParameterError(f"unknown tree variant {variant!r}")
+    if variant == "paper" and graph.is_weighted:
+        raise ParameterError(
+            "the literal Algorithm-2 variant is defined for unweighted "
+            "graphs only; use variant='corrected'"
+        )
+    n = graph.num_nodes
+    sqrt_c = math.sqrt(c)
+    weight_totals = graph.in_weight_totals() if graph.is_weighted else None
+    matrix = np.zeros((l_max + 1, n), dtype=np.float64)
+    matrix[0, source] = 1.0
+
+    # Queue items are (level, node, probability-of-this-tree-path); PR of
+    # Algorithm 2 rides along as the parent entry of each item.
+    queue: deque = deque([(0, int(source), 1.0)])
+    parents: deque = deque([-1])
+    while queue:
+        level, node, prob = queue.popleft()
+        parent = parents.popleft()
+        if level >= l_max:
+            continue
+        in_neighbors = graph.in_neighbors(node)
+        for child in in_neighbors:
+            child = int(child)
+            if child == parent:
+                continue
+            if variant == "paper":
+                degree = graph.in_degree(child)
+                contribution = sqrt_c / degree * prob if degree else 0.0
+            elif weight_totals is not None:
+                contribution = (
+                    sqrt_c
+                    * graph.edge_weight(child, node)
+                    / weight_totals[node]
+                    * prob
+                )
+            else:
+                contribution = sqrt_c / in_neighbors.size * prob
+            if contribution == 0.0:
+                continue
+            matrix[level + 1, child] += contribution
+            queue.append((level + 1, child, contribution))
+            parents.append(node)
+
+    matrix.setflags(write=False)
+    return ReverseReachableTree(
+        source=int(source), c=float(c), l_max=int(l_max), variant=variant, matrix=matrix
+    )

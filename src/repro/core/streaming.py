@@ -1,0 +1,226 @@
+"""Streaming temporal SimRank: answer queries over an unbounded snapshot feed.
+
+:func:`~repro.core.crashsim_t.crashsim_t` needs the whole interval up
+front; a monitoring deployment instead *receives* snapshots one at a time
+and wants the surviving candidate set after each.  :class:`TemporalQuerySession`
+is that online form of Algorithm 3: push a snapshot (or just its delta),
+read the current ``Ω`` — with the same partial computation, pruning rules,
+and incremental source-tree reuse as the batch driver.
+
+    session = TemporalQuerySession(source, ThresholdQuery(theta=0.05))
+    session.push_snapshot(graph_t0)
+    session.push_delta(added=[(3, 7)], removed=[])
+    session.survivors            # Ω after the latest snapshot
+
+The session holds O(n) state (previous scores, the source's tree, the last
+snapshot) regardless of how many snapshots have streamed through.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.crashsim import crashsim
+from repro.core.params import CrashSimParams
+from repro.core.pruning import affected_area, count_candidate_edges
+from repro.core.queries import TemporalQuery
+from repro.core.revreach import revreach_levels, revreach_update
+from repro.errors import ParameterError, TemporalError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+from repro.graph.temporal import EdgeDelta
+from repro.rng import RngLike, ensure_rng
+
+__all__ = ["TemporalQuerySession"]
+
+Edge = Tuple[int, int]
+
+
+class TemporalQuerySession:
+    """Online CrashSim-T over a snapshot stream.
+
+    Parameters
+    ----------
+    source:
+        Query source ``u``.
+    query:
+        Any :class:`~repro.core.queries.TemporalQuery` (threshold, trend,
+        composite, ...).
+    params:
+        CrashSim parameters (defaults match the paper's temporal setting).
+    use_delta_pruning, use_difference_pruning:
+        Property 1 / 2 switches, as in the batch driver.
+    seed:
+        Drives all Monte-Carlo trials of the session.
+    """
+
+    def __init__(
+        self,
+        source: int,
+        query: TemporalQuery,
+        *,
+        params: Optional[CrashSimParams] = None,
+        use_delta_pruning: bool = True,
+        use_difference_pruning: bool = True,
+        seed: RngLike = None,
+    ):
+        self.source = int(source)
+        self.query = query
+        self.params = params or CrashSimParams()
+        self.use_delta_pruning = use_delta_pruning
+        self.use_difference_pruning = use_difference_pruning
+        self._rng = ensure_rng(seed)
+        self._graph: Optional[DiGraph] = None
+        self._tree = None
+        self._scores: Dict[int, float] = {}
+        self._omega: List[int] = []
+        self.snapshots_seen = 0
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._graph is not None
+
+    @property
+    def survivors(self) -> Tuple[int, ...]:
+        """Ω after the most recent snapshot (empty before the first)."""
+        return tuple(self._omega)
+
+    @property
+    def scores(self) -> Dict[int, float]:
+        """Latest SimRank estimates of the still-alive candidates."""
+        return {node: self._scores[node] for node in self._omega}
+
+    # ------------------------------------------------------------------
+    # Feeding the stream
+    # ------------------------------------------------------------------
+
+    def push_snapshot(self, graph: DiGraph) -> Tuple[int, ...]:
+        """Process the next snapshot given in full; returns the new Ω."""
+        if self._graph is None:
+            return self._start(graph)
+        old_edges = self._graph.edge_set()
+        new_edges = graph.edge_set()
+        delta = EdgeDelta.between(set(old_edges), set(new_edges))
+        return self._advance(graph, delta)
+
+    def push_delta(
+        self, added: Iterable[Edge] = (), removed: Iterable[Edge] = ()
+    ) -> Tuple[int, ...]:
+        """Process the next snapshot expressed as a delta; returns Ω."""
+        if self._graph is None:
+            raise TemporalError("push an initial snapshot before any delta")
+        added = [(int(s), int(t)) for s, t in added]
+        removed = [(int(s), int(t)) for s, t in removed]
+        builder = GraphBuilder.from_graph(self._graph)
+        # Deltas arrive as dense node ids; translate through the label
+        # space the builder interns (identity for unlabelled graphs).
+        labels = self._graph.node_labels or tuple(range(self._graph.num_nodes))
+        for s, t in removed:
+            builder.remove_edge(labels[s], labels[t])
+        for s, t in added:
+            builder.add_edge(labels[s], labels[t])
+        graph = builder.build()
+        delta = EdgeDelta(
+            added=frozenset(added), removed=frozenset(removed)
+        )
+        return self._advance(graph, delta)
+
+    # ------------------------------------------------------------------
+    # Internals (the Algorithm 3 loop body)
+    # ------------------------------------------------------------------
+
+    def _start(self, graph: DiGraph) -> Tuple[int, ...]:
+        if not 0 <= self.source < graph.num_nodes:
+            raise ParameterError(
+                f"source {self.source} outside the node range "
+                f"[0, {graph.num_nodes})"
+            )
+        result = crashsim(
+            graph, self.source, params=self.params, seed=self._rng
+        )
+        self._graph = graph
+        self._tree = result.tree
+        self._scores = result.as_dict()
+        mask = self.query.initial_mask(result.scores)
+        self._omega = [int(v) for v in result.candidates[mask]]
+        self.snapshots_seen = 1
+        return self.survivors
+
+    def _advance(self, graph: DiGraph, delta: EdgeDelta) -> Tuple[int, ...]:
+        if graph.num_nodes != self._graph.num_nodes:
+            raise TemporalError("snapshot streams share one node set")
+        self.snapshots_seen += 1
+        if not self._omega:
+            self._graph = graph
+            return self.survivors
+        tree_cur = revreach_update(
+            self._tree,
+            graph,
+            delta.added,
+            delta.removed,
+            directed=graph.directed,
+        )
+        n_r = self.params.n_r(max(graph.num_nodes, 2))
+
+        residual: Set[int] = set(self._omega)
+        carried: Set[int] = set()
+        if tree_cur is self._tree or tree_cur.same_as(self._tree):
+            edge_count = max(count_candidate_edges(graph, self._omega), 1)
+            if (
+                self.use_delta_pruning
+                and not delta.is_empty()
+                and delta.num_changed < len(self._omega) * n_r / edge_count
+            ):
+                changed = set(delta.added) | set(delta.removed)
+                affected = affected_area(
+                    graph, changed, self.params.l_max
+                ) | affected_area(self._graph, changed, self.params.l_max)
+                exempt = residual - affected
+                carried |= exempt
+                residual -= exempt
+            elif self.use_delta_pruning and delta.is_empty():
+                carried |= residual
+                residual = set()
+            if self.use_difference_pruning and residual and edge_count < n_r:
+                # Full-graph tree comparison; the paper's E_Ω restriction
+                # is unsound (see crashsim_t / DESIGN.md §2.6).
+                for node in sorted(residual):
+                    prev_tree = revreach_levels(
+                        self._graph, node, self.params.l_max, self.params.c
+                    )
+                    cur_tree = revreach_levels(
+                        graph, node, self.params.l_max, self.params.c
+                    )
+                    if cur_tree.same_as(prev_tree):
+                        carried.add(node)
+                        residual.discard(node)
+
+        scores_cur: Dict[int, float] = {
+            node: self._scores[node] for node in carried
+        }
+        if residual:
+            partial = crashsim(
+                graph,
+                self.source,
+                candidates=sorted(residual),
+                params=self.params,
+                tree=tree_cur,
+                seed=self._rng,
+            )
+            scores_cur.update(partial.as_dict())
+
+        ordered = np.array(sorted(self._omega), dtype=np.int64)
+        prev_vector = np.array([self._scores[int(v)] for v in ordered])
+        cur_vector = np.array([scores_cur[int(v)] for v in ordered])
+        keep = self.query.step_mask(prev_vector, cur_vector)
+        self._omega = [int(v) for v in ordered[keep]]
+        self._scores = scores_cur
+        self._graph = graph
+        self._tree = tree_cur
+        return self.survivors

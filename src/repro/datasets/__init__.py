@@ -1,0 +1,30 @@
+"""Datasets: synthetic SNAP equivalents plus the paper's example graphs.
+
+The paper evaluates on AS-733, AS-Caida, Wiki-Vote, HepTh, and HepPh from
+the Stanford Large Network Dataset Collection.  Without network access this
+package generates structurally matched synthetic stand-ins at a
+configurable scale (see DESIGN.md §3); real SNAP files load through
+:mod:`repro.graph.io` and slot into the same experiment harness.
+"""
+
+from repro.datasets.example_graph import (
+    EXAMPLE_NODES,
+    example_graph,
+    example_temporal_graph,
+)
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "example_graph",
+    "example_temporal_graph",
+    "EXAMPLE_NODES",
+]

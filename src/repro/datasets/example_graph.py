@@ -1,0 +1,99 @@
+"""The paper's running-example graphs (Fig. 1 / Fig. 2), reconstructed.
+
+The published figure is not machine-readable, but Example 2's arithmetic
+pins the structure: with ``c = 0.25`` the worked revReach tree of source A
+requires
+
+* ``I(A) = {B, C}``, ``I(B) = {A, E}``, ``I(C) = {A, B, D}``,
+* ``I(D) = {B, C}``, ``I(E) = {B, H}``, ``I(H) = {F, G}``,
+
+which the edge list below satisfies; ``tests/datasets/test_example_graph.py``
+re-derives every probability the paper states (``U(1,B) = 0.25``,
+``U(1,C) = 0.167``, ``U(2,E) = 0.0625``, ``U(2,B) = U(2,D) = 0.0417``,
+``U(3,H) = 0.0156``, ``U(3,A) = U(3,E) = U(3,B) = 0.0104``, and the walk
+``W(C) = (C, D, B, A)`` crashing with probability 0.0521).
+
+The temporal example (Fig. 1, Examples 3–4) shares the node set: snapshot 0
+additionally has ``H → F``, snapshot 1 drops it, snapshot 2 adds ``G → F``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.digraph import DiGraph
+from repro.graph.temporal import TemporalGraph, TemporalGraphBuilder
+
+__all__ = ["EXAMPLE_NODES", "example_graph", "example_temporal_graph"]
+
+EXAMPLE_NODES: Tuple[str, ...] = ("A", "B", "C", "D", "E", "F", "G", "H")
+
+_BASE_EDGES: List[Tuple[str, str]] = [
+    ("A", "B"),
+    ("A", "C"),
+    ("B", "A"),
+    ("B", "C"),
+    ("B", "D"),
+    ("B", "E"),
+    ("C", "A"),
+    ("C", "D"),
+    ("D", "C"),
+    ("E", "B"),
+    ("E", "G"),
+    ("F", "H"),
+    ("G", "F"),
+    ("G", "H"),
+    ("H", "E"),
+]
+
+
+def node_id(label: str) -> int:
+    """Dense id of an example node label (``A`` → 0, ..., ``H`` → 7)."""
+    return EXAMPLE_NODES.index(label)
+
+
+def example_graph() -> DiGraph:
+    """The static sample graph of Fig. 2 (8 nodes, 15 directed edges)."""
+    edges = [(node_id(s), node_id(t)) for s, t in _BASE_EDGES]
+    return DiGraph.from_edges(
+        len(EXAMPLE_NODES), edges, directed=True, node_labels=EXAMPLE_NODES
+    )
+
+
+# Fig. 1's temporal toy graph is distinct from Fig. 2's static sample: the
+# pruning examples need F to have no out-neighbours (Example 3) and the F
+# edge churn to stay outside the l_max = 2 reverse balls of A and E
+# (Example 4).  These edges satisfy both.
+_TEMPORAL_BASE_EDGES: List[Tuple[str, str]] = [
+    ("B", "A"),
+    ("C", "A"),
+    ("D", "B"),
+    ("E", "C"),
+    ("H", "E"),
+    ("G", "H"),
+    ("A", "D"),
+]
+
+
+def example_temporal_graph() -> TemporalGraph:
+    """The 3-snapshot temporal graph of Fig. 1 (Examples 3 and 4).
+
+    Snapshot 0: base edges plus ``H → F``;
+    snapshot 1: drops ``H → F`` (Example 3's delta-pruning delete — the
+    affected area is F alone since F has no out-neighbours);
+    snapshot 2: adds ``G → F`` (Example 4's difference-pruning insert — the
+    reverse reachable trees of A and E are untouched).
+    """
+    base = {(node_id(s), node_id(t)) for s, t in _TEMPORAL_BASE_EDGES}
+    h_to_f = (node_id("H"), node_id("F"))
+    g_to_f = (node_id("G"), node_id("F"))
+    builder = TemporalGraphBuilder(
+        len(EXAMPLE_NODES),
+        directed=True,
+        node_labels=EXAMPLE_NODES,
+        name="paper-example",
+    )
+    builder.push_snapshot(base | {h_to_f})
+    builder.push_delta(removed=[h_to_f])
+    builder.push_delta(added=[g_to_f])
+    return builder.build()

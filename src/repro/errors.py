@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subclasses are grouped by
+subsystem rather than by failure mode — callers typically want to know
+*which layer* misbehaved (graph construction, parameter validation, query
+evaluation) and the message carries the detail.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "FrozenGraphError",
+    "TemporalError",
+    "SnapshotIndexError",
+    "ParameterError",
+    "QueryError",
+    "DatasetError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """A static-graph operation failed (construction, lookup, mutation)."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node id or label was not present in the graph."""
+
+    def __init__(self, node: object):
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge was not present in the graph."""
+
+    def __init__(self, source: object, target: object):
+        super().__init__(f"edge {source!r} -> {target!r} is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class FrozenGraphError(GraphError):
+    """A mutation was attempted on an immutable (built) graph."""
+
+
+class TemporalError(ReproError):
+    """A temporal-graph operation failed."""
+
+
+class SnapshotIndexError(TemporalError, IndexError):
+    """A snapshot index was outside the temporal graph's horizon."""
+
+    def __init__(self, index: int, horizon: int):
+        super().__init__(
+            f"snapshot index {index} is outside the horizon [0, {horizon})"
+        )
+        self.index = index
+        self.horizon = horizon
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter was invalid (e.g. ε ≤ 0, c outside (0, 1))."""
+
+
+class QueryError(ReproError):
+    """A temporal SimRank query was malformed or unanswerable."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded, or parsed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration or run failed."""

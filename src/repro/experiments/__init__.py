@@ -1,0 +1,51 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each module produces the same rows/series the paper reports (shape, not
+absolute numbers — see DESIGN.md §3) and is reachable three ways: the
+library API here, ``python -m repro <experiment>``, and a pytest-benchmark
+target under ``benchmarks/``.
+
+====================  =====================================================
+experiment            paper artefact
+====================  =====================================================
+:func:`run_table2`    Table II — SimRank w.r.t. A on the example graph
+:func:`run_table3`    Table III — dataset statistics
+:func:`run_figure5`   Fig. 5 — static response time and max error (ME)
+:func:`run_figure6`   Fig. 6 — temporal trend/threshold query precision
+:func:`run_figure7`   Fig. 7 — response time vs query-interval length
+:func:`run_pruning_ablation`    pruning-rule ablation (ours)
+:func:`run_estimator_ablation`  estimator-variant ablation (ours)
+====================  =====================================================
+"""
+
+from repro.experiments.ablation import run_estimator_ablation, run_pruning_ablation
+from repro.experiments.config import PROFILES, ExperimentProfile, get_profile
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.full_report import generate_report, write_report
+from repro.experiments.report import format_table, print_table
+from repro.experiments.scalability import run_scalability
+from repro.experiments.sensitivity import run_c_sensitivity, run_theta_sensitivity
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+__all__ = [
+    "ExperimentProfile",
+    "PROFILES",
+    "get_profile",
+    "run_table2",
+    "run_table3",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_pruning_ablation",
+    "run_estimator_ablation",
+    "run_scalability",
+    "run_c_sensitivity",
+    "run_theta_sensitivity",
+    "generate_report",
+    "write_report",
+    "format_table",
+    "print_table",
+]

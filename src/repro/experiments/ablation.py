@@ -1,0 +1,195 @@
+"""Design-choice ablations (ours; DESIGN.md §5).
+
+* :func:`run_pruning_ablation` — CrashSim-T with {none, delta only,
+  difference only, both} pruning rules on one temporal dataset: total time,
+  how many candidate evaluations each rule saved, and a soundness check
+  that all four configurations select the same survivor set when driven by
+  the same seed.
+* :func:`run_estimator_ablation` — the estimator switch matrix
+  (``tree_variant`` × ``first_meeting``) measured as ME against the
+  Power-Method ground truth, quantifying DESIGN.md §2's faithfulness notes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.power_method import power_method_all_pairs
+from repro.core.crashsim import crashsim
+from repro.core.crashsim_t import crashsim_t
+from repro.core.params import CrashSimParams
+from repro.core.queries import ThresholdQuery
+from repro.datasets.registry import load_static_dataset
+from repro.experiments.config import ExperimentProfile, get_profile
+from repro.metrics.accuracy import max_error, mean_absolute_error
+from repro.metrics.timing import Timer
+from repro.rng import ensure_rng
+
+__all__ = ["run_pruning_ablation", "run_estimator_ablation"]
+
+_PRUNING_CONFIGS = (
+    ("none", False, False),
+    ("delta_only", True, False),
+    ("difference_only", False, True),
+    ("both", True, True),
+)
+
+
+def _pick_thresholdable_source(graph, theta, params, seed) -> int:
+    """Screen a handful of candidate sources with a cheap CrashSim pass and
+    pick the one with the most similarities above ``theta``."""
+    rng = ensure_rng(seed)
+    degrees = graph.in_degrees()
+    eligible = np.nonzero(degrees > 0)[0]
+    candidates = rng.choice(
+        eligible, size=min(20, eligible.size), replace=False
+    )
+    screening = CrashSimParams(
+        c=params.c, epsilon=params.epsilon, delta=params.delta, n_r_override=60
+    )
+    best_source, best_count = int(candidates[0]), -1
+    for source in candidates:
+        result = crashsim(graph, int(source), params=screening, seed=rng)
+        count = int(np.count_nonzero(result.scores > theta))
+        if count > best_count:
+            best_source, best_count = int(source), count
+    return best_source
+
+
+def run_pruning_ablation(
+    profile: Optional[ExperimentProfile] = None,
+    *,
+    dataset: str = "as_caida",
+    churn_edges: int = 1,
+) -> List[Dict[str, object]]:
+    """Rows: one per pruning configuration with time and carry statistics.
+
+    The workload is deliberately low-churn (``churn_edges`` edge flips per
+    transition): Properties 1-2 are premised on "small changes between
+    adjacent snapshots" (paper §IV-A), and the Algorithm-3 line-7 gate —
+    exact equality of the source's reverse reachable tree — only ever holds
+    in that regime.
+    """
+    from repro.datasets.registry import load_static_dataset
+    from repro.graph.generators import evolve_snapshots
+
+    profile = profile or get_profile()
+    base = load_static_dataset(dataset, scale=profile.scale, seed=profile.seed)
+    churn_rate = churn_edges / max(base.num_edges, 1)
+    temporal = evolve_snapshots(
+        base,
+        max(profile.fig6_snapshots, 8),
+        churn_rate=churn_rate,
+        seed=profile.seed,
+        name=f"{dataset}-lowchurn",
+    )
+    params = CrashSimParams(
+        c=profile.c, epsilon=0.025, delta=profile.delta, n_r_cap=profile.n_r_cap
+    )
+    # A threshold query shrinks Ω quickly, putting difference pruning's
+    # |E(Ω)| < n_r condition in play; delta pruning fires regardless.  The
+    # source is chosen by a cheap screening pass so Ω stays non-empty over
+    # the horizon — an empty Ω would make every configuration trivially
+    # equal.  (Hub nodes are poor sources here: SimRank's 1/|I(u)| weight
+    # dilutes their similarities below any useful threshold.)
+    theta = min(profile.threshold_theta, 0.02)
+    query = ThresholdQuery(theta=theta)
+    source = _pick_thresholdable_source(base, theta, params, profile.seed)
+    rows: List[Dict[str, object]] = []
+    for label, use_delta, use_difference in _PRUNING_CONFIGS:
+        with Timer() as timer:
+            result = crashsim_t(
+                temporal,
+                source,
+                query,
+                params=params,
+                use_delta_pruning=use_delta,
+                use_difference_pruning=use_difference,
+                seed=profile.seed,  # identical stream across configurations
+            )
+        stats = result.stats
+        rows.append(
+            {
+                "pruning": label,
+                "total_time_s": timer.elapsed,
+                "carried": stats.candidates_carried,
+                "recomputed": stats.candidates_recomputed,
+                "delta_applied": stats.delta_pruning_applied,
+                "difference_applied": stats.difference_pruning_applied,
+                "survivors": len(result.survivors),
+            }
+        )
+    return rows
+
+
+def run_estimator_ablation(
+    profile: Optional[ExperimentProfile] = None,
+    *,
+    dataset: str = "hepth",
+    num_sources: int = 3,
+) -> List[Dict[str, object]]:
+    """Rows: one per (tree_variant, first_meeting) with ME / MAE."""
+    profile = profile or get_profile()
+    graph = load_static_dataset(dataset, scale=profile.scale, seed=profile.seed)
+    truth = power_method_all_pairs(graph, profile.c)
+    rng = ensure_rng(profile.seed)
+    sources = rng.choice(
+        graph.num_nodes, size=min(num_sources, graph.num_nodes), replace=False
+    )
+    params = CrashSimParams(
+        c=profile.c, epsilon=0.025, delta=profile.delta, n_r_cap=profile.n_r_cap
+    )
+    # The DP correction is O(l·m) per sampled walk; keep its trial budget
+    # small enough to terminate while still averaging the bias away.
+    dp_params = CrashSimParams(
+        c=profile.c,
+        epsilon=0.025,
+        delta=profile.delta,
+        n_r_cap=max(10, profile.n_r_cap // 10),
+    )
+    rows: List[Dict[str, object]] = []
+    for tree_variant in ("corrected", "paper"):
+        for first_meeting in ("none", "dp"):
+            run_params = dp_params if first_meeting == "dp" else params
+            max_errors, mean_errors, times = [], [], []
+            for source in sources:
+                source = int(source)
+                with Timer() as timer:
+                    result = crashsim(
+                        graph,
+                        source,
+                        params=run_params,
+                        tree_variant=tree_variant,
+                        first_meeting=first_meeting,
+                        seed=rng,
+                    )
+                times.append(timer.elapsed)
+                estimate = np.zeros(graph.num_nodes)
+                estimate[result.candidates] = result.scores
+                estimate[source] = 1.0
+                max_errors.append(
+                    max_error(truth[source], estimate, exclude=[source])
+                )
+                mean_errors.append(
+                    mean_absolute_error(truth[source], estimate, exclude=[source])
+                )
+            rows.append(
+                {
+                    "tree_variant": tree_variant,
+                    "first_meeting": first_meeting,
+                    "n_r": result.n_r,
+                    "mean_ME": float(np.mean(max_errors)),
+                    "mean_MAE": float(np.mean(mean_errors)),
+                    "mean_time_s": float(np.mean(times)),
+                }
+            )
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience entry point
+    from repro.experiments.report import print_table
+
+    print_table(run_pruning_ablation(), title="Pruning ablation")
+    print_table(run_estimator_ablation(), title="Estimator ablation")

@@ -1,0 +1,126 @@
+"""Experiment sizing profiles.
+
+The paper's numbers come from C++ on the full SNAP datasets; pure Python
+needs smaller instances to finish in minutes.  Three profiles trade fidelity
+for wall-clock:
+
+* ``quick``   — CI-sized (graphs of a few hundred nodes, short horizons);
+  the default for the pytest benchmarks so the suite stays fast.
+* ``default`` — the EXPERIMENTS.md numbers (≈5% of the paper's node
+  counts, tens of snapshots).
+* ``full``    — ≈10% node counts and the paper's full horizons; hours.
+
+Select with the ``REPRO_PROFILE`` environment variable or pass a profile
+object explicitly to any ``run_*`` function.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ExperimentError
+
+__all__ = ["ExperimentProfile", "PROFILES", "get_profile"]
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """All knobs the experiment runners read."""
+
+    name: str
+    # dataset sizing
+    scale: float
+    datasets: Tuple[str, ...]
+    # static experiment (Fig. 5)
+    fig5_repetitions: int
+    crashsim_epsilons: Tuple[float, ...]
+    n_r_cap: int
+    # baseline settings (paper §V: SLING/ProbeSim ε = 0.025; READS r=100,
+    # r_q=10, t=10) — trial counts capped like CrashSim's for parity.
+    probesim_n_r: int
+    sling_d_samples: int
+    reads_r: int
+    reads_r_q: int
+    reads_t: int
+    # temporal experiments (Figs. 6-7)
+    fig6_snapshots: int
+    fig6_sources: int
+    threshold_theta: float
+    fig7_snapshot_counts: Tuple[int, ...]
+    # shared
+    c: float = 0.6
+    delta: float = 0.01
+    seed: int = 0
+
+
+PROFILES: Dict[str, ExperimentProfile] = {
+    profile.name: profile
+    for profile in [
+        ExperimentProfile(
+            name="quick",
+            scale=0.02,
+            datasets=("as733", "wiki_vote", "hepth"),
+            fig5_repetitions=3,
+            crashsim_epsilons=(0.1, 0.05, 0.025, 0.0125),
+            n_r_cap=120,
+            probesim_n_r=120,
+            sling_d_samples=40,
+            reads_r=30,
+            reads_r_q=4,
+            reads_t=10,
+            fig6_snapshots=6,
+            fig6_sources=2,
+            threshold_theta=0.05,
+            fig7_snapshot_counts=(4, 8, 12, 16),
+        ),
+        ExperimentProfile(
+            name="default",
+            scale=0.05,
+            datasets=("as733", "as_caida", "wiki_vote", "hepth", "hepph"),
+            fig5_repetitions=10,
+            crashsim_epsilons=(0.1, 0.05, 0.025, 0.0125),
+            n_r_cap=400,
+            probesim_n_r=400,
+            sling_d_samples=100,
+            reads_r=100,
+            reads_r_q=10,
+            reads_t=10,
+            fig6_snapshots=20,
+            fig6_sources=3,
+            threshold_theta=0.05,
+            fig7_snapshot_counts=(10, 20, 50, 70),
+        ),
+        ExperimentProfile(
+            name="full",
+            scale=0.1,
+            datasets=("as733", "as_caida", "wiki_vote", "hepth", "hepph"),
+            fig5_repetitions=100,
+            crashsim_epsilons=(0.1, 0.05, 0.025, 0.0125),
+            n_r_cap=1000,
+            probesim_n_r=1000,
+            sling_d_samples=200,
+            reads_r=100,
+            reads_r_q=10,
+            reads_t=10,
+            fig6_snapshots=100,
+            fig6_sources=5,
+            threshold_theta=0.05,
+            fig7_snapshot_counts=(100, 200, 500, 700),
+        ),
+    ]
+}
+
+
+def get_profile(name: Optional[str] = None) -> ExperimentProfile:
+    """Resolve a profile by name, falling back to ``REPRO_PROFILE`` then
+    ``quick``."""
+    if name is None:
+        name = os.environ.get("REPRO_PROFILE", "quick")
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown profile {name!r}; expected one of {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,170 @@
+"""Figure 5: single-source response time and max error on static graphs.
+
+Per dataset, single-source SimRank is computed from random sources with
+
+* CrashSim at ε ∈ {0.1, 0.05, 0.025, 0.0125} (the paper's sweep),
+* ProbeSim (ε = 0.025), SLING (ε = 0.025), READS (r=100, r_q=10, t=10),
+
+and the paper's two metrics are reported: mean response time and mean
+maximum error (ME) against the Power-Method ground truth.  As in the paper,
+SLING's and READS' response time includes the per-query share of index
+construction (their ``index_s`` column shows the raw build cost).
+
+Expected shape (paper §V-A): CrashSim at ε ≥ 0.025 is the fastest; its ME
+falls as ε shrinks, beating READS everywhere and ProbeSim/SLING at
+ε ≤ 0.025.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.power_method import power_method_all_pairs
+from repro.baselines.probesim import probesim
+from repro.baselines.reads import ReadsIndex
+from repro.baselines.sling import SlingIndex
+from repro.core.crashsim import crashsim
+from repro.core.params import CrashSimParams
+from repro.datasets.registry import load_static_dataset
+from repro.experiments.config import ExperimentProfile, get_profile
+from repro.metrics.accuracy import max_error
+from repro.metrics.timing import Timer
+from repro.rng import ensure_rng
+
+__all__ = ["run_figure5"]
+
+
+def _pick_sources(num_nodes: int, count: int, rng) -> np.ndarray:
+    count = min(count, num_nodes)
+    return rng.choice(num_nodes, size=count, replace=False)
+
+
+def run_figure5(
+    profile: Optional[ExperimentProfile] = None,
+    *,
+    datasets: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """Rows: one per (dataset, algorithm) with mean time and mean ME."""
+    profile = profile or get_profile()
+    names = list(datasets) if datasets is not None else list(profile.datasets)
+    rng = ensure_rng(profile.seed)
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        graph = load_static_dataset(name, scale=profile.scale, seed=profile.seed)
+        truth = power_method_all_pairs(graph, profile.c)
+        sources = _pick_sources(graph.num_nodes, profile.fig5_repetitions, rng)
+        rows.extend(_run_dataset(name, graph, truth, sources, profile, rng))
+    return rows
+
+
+def _run_dataset(
+    name: str,
+    graph,
+    truth: np.ndarray,
+    sources: np.ndarray,
+    profile: ExperimentProfile,
+    rng,
+) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+
+    # --- CrashSim ε sweep (index-free).
+    for epsilon in profile.crashsim_epsilons:
+        params = CrashSimParams(
+            c=profile.c,
+            epsilon=epsilon,
+            delta=profile.delta,
+            n_r_cap=max(1, int(profile.n_r_cap * (0.025 / epsilon) ** 2)),
+        )
+        times, errors = [], []
+        for source in sources:
+            with Timer() as timer:
+                result = crashsim(graph, int(source), params=params, seed=rng)
+            times.append(timer.elapsed)
+            estimate = np.zeros(graph.num_nodes)
+            estimate[result.candidates] = result.scores
+            estimate[int(source)] = 1.0
+            errors.append(max_error(truth[int(source)], estimate, exclude=[int(source)]))
+        rows.append(
+            _row(name, f"crashsim(eps={epsilon})", times, errors, index_s=0.0)
+        )
+
+    # --- ProbeSim (index-free, ε = 0.025 per the paper).
+    times, errors = [], []
+    for source in sources:
+        with Timer() as timer:
+            estimate = probesim(
+                graph,
+                int(source),
+                c=profile.c,
+                epsilon=0.025,
+                delta=profile.delta,
+                n_r=profile.probesim_n_r,
+                seed=rng,
+            )
+        times.append(timer.elapsed)
+        errors.append(max_error(truth[int(source)], estimate, exclude=[int(source)]))
+    rows.append(_row(name, "probesim", times, errors, index_s=0.0))
+
+    # --- SLING (index-based; rebuild cost charged per query as the paper
+    # does when it folds "indexing time and computational time" together).
+    with Timer() as build_timer:
+        sling = SlingIndex(
+            graph,
+            c=profile.c,
+            epsilon=0.025,
+            num_d_samples=profile.sling_d_samples,
+            seed=rng,
+        )
+    times, errors = [], []
+    for source in sources:
+        with Timer() as timer:
+            estimate = sling.query(int(source))
+        times.append(timer.elapsed + build_timer.elapsed / len(sources))
+        errors.append(max_error(truth[int(source)], estimate, exclude=[int(source)]))
+    rows.append(_row(name, "sling", times, errors, index_s=build_timer.elapsed))
+
+    # --- READS (index-based, paper settings scaled by profile).
+    with Timer() as build_timer:
+        reads = ReadsIndex(
+            graph,
+            r=profile.reads_r,
+            t=profile.reads_t,
+            r_q=profile.reads_r_q,
+            c=profile.c,
+            seed=rng,
+        )
+    times, errors = [], []
+    for source in sources:
+        with Timer() as timer:
+            estimate = reads.query(int(source))
+        times.append(timer.elapsed + build_timer.elapsed / len(sources))
+        errors.append(max_error(truth[int(source)], estimate, exclude=[int(source)]))
+    rows.append(_row(name, "reads", times, errors, index_s=build_timer.elapsed))
+    return rows
+
+
+def _row(
+    dataset: str,
+    algorithm: str,
+    times: List[float],
+    errors: List[float],
+    *,
+    index_s: float,
+) -> Dict[str, object]:
+    return {
+        "dataset": dataset,
+        "algorithm": algorithm,
+        "mean_time_s": float(np.mean(times)),
+        "mean_ME": float(np.mean(errors)),
+        "max_ME": float(np.max(errors)),
+        "index_s": index_s,
+        "queries": len(times),
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience entry point
+    from repro.experiments.report import print_table
+
+    print_table(run_figure5(), title="Figure 5 — static response time and ME")

@@ -1,0 +1,88 @@
+"""Figure 7: total response time vs query-interval length (AS-733).
+
+The trend query runs over growing snapshot counts (the paper uses 100, 200,
+500, 700 snapshots of AS-733); each algorithm's *total* time over the
+interval is the series.  ProbeSim and SLING recompute per snapshot (linear
+growth with a large constant), READS pays index updates plus recomputation,
+and CrashSim-T's pruning + shrinking candidate set flattens its curve — the
+gap should widen with the interval, as §V-B reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.temporal_adapters import temporal_query_by_recompute
+from repro.core.crashsim_t import crashsim_t
+from repro.core.params import CrashSimParams
+from repro.core.queries import TrendQuery
+from repro.datasets.registry import load_dataset
+from repro.experiments.config import ExperimentProfile, get_profile
+from repro.experiments.figure6 import _baseline_algorithms
+from repro.metrics.timing import Timer
+from repro.rng import ensure_rng
+
+__all__ = ["run_figure7"]
+
+
+def run_figure7(
+    profile: Optional[ExperimentProfile] = None,
+    *,
+    dataset: str = "as733",
+    snapshot_counts: Optional[Sequence[int]] = None,
+) -> List[Dict[str, object]]:
+    """Rows: one per (snapshot count, algorithm) with total query time."""
+    profile = profile or get_profile()
+    counts = (
+        list(snapshot_counts)
+        if snapshot_counts is not None
+        else list(profile.fig7_snapshot_counts)
+    )
+    rng = ensure_rng(profile.seed)
+    params = CrashSimParams(
+        c=profile.c,
+        epsilon=0.025,
+        delta=profile.delta,
+        n_r_cap=profile.n_r_cap,
+    )
+    query = TrendQuery(direction="increasing", tolerance=0.01)
+    rows: List[Dict[str, object]] = []
+    # Generate the longest horizon once; windows give the shorter intervals
+    # the same underlying evolution, exactly like subsetting AS-733.
+    temporal = load_dataset(
+        dataset,
+        scale=profile.scale,
+        num_snapshots=max(counts),
+        seed=profile.seed,
+    )
+    source = int(rng.integers(0, temporal.num_nodes))
+    for count in counts:
+        window = temporal.window(0, count)
+
+        with Timer() as timer:
+            crashsim_t(window, source, query, params=params, seed=rng)
+        rows.append(
+            {
+                "snapshots": count,
+                "algorithm": "crashsim_t",
+                "total_time_s": timer.elapsed,
+            }
+        )
+
+        for name, algorithm in _baseline_algorithms(profile, rng).items():
+            with Timer() as timer:
+                temporal_query_by_recompute(window, source, query, algorithm)
+            rows.append(
+                {
+                    "snapshots": count,
+                    "algorithm": name,
+                    "total_time_s": timer.elapsed,
+                }
+            )
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience entry point
+    from repro.experiments.report import print_table
+
+    print_table(run_figure7(), title="Figure 7 — time vs interval length")

@@ -1,0 +1,139 @@
+"""Plain-text report rendering for experiment results.
+
+Every experiment returns rows as ``list[dict]``; these helpers render them
+as aligned monospace tables, the same rows/series the paper's figures plot.
+Numbers are formatted compactly (4 significant digits, scientific only when
+needed) so diffs between runs stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "format_value",
+    "format_table",
+    "print_table",
+    "format_series",
+    "print_series",
+]
+
+
+def format_value(value: object) -> str:
+    """Render one cell: floats to 4 significant digits, rest via ``str``."""
+    if isinstance(value, bool) or not isinstance(value, float):
+        return str(value)
+    if value == 0.0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e4 or magnitude < 1e-4:
+        return f"{value:.3e}"
+    return f"{value:.4g}"
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned table; column order follows first row."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not rows:
+        lines.append("(no rows)")
+        return "\n".join(lines)
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        [format_value(row.get(column, "")) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(cells[i]) for cells in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    lines.extend([header, rule])
+    for cells in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[Dict[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> None:
+    """``print`` the rendering of :func:`format_table`."""
+    print(format_table(rows, columns=columns, title=title))
+    print()
+
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def format_series(
+    rows: Sequence[Dict[str, object]],
+    *,
+    x: str,
+    y: str,
+    group: str,
+    title: Optional[str] = None,
+) -> str:
+    """Render grouped (x, y) rows as aligned unicode sparklines.
+
+    One line per distinct ``group`` value, bars scaled to the global
+    maximum — a terminal stand-in for the paper's line charts (Fig. 7):
+
+        crashsim_t  ▁▂▄▅   max 1.30
+        probesim    ▁▂▆█   max 2.10
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not rows:
+        lines.append("(no rows)")
+        return "\n".join(lines)
+    groups: Dict[object, List] = {}
+    for row in rows:
+        groups.setdefault(row[group], []).append((row[x], row[y]))
+    peak = max(float(value) for pairs in groups.values() for _, value in pairs)
+    xs = sorted({row[x] for row in rows})
+    label_width = max(len(str(key)) for key in groups)
+    for key, pairs in groups.items():
+        by_x = {pos: float(value) for pos, value in pairs}
+        bars = "".join(
+            _BLOCKS[
+                min(
+                    len(_BLOCKS) - 1,
+                    int(round(by_x[pos] / peak * (len(_BLOCKS) - 1))),
+                )
+            ]
+            if pos in by_x and peak > 0
+            else " "
+            for pos in xs
+        )
+        top = max(value for _, value in pairs)
+        lines.append(
+            f"{str(key).ljust(label_width)}  {bars}  max {format_value(top)}"
+        )
+    lines.append(
+        f"{'':{label_width}}  x: {', '.join(format_value(pos) for pos in xs)}"
+    )
+    return "\n".join(lines)
+
+
+def print_series(
+    rows: Sequence[Dict[str, object]],
+    *,
+    x: str,
+    y: str,
+    group: str,
+    title: Optional[str] = None,
+) -> None:
+    """``print`` the rendering of :func:`format_series`."""
+    print(format_series(rows, x=x, y=y, group=group, title=title))
+    print()

@@ -1,0 +1,103 @@
+"""Scalability sweep (ours): response time vs graph size.
+
+The paper claims CrashSim's iteration cost is ``O(n_r · |Ω|)`` —
+independent of ``m`` once the reverse reachable tree is built — while
+ProbeSim's probes touch ``O(m)`` per level.  This sweep generates one
+dataset family at increasing scales and times a single-source query per
+algorithm, exposing each implementation's growth curve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.probesim import probesim
+from repro.baselines.reads import ReadsIndex
+from repro.baselines.sling import SlingIndex
+from repro.core.crashsim import crashsim
+from repro.core.params import CrashSimParams
+from repro.datasets.registry import load_static_dataset
+from repro.experiments.config import ExperimentProfile, get_profile
+from repro.metrics.timing import Timer
+from repro.rng import ensure_rng
+
+__all__ = ["run_scalability"]
+
+DEFAULT_SCALES = (0.02, 0.05, 0.1, 0.2)
+
+
+def run_scalability(
+    profile: Optional[ExperimentProfile] = None,
+    *,
+    dataset: str = "hepph",
+    scales: Optional[Sequence[float]] = None,
+    repetitions: int = 3,
+) -> List[Dict[str, object]]:
+    """Rows: one per (scale, algorithm) with graph size and mean time."""
+    profile = profile or get_profile()
+    rng = ensure_rng(profile.seed)
+    scale_list = list(scales) if scales is not None else list(DEFAULT_SCALES)
+    params = CrashSimParams(
+        c=profile.c, epsilon=0.025, delta=profile.delta, n_r_cap=profile.n_r_cap
+    )
+    rows: List[Dict[str, object]] = []
+    for scale in scale_list:
+        graph = load_static_dataset(dataset, scale=scale, seed=profile.seed)
+        sources = rng.choice(
+            graph.num_nodes, size=min(repetitions, graph.num_nodes), replace=False
+        )
+
+        def timed(fn) -> float:
+            samples = []
+            for source in sources:
+                with Timer() as timer:
+                    fn(int(source))
+                samples.append(timer.elapsed)
+            return float(np.mean(samples))
+
+        sling = SlingIndex(
+            graph,
+            c=profile.c,
+            num_d_samples=profile.sling_d_samples,
+            seed=rng,
+        )
+        reads = ReadsIndex(
+            graph,
+            r=profile.reads_r,
+            t=profile.reads_t,
+            r_q=profile.reads_r_q,
+            c=profile.c,
+            seed=rng,
+        )
+        timings = {
+            "crashsim": timed(
+                lambda s: crashsim(graph, s, params=params, seed=rng)
+            ),
+            "probesim": timed(
+                lambda s: probesim(
+                    graph, s, c=profile.c, n_r=profile.probesim_n_r, seed=rng
+                )
+            ),
+            "sling_query": timed(sling.query),
+            "reads_query": timed(reads.query),
+        }
+        for algorithm, mean_time in timings.items():
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "scale": scale,
+                    "n": graph.num_nodes,
+                    "m": graph.num_edges,
+                    "algorithm": algorithm,
+                    "mean_time_s": mean_time,
+                }
+            )
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience entry point
+    from repro.experiments.report import print_table
+
+    print_table(run_scalability(), title="Scalability — time vs graph size")

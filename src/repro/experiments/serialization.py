@@ -1,0 +1,101 @@
+"""Persist experiment results as JSON for plotting / regression tracking.
+
+Every ``run_*`` function returns ``list[dict]`` rows; :func:`save_rows`
+wraps them with provenance (experiment name, profile, package version,
+timestamp) so a results directory is self-describing, and
+:func:`load_rows` round-trips them.  :func:`rows_differ` gives a tolerant
+diff for tracking drift between runs of the same experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ExperimentError
+
+__all__ = ["save_rows", "load_rows", "rows_differ"]
+
+PathLike = Union[str, os.PathLike]
+FORMAT_VERSION = 1
+
+
+def save_rows(
+    rows: Sequence[Dict[str, object]],
+    path: PathLike,
+    *,
+    experiment: str,
+    profile: Optional[str] = None,
+) -> Path:
+    """Write rows plus provenance to ``path`` (parents created); returns it."""
+    from repro import __version__
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "experiment": experiment,
+        "profile": profile,
+        "package_version": __version__,
+        "written_at_unix": time.time(),
+        "rows": list(rows),
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_rows(path: PathLike) -> Tuple[List[Dict[str, object]], Dict[str, object]]:
+    """Read ``(rows, metadata)`` written by :func:`save_rows`."""
+    path = Path(path)
+    if not path.exists():
+        raise ExperimentError(f"result file not found: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise ExperimentError(f"{path} is not a repro result file")
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ExperimentError(
+            f"{path} has format version {version}, expected {FORMAT_VERSION}"
+        )
+    rows = payload.pop("rows")
+    return rows, payload
+
+
+def rows_differ(
+    baseline: Sequence[Dict[str, object]],
+    current: Sequence[Dict[str, object]],
+    *,
+    rel_tol: float = 0.25,
+    ignore_keys: Sequence[str] = ("mean_time_s", "total_time_s", "index_s"),
+) -> List[str]:
+    """Tolerantly compare two row lists; returns human-readable differences.
+
+    Numeric fields must agree within ``rel_tol`` relative tolerance (timing
+    fields are ignored by default — they are machine-dependent); any other
+    field must match exactly.  An empty return means "no drift".
+    """
+    problems: List[str] = []
+    if len(baseline) != len(current):
+        return [f"row count changed: {len(baseline)} -> {len(current)}"]
+    ignored = set(ignore_keys)
+    for index, (before, after) in enumerate(zip(baseline, current)):
+        keys = set(before) | set(after)
+        for key in sorted(keys - ignored):
+            old, new = before.get(key), after.get(key)
+            if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+                if not math.isclose(
+                    float(old), float(new), rel_tol=rel_tol, abs_tol=1e-9
+                ):
+                    problems.append(
+                        f"row {index} field {key!r}: {old} -> {new}"
+                    )
+            elif old != new:
+                problems.append(f"row {index} field {key!r}: {old!r} -> {new!r}")
+    return problems

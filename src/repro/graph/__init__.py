@@ -1,0 +1,20 @@
+"""Graph substrate: static CSR digraphs, builders, temporal graphs, I/O.
+
+The SimRank algorithms in :mod:`repro.core` and :mod:`repro.baselines` all
+operate on the immutable :class:`DiGraph`, which stores both in- and
+out-adjacency in CSR form so that reverse (√c-)walks and forward
+reachability are both O(degree) per step.  Mutable construction goes through
+:class:`GraphBuilder`; temporal data through :class:`TemporalGraph`.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+from repro.graph.temporal import EdgeDelta, TemporalGraph, TemporalGraphBuilder
+
+__all__ = [
+    "DiGraph",
+    "GraphBuilder",
+    "TemporalGraph",
+    "TemporalGraphBuilder",
+    "EdgeDelta",
+]

@@ -1,0 +1,454 @@
+"""Immutable directed graph stored in compressed-sparse-row (CSR) form.
+
+SimRank computation is dominated by two access patterns:
+
+* enumerating the **in-neighbours** ``I(u)`` of a node (every reverse
+  √c-walk step, the revReach propagation, and the Power Method all consume
+  them), and
+* enumerating the **out-neighbours** (ProbeSim's probe phase and the
+  affected-area computation of delta pruning walk *forwards*).
+
+:class:`DiGraph` therefore stores both directions as CSR index arrays.  The
+structure is frozen after construction: algorithms can cache derived data
+(transition matrices, degree arrays) keyed by the graph object without
+invalidation logic, and temporal snapshots can share node identity.
+
+Undirected graphs are represented by storing each edge as two opposite arcs,
+exactly as the paper treats its undirected datasets: ``I(u)`` is then the
+ordinary neighbour set.  :attr:`DiGraph.num_edges` reports logical edges
+(undirected edges counted once) to match the paper's Table III convention.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    import networkx
+    import scipy.sparse
+
+__all__ = ["DiGraph"]
+
+
+def _csr_from_pairs(
+    n: int,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    values: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Build (indptr, indices[, values]) grouping ``targets`` by ``sources``.
+
+    ``sources``/``targets`` must be parallel int arrays with values in
+    ``[0, n)``.  Neighbour lists come out sorted, which makes membership
+    checks binary-searchable and equality checks canonical; ``values``
+    (e.g. edge weights) are permuted along.
+    """
+    order = np.lexsort((targets, sources))
+    sorted_sources = sources[order]
+    sorted_targets = targets[order]
+    counts = np.bincount(sorted_sources, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    sorted_values = values[order] if values is not None else None
+    return indptr, sorted_targets.astype(np.int32, copy=False), sorted_values
+
+
+class DiGraph:
+    """A frozen directed graph over nodes ``0..n-1`` with CSR adjacency.
+
+    Instances are normally produced by :class:`repro.graph.GraphBuilder`,
+    :meth:`DiGraph.from_edges`, or a dataset loader; the constructor below is
+    the low-level entry point taking pre-validated edge arrays.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; node ids are the integers ``0..num_nodes-1``.
+    sources, targets:
+        Parallel arrays of arc endpoints (``sources[i] -> targets[i]``).  For
+        an undirected graph these must already contain both directions of
+        every edge (use :meth:`from_edges` with ``directed=False`` to get
+        that for free).
+    directed:
+        Whether the graph is logically directed.  Affects only
+        :attr:`num_edges` accounting and I/O round-trips; adjacency is always
+        stored as arcs.
+    node_labels:
+        Optional external labels (e.g. original SNAP ids), one per node.
+    weights:
+        Optional positive arc weights, parallel to ``sources``/``targets``.
+        A weighted graph's reverse walks pick in-neighbours with probability
+        proportional to the incoming arc's weight (weighted SimRank); an
+        unweighted graph stores no weight arrays at all.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "directed",
+        "node_labels",
+        "_out_indptr",
+        "_out_indices",
+        "_out_weights",
+        "_in_indptr",
+        "_in_indices",
+        "_in_weights",
+        "_num_arcs",
+        "_edge_set",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        *,
+        directed: bool = True,
+        node_labels: Optional[Sequence[object]] = None,
+        weights: Optional[np.ndarray] = None,
+    ):
+        if num_nodes < 0:
+            raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape or sources.ndim != 1:
+            raise GraphError("sources and targets must be parallel 1-D arrays")
+        if sources.size:
+            low = min(sources.min(), targets.min())
+            high = max(sources.max(), targets.max())
+            if low < 0 or high >= num_nodes:
+                raise GraphError(
+                    f"edge endpoint out of range [0, {num_nodes}): "
+                    f"saw values in [{low}, {high}]"
+                )
+        if node_labels is not None and len(node_labels) != num_nodes:
+            raise GraphError(
+                f"node_labels has {len(node_labels)} entries for {num_nodes} nodes"
+            )
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != sources.shape:
+                raise GraphError(
+                    "weights must be parallel to sources/targets "
+                    f"(got {weights.shape} for {sources.shape})"
+                )
+            if weights.size and (not np.isfinite(weights).all() or weights.min() <= 0):
+                raise GraphError("arc weights must be positive and finite")
+
+        self.num_nodes = int(num_nodes)
+        self.directed = bool(directed)
+        self.node_labels = tuple(node_labels) if node_labels is not None else None
+        self._out_indptr, self._out_indices, self._out_weights = _csr_from_pairs(
+            num_nodes, sources, targets, weights
+        )
+        self._in_indptr, self._in_indices, self._in_weights = _csr_from_pairs(
+            num_nodes, targets, sources, weights
+        )
+        self._num_arcs = int(sources.size)
+        self._edge_set: Optional[frozenset] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: Iterable[Tuple[int, int]],
+        *,
+        directed: bool = True,
+        node_labels: Optional[Sequence[object]] = None,
+        dedup: bool = True,
+        weights: Optional[Iterable[float]] = None,
+    ) -> "DiGraph":
+        """Build a graph from an iterable of ``(source, target)`` pairs.
+
+        Self-loops are dropped (SimRank's ``sim(u, u) = 1`` base case makes
+        them meaningless) and, when ``dedup`` is true, parallel edges are
+        collapsed (last weight wins).  With ``directed=False`` each pair is
+        mirrored, carrying its weight to both arcs.
+        """
+        edge_list = [(int(s), int(t)) for s, t in edges]
+        if weights is not None:
+            weight_list = [float(w) for w in weights]
+            if len(weight_list) != len(edge_list):
+                raise GraphError(
+                    f"{len(weight_list)} weights supplied for {len(edge_list)} edges"
+                )
+        else:
+            weight_list = None
+
+        weighted_pairs: dict = {}
+        ordered: list = []
+        for index, (s, t) in enumerate(edge_list):
+            if s == t:
+                continue
+            weight = weight_list[index] if weight_list is not None else 1.0
+            arcs = [(s, t)] if directed else [(s, t), (t, s)]
+            for arc in arcs:
+                if dedup:
+                    if arc not in weighted_pairs:
+                        ordered.append(arc)
+                    weighted_pairs[arc] = weight
+                else:
+                    ordered.append(arc)
+                    weighted_pairs[arc] = weight
+        pairs = ordered
+        if pairs:
+            arr = np.array(pairs, dtype=np.int64)
+            sources, targets = arr[:, 0], arr[:, 1]
+            weight_array = (
+                np.array([weighted_pairs[arc] for arc in pairs])
+                if weight_list is not None
+                else None
+            )
+        else:
+            sources = targets = np.empty(0, dtype=np.int64)
+            weight_array = (
+                np.empty(0, dtype=np.float64) if weight_list is not None else None
+            )
+        return cls(
+            num_nodes,
+            sources,
+            targets,
+            directed=directed,
+            node_labels=node_labels,
+            weights=weight_array,
+        )
+
+    @classmethod
+    def from_networkx(cls, nx_graph: "networkx.Graph") -> "DiGraph":
+        """Convert a networkx (Di)Graph; node order follows ``nx_graph.nodes``."""
+        nodes = list(nx_graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        directed = nx_graph.is_directed()
+        edges = ((index[s], index[t]) for s, t in nx_graph.edges())
+        return cls.from_edges(
+            len(nodes), edges, directed=directed, node_labels=nodes
+        )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of stored arcs (directed edge slots)."""
+        return self._num_arcs
+
+    @property
+    def num_edges(self) -> int:
+        """Logical edge count — undirected edges counted once (Table III)."""
+        if self.directed:
+            return self._num_arcs
+        return self._num_arcs // 2
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"DiGraph({kind}, n={self.num_nodes}, m={self.num_edges})"
+        )
+
+    def _check_node(self, node: int) -> int:
+        node = int(node)
+        if not 0 <= node < self.num_nodes:
+            raise NodeNotFoundError(node)
+        return node
+
+    def nodes(self) -> range:
+        """Iterate node ids ``0..n-1``."""
+        return range(self.num_nodes)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate arcs as ``(source, target)`` pairs, grouped by source."""
+        for source in range(self.num_nodes):
+            start, stop = self._out_indptr[source], self._out_indptr[source + 1]
+            for target in self._out_indices[start:stop]:
+                yield source, int(target)
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+
+    def in_neighbors(self, node: int) -> np.ndarray:
+        """``I(node)`` — the sorted array of in-neighbours (read-only view)."""
+        node = self._check_node(node)
+        view = self._in_indices[self._in_indptr[node] : self._in_indptr[node + 1]]
+        return view
+
+    def out_neighbors(self, node: int) -> np.ndarray:
+        """Sorted array of out-neighbours (read-only view)."""
+        node = self._check_node(node)
+        return self._out_indices[self._out_indptr[node] : self._out_indptr[node + 1]]
+
+    def in_degree(self, node: int) -> int:
+        """``|I(node)|``."""
+        node = self._check_node(node)
+        return int(self._in_indptr[node + 1] - self._in_indptr[node])
+
+    def out_degree(self, node: int) -> int:
+        node = self._check_node(node)
+        return int(self._out_indptr[node + 1] - self._out_indptr[node])
+
+    def in_degrees(self) -> np.ndarray:
+        """Array of all in-degrees, ``shape (n,)``."""
+        return np.diff(self._in_indptr)
+
+    def out_degrees(self) -> np.ndarray:
+        """Array of all out-degrees, ``shape (n,)``."""
+        return np.diff(self._out_indptr)
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether the arc ``source -> target`` exists (binary search)."""
+        source = self._check_node(source)
+        target = self._check_node(target)
+        row = self._out_indices[
+            self._out_indptr[source] : self._out_indptr[source + 1]
+        ]
+        pos = np.searchsorted(row, target)
+        return bool(pos < row.size and row[pos] == target)
+
+    @property
+    def in_indptr(self) -> np.ndarray:
+        """CSR row pointer for in-adjacency (for vectorised walk engines)."""
+        return self._in_indptr
+
+    @property
+    def in_indices(self) -> np.ndarray:
+        """CSR column indices for in-adjacency."""
+        return self._in_indices
+
+    @property
+    def out_indptr(self) -> np.ndarray:
+        return self._out_indptr
+
+    @property
+    def out_indices(self) -> np.ndarray:
+        return self._out_indices
+
+    # ------------------------------------------------------------------
+    # Weights
+    # ------------------------------------------------------------------
+
+    @property
+    def is_weighted(self) -> bool:
+        """Whether arcs carry explicit weights (reverse walks then pick
+        in-neighbours proportionally to weight — weighted SimRank)."""
+        return self._in_weights is not None
+
+    @property
+    def in_weights(self) -> np.ndarray:
+        """Arc weights aligned with :attr:`in_indices` (weighted graphs)."""
+        if self._in_weights is None:
+            raise GraphError("graph is unweighted; check is_weighted first")
+        return self._in_weights
+
+    @property
+    def out_weights(self) -> np.ndarray:
+        """Arc weights aligned with :attr:`out_indices` (weighted graphs)."""
+        if self._out_weights is None:
+            raise GraphError("graph is unweighted; check is_weighted first")
+        return self._out_weights
+
+    def in_weight_totals(self) -> np.ndarray:
+        """Per-node total incoming weight ``W(u) = Σ_{x∈I(u)} w(x, u)``.
+
+        For unweighted graphs this equals :meth:`in_degrees` (every arc
+        counts 1), so callers can use it uniformly.
+        """
+        if self._in_weights is None:
+            return self.in_degrees().astype(np.float64)
+        totals = np.zeros(self.num_nodes, dtype=np.float64)
+        np.add.at(
+            totals,
+            np.repeat(np.arange(self.num_nodes), np.diff(self._in_indptr)),
+            self._in_weights,
+        )
+        return totals
+
+    def edge_weight(self, source: int, target: int) -> float:
+        """Weight of the arc ``source -> target`` (1.0 when unweighted)."""
+        source = self._check_node(source)
+        target = self._check_node(target)
+        start, stop = self._out_indptr[source], self._out_indptr[source + 1]
+        row = self._out_indices[start:stop]
+        pos = np.searchsorted(row, target)
+        if pos >= row.size or row[pos] != target:
+            raise EdgeNotFoundError(source, target)
+        if self._out_weights is None:
+            return 1.0
+        return float(self._out_weights[start + pos])
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+
+    def edge_set(self) -> frozenset:
+        """Frozen set of arcs; cached, used by snapshot diffing."""
+        if self._edge_set is None:
+            self._edge_set = frozenset(
+                zip(self.arc_sources().tolist(), self._out_indices.tolist())
+            )
+        return self._edge_set
+
+    def arc_sources(self) -> np.ndarray:
+        """Source node of every stored arc, aligned with ``out_indices``."""
+        return np.repeat(
+            np.arange(self.num_nodes, dtype=np.int32), np.diff(self._out_indptr)
+        )
+
+    def reverse_transition_matrix(self) -> "scipy.sparse.csr_matrix":
+        """Row-stochastic matrix ``P`` of the reverse walk.
+
+        Unweighted: ``P[x, y] = 1/|I(x)|`` for ``y ∈ I(x)``; weighted:
+        ``P[x, y] = w(y, x) / W(x)``.  Rows of nodes with no in-neighbours
+        are zero (the walk dies there).  A √c-walk's one-step occupancy
+        update is ``next = sqrt(c) * (cur @ P)``.
+        """
+        import scipy.sparse
+
+        totals = self.in_weight_totals()
+        with np.errstate(divide="ignore"):
+            inv = np.where(totals > 0, 1.0 / totals, 0.0)
+        if self._in_weights is None:
+            data = np.repeat(inv, self.in_degrees())
+        else:
+            data = self._in_weights * np.repeat(inv, self.in_degrees())
+        return scipy.sparse.csr_matrix(
+            (data, self._in_indices, self._in_indptr),
+            shape=(self.num_nodes, self.num_nodes),
+        )
+
+    def to_networkx(self) -> "networkx.Graph":
+        """Export to networkx, preserving directedness and node labels."""
+        import networkx
+
+        nx_graph = networkx.DiGraph() if self.directed else networkx.Graph()
+        labels = self.node_labels or range(self.num_nodes)
+        nx_graph.add_nodes_from(labels)
+        label = list(labels)
+        for source, target in self.edges():
+            if not self.directed and source > target:
+                continue
+            nx_graph.add_edge(label[source], label[target])
+        return nx_graph
+
+    # ------------------------------------------------------------------
+    # Equality / hashing
+    # ------------------------------------------------------------------
+
+    def same_structure(self, other: "DiGraph") -> bool:
+        """Whether two graphs have identical node count and arc sets."""
+        return (
+            self.num_nodes == other.num_nodes
+            and self._num_arcs == other._num_arcs
+            and np.array_equal(self._out_indptr, other._out_indptr)
+            and np.array_equal(self._out_indices, other._out_indices)
+        )

@@ -1,0 +1,188 @@
+"""Edge-list I/O compatible with the SNAP dataset formats.
+
+``read_edge_list`` parses the whitespace-separated ``FromNodeId ToNodeId``
+format used by Wiki-Vote / HepTh / HepPh (``#`` comment lines ignored);
+``read_snapshot_directory`` assembles a temporal graph from one edge-list
+file per snapshot, covering the AS-733 distribution layout.  Writers produce
+files the readers round-trip, so synthetic datasets can be exported for use
+by other tools.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import DatasetError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+from repro.graph.temporal import TemporalGraph, TemporalGraphBuilder
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_caida_asrel",
+    "read_snapshot_directory",
+    "write_snapshot_directory",
+]
+
+PathLike = Union[str, os.PathLike]
+
+
+def _parse_edge_lines(path: Path) -> List[Tuple[str, str, Optional[float]]]:
+    edges: List[Tuple[str, str, Optional[float]]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("#", "%")):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise DatasetError(
+                    f"{path}:{line_number}: expected two node ids, got {stripped!r}"
+                )
+            weight: Optional[float] = None
+            if len(parts) >= 3:
+                try:
+                    weight = float(parts[2])
+                except ValueError:
+                    raise DatasetError(
+                        f"{path}:{line_number}: third column is not a weight: "
+                        f"{parts[2]!r}"
+                    ) from None
+            edges.append((parts[0], parts[1], weight))
+    return edges
+
+
+def read_edge_list(path: PathLike, *, directed: bool = True) -> DiGraph:
+    """Read a SNAP-style edge list into a :class:`DiGraph`.
+
+    Node ids may be arbitrary tokens; they are interned in first-seen order
+    and preserved as :attr:`DiGraph.node_labels`.  A third numeric column,
+    when present on every line, is read as edge weights.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"edge list not found: {path}")
+    parsed = _parse_edge_lines(path)
+    weighted = bool(parsed) and all(weight is not None for _, _, weight in parsed)
+    builder = GraphBuilder(directed=directed, weighted=weighted)
+    for source, target, weight in parsed:
+        if weighted:
+            builder.add_edge(source, target, weight)
+        else:
+            builder.add_edge(source, target)
+    return builder.build()
+
+
+def write_edge_list(graph: DiGraph, path: PathLike, *, header: Optional[str] = None) -> None:
+    """Write a graph as a SNAP-style edge list (labels if present; a third
+    weight column when the graph is weighted)."""
+    path = Path(path)
+    labels: Sequence[object] = graph.node_labels or list(range(graph.num_nodes))
+    with path.open("w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# Nodes: {graph.num_nodes} Edges: {graph.num_edges}\n")
+        for source, target in graph.edges():
+            if not graph.directed and source > target:
+                continue
+            if graph.is_weighted:
+                weight = graph.edge_weight(source, target)
+                handle.write(f"{labels[source]}\t{labels[target]}\t{weight:g}\n")
+            else:
+                handle.write(f"{labels[source]}\t{labels[target]}\n")
+
+
+def read_caida_asrel(path: PathLike, *, directed: bool = True) -> DiGraph:
+    """Read a CAIDA AS-relationships file (the AS-Caida dataset's format).
+
+    Lines are pipe-separated ``provider|customer|relationship`` records
+    (relationship -1 = provider-to-customer, 0 = peer); ``#`` comment lines
+    are skipped.  Peers become a single undirected-style pair of arcs; the
+    relationship value itself is not retained (SimRank only consumes the
+    topology).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"AS-relationships file not found: {path}")
+    builder = GraphBuilder(directed=directed)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split("|")
+            if len(parts) < 2:
+                raise DatasetError(
+                    f"{path}:{line_number}: expected 'src|dst[|rel]', got "
+                    f"{stripped!r}"
+                )
+            source, target = parts[0], parts[1]
+            relationship = parts[2] if len(parts) >= 3 else "-1"
+            builder.add_edge(source, target)
+            if relationship.strip() == "0" and directed:
+                # Peering is mutual: add the reverse arc explicitly.
+                builder.add_edge(target, source)
+    return builder.build()
+
+
+def read_snapshot_directory(
+    directory: PathLike,
+    *,
+    directed: bool = True,
+    pattern: str = "*.txt",
+    name: Optional[str] = None,
+) -> TemporalGraph:
+    """Assemble a temporal graph from per-snapshot edge-list files.
+
+    Files are ordered lexicographically (AS-733's ``asYYYYMMDD.txt`` naming
+    sorts chronologically).  All files share one label space: a node id seen
+    in any snapshot exists (possibly isolated) in every snapshot, matching
+    the paper's fixed-``V`` temporal model.
+    """
+    directory = Path(directory)
+    files = sorted(directory.glob(pattern))
+    if not files:
+        raise DatasetError(f"no snapshot files matching {pattern!r} in {directory}")
+    per_snapshot = [_parse_edge_lines(path) for path in files]
+    interner: dict = {}
+    labels: List[object] = []
+
+    def intern(token: str) -> int:
+        node = interner.get(token)
+        if node is None:
+            node = len(labels)
+            interner[token] = node
+            labels.append(token)
+        return node
+
+    # Temporal snapshots are unweighted (paper Def. 2); weights, if any,
+    # are ignored here.
+    id_snapshots = [
+        [(intern(source), intern(target)) for source, target, _ in edges]
+        for edges in per_snapshot
+    ]
+    builder = TemporalGraphBuilder(
+        len(labels), directed=directed, node_labels=labels, name=name or directory.name
+    )
+    for edges in id_snapshots:
+        builder.push_snapshot(edges)
+    return builder.build()
+
+
+def write_snapshot_directory(
+    temporal: TemporalGraph, directory: PathLike, *, prefix: str = "snapshot"
+) -> List[Path]:
+    """Write one edge-list file per snapshot; returns the written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    width = len(str(max(temporal.num_snapshots - 1, 1)))
+    paths: List[Path] = []
+    for index in range(temporal.num_snapshots):
+        path = directory / f"{prefix}_{index:0{width}d}.txt"
+        write_edge_list(temporal.snapshot(index), path)
+        paths.append(path)
+    return paths

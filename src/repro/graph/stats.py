@@ -1,0 +1,93 @@
+"""Descriptive statistics for graphs and temporal graphs (Table III data)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.graph.temporal import TemporalGraph
+
+__all__ = ["GraphStats", "TemporalStats", "graph_stats", "temporal_stats"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary of a single (snapshot) graph."""
+
+    num_nodes: int
+    num_edges: int
+    directed: bool
+    max_in_degree: int
+    max_out_degree: int
+    mean_in_degree: float
+    dangling_nodes: int  # nodes with no in-neighbours: reverse walks die here
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "type": "Directed" if self.directed else "Undirected",
+            "n": self.num_nodes,
+            "m": self.num_edges,
+            "max_in_deg": self.max_in_degree,
+            "mean_in_deg": round(self.mean_in_degree, 2),
+            "dangling": self.dangling_nodes,
+        }
+
+
+@dataclass(frozen=True)
+class TemporalStats:
+    """Summary of a temporal graph across its horizon."""
+
+    name: Optional[str]
+    num_nodes: int
+    num_snapshots: int
+    directed: bool
+    first_snapshot: GraphStats
+    last_snapshot: GraphStats
+    mean_delta_size: float
+    max_delta_size: int
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "dataset": self.name or "?",
+            "type": "Directed" if self.directed else "Undirected",
+            "n": self.num_nodes,
+            "m": self.last_snapshot.num_edges,
+            "t": self.num_snapshots,
+            "mean_delta": round(self.mean_delta_size, 2),
+        }
+
+
+def graph_stats(graph: DiGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for one graph."""
+    in_degrees = graph.in_degrees()
+    out_degrees = graph.out_degrees()
+    return GraphStats(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        directed=graph.directed,
+        max_in_degree=int(in_degrees.max(initial=0)),
+        max_out_degree=int(out_degrees.max(initial=0)),
+        mean_in_degree=float(in_degrees.mean()) if graph.num_nodes else 0.0,
+        dangling_nodes=int(np.count_nonzero(in_degrees == 0)),
+    )
+
+
+def temporal_stats(temporal: TemporalGraph) -> TemporalStats:
+    """Compute :class:`TemporalStats`; materialises only the end snapshots."""
+    delta_sizes: List[int] = [
+        temporal.delta(index).num_changed
+        for index in range(1, temporal.num_snapshots)
+    ]
+    return TemporalStats(
+        name=temporal.name,
+        num_nodes=temporal.num_nodes,
+        num_snapshots=temporal.num_snapshots,
+        directed=temporal.directed,
+        first_snapshot=graph_stats(temporal.snapshot(0)),
+        last_snapshot=graph_stats(temporal.snapshot(temporal.num_snapshots - 1)),
+        mean_delta_size=float(np.mean(delta_sizes)) if delta_sizes else 0.0,
+        max_delta_size=int(max(delta_sizes)) if delta_sizes else 0,
+    )

@@ -1,0 +1,87 @@
+"""Wall-clock measurement helpers for the experiment harness.
+
+The paper reports *response time* (for index-based algorithms: indexing
+time plus computation time — §V-A).  :class:`Timer` is a context manager;
+:func:`measure` wraps a callable; :class:`TimingStats` aggregates repeated
+measurements into the mean/min/max rows the report printers consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = ["Timer", "TimingStats", "measure"]
+
+
+class Timer:
+    """Context manager capturing elapsed wall-clock seconds.
+
+    >>> with Timer() as timer:
+    ...     sum(range(1001))
+    500500
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def measure(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """Call ``fn`` and return ``(result, elapsed_seconds)``."""
+    with Timer() as timer:
+        result = fn()
+    return result, timer.elapsed
+
+
+@dataclass
+class TimingStats:
+    """Aggregate of repeated timings (seconds)."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ParameterError(f"negative duration {seconds}")
+        self.samples.append(float(seconds))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "min_s": self.minimum,
+            "max_s": self.maximum,
+            "total_s": self.total,
+        }

@@ -1,0 +1,57 @@
+"""Random-number utilities shared by every Monte-Carlo component.
+
+All stochastic code in this package takes either an integer seed, an existing
+:class:`numpy.random.Generator`, or ``None`` and normalises it through
+:func:`ensure_rng`.  Experiments that need several statistically independent
+streams (one per trial, per snapshot, per algorithm) derive them with
+:func:`spawn` so that re-running with the same seed reproduces every number.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+import numpy as np
+
+__all__ = ["RngLike", "ensure_rng", "spawn", "stream"]
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    ``None`` yields a fresh OS-seeded generator; an ``int`` or
+    :class:`numpy.random.SeedSequence` is fed to the default bit generator;
+    an existing generator is passed through unchanged (no copy — the caller
+    keeps ownership of its state).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"expected None, int, SeedSequence, or Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    The children are produced by jumping the parent's bit generator through
+    NumPy's spawning protocol, so the parent remains usable and every child
+    stream is independent of the others.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [np.random.default_rng(seq) for seq in rng.bit_generator.seed_seq.spawn(count)]
+
+
+def stream(rng: np.random.Generator) -> Iterator[np.random.Generator]:
+    """Yield an endless sequence of independent child generators of ``rng``."""
+    seed_seq = rng.bit_generator.seed_seq
+    while True:
+        (child,) = seed_seq.spawn(1)
+        yield np.random.default_rng(child)

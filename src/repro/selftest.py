@@ -1,0 +1,107 @@
+"""Installation self-test: a miniature correctness battery in seconds.
+
+``python -m repro selftest`` (or :func:`run_selftest`) re-derives the
+paper's worked Example 2 numbers, cross-checks every estimator against the
+exact Power Method on a seeded graph, and exercises one temporal query —
+the smallest set of checks that would catch a broken install, a NumPy/SciPy
+incompatibility, or a platform RNG difference.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+__all__ = ["run_selftest"]
+
+
+def _check_example2() -> None:
+    from repro.core.revreach import revreach_queue
+    from repro.datasets.example_graph import example_graph, node_id
+
+    tree = revreach_queue(example_graph(), node_id("A"), 3, 0.25, variant="paper")
+    expected = [
+        (1, "B", 0.25),
+        (1, "C", 1 / 6),
+        (2, "E", 0.0625),
+        (3, "H", 0.015625),
+    ]
+    for step, label, value in expected:
+        got = tree.probability(step, node_id(label))
+        assert abs(got - value) < 1e-9, (step, label, got, value)
+
+
+def _check_estimators_agree() -> None:
+    from repro.api import single_source
+    from repro.baselines.power_method import power_method_all_pairs
+    from repro.graph.generators import preferential_attachment
+
+    graph = preferential_attachment(80, 3, directed=True, seed=0)
+    truth = power_method_all_pairs(graph, 0.6)[3]
+    for method, tolerance in [
+        ("crashsim", 0.08),
+        ("probesim", 0.05),
+        ("sling", 0.08),
+        ("naive-mc", 0.05),
+    ]:
+        scores = single_source(graph, 3, method=method, n_r=800, seed=1)
+        error = float(np.abs(truth - scores).max())
+        assert error < tolerance, (method, error)
+
+
+def _check_weighted_known_value() -> None:
+    from repro.baselines.power_method import power_method_all_pairs
+    from repro.graph.digraph import DiGraph
+
+    graph = DiGraph.from_edges(
+        4, [(2, 0), (3, 0), (2, 1)], weights=[3.0, 1.0, 1.0]
+    )
+    sim = power_method_all_pairs(graph, 0.6)
+    assert abs(sim[0, 1] - 0.45) < 1e-9, sim[0, 1]
+
+
+def _check_temporal_query() -> None:
+    from repro.core.crashsim_t import crashsim_t
+    from repro.core.params import CrashSimParams
+    from repro.core.queries import ThresholdQuery
+    from repro.graph.temporal import TemporalGraphBuilder
+
+    builder = TemporalGraphBuilder(3, directed=True)
+    builder.push_snapshot([(2, 0), (2, 1)])
+    builder.push_snapshot([(2, 0), (2, 1)])
+    temporal = builder.build()
+    result = crashsim_t(
+        temporal,
+        0,
+        ThresholdQuery(theta=0.3),
+        params=CrashSimParams(c=0.6, epsilon=0.1, n_r_override=500),
+        seed=2,
+    )
+    assert result.survivors == (1,), result.survivors
+
+
+CHECKS: List[Tuple[str, Callable[[], None]]] = [
+    ("Example 2 revReach arithmetic", _check_example2),
+    ("estimators agree with Power Method", _check_estimators_agree),
+    ("weighted SimRank closed form", _check_weighted_known_value),
+    ("temporal threshold query", _check_temporal_query),
+]
+
+
+def run_selftest(verbose: bool = True) -> bool:
+    """Run every check; returns True when all pass."""
+    all_passed = True
+    for name, check in CHECKS:
+        try:
+            check()
+        except Exception as exc:  # noqa: BLE001 - report any failure kind
+            all_passed = False
+            if verbose:
+                print(f"FAIL  {name}: {exc!r}")
+        else:
+            if verbose:
+                print(f"ok    {name}")
+    if verbose:
+        print("selftest", "passed" if all_passed else "FAILED")
+    return all_passed

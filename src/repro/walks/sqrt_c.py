@@ -1,0 +1,106 @@
+"""Scalar √c-walk sampling and walk-length distribution helpers.
+
+Lemma 1 of the paper rests on the walk length following a geometric
+distribution ``P(l = k) = (1 - √c)(√c)^(k-1)``; the helpers here expose that
+distribution so tests can check the implementation against theory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.rng import RngLike, ensure_rng
+
+__all__ = [
+    "sample_sqrt_c_walk",
+    "sample_walk_length",
+    "expected_walk_length",
+    "walk_length_cdf",
+]
+
+
+def _validate_decay(c: float) -> float:
+    if not 0.0 < c < 1.0:
+        raise ParameterError(f"decay factor c must be in (0, 1), got {c}")
+    return float(c)
+
+
+def sample_sqrt_c_walk(
+    graph: DiGraph,
+    start: int,
+    c: float,
+    *,
+    max_length: Optional[int] = None,
+    seed: RngLike = None,
+) -> List[int]:
+    """Sample one reverse √c-walk from ``start``.
+
+    Returns the visited node sequence ``[start, v_1, v_2, ...]``; the walk
+    terminates when the stop coin (probability ``1 - √c``) fires, when the
+    current node has no in-neighbours, or when ``max_length`` steps have
+    been taken (the paper's ``l_max`` truncation).
+    """
+    c = _validate_decay(c)
+    rng = ensure_rng(seed)
+    sqrt_c = math.sqrt(c)
+    path = [int(start)]
+    current = int(start)
+    weighted = graph.is_weighted
+    while max_length is None or len(path) - 1 < max_length:
+        if rng.random() >= sqrt_c:
+            break
+        neighbors = graph.in_neighbors(current)
+        if neighbors.size == 0:
+            break
+        if weighted:
+            block = slice(
+                int(graph.in_indptr[current]), int(graph.in_indptr[current + 1])
+            )
+            weights = graph.in_weights[block]
+            pick = int(
+                np.searchsorted(
+                    np.cumsum(weights), rng.random() * weights.sum(), side="right"
+                )
+            )
+            pick = min(pick, neighbors.size - 1)
+        else:
+            pick = int(rng.integers(0, neighbors.size))
+        current = int(neighbors[pick])
+        path.append(current)
+    return path
+
+
+def sample_walk_length(c: float, *, seed: RngLike = None, size: int = 1) -> np.ndarray:
+    """Sample √c-walk lengths from the geometric law of Lemma 1.
+
+    Lengths count steps taken, so 0 means the walk stopped immediately.
+    """
+    c = _validate_decay(c)
+    rng = ensure_rng(seed)
+    # numpy's geometric counts trials to first success (≥ 1); the number of
+    # *continuations* before the stop coin fires is that minus one.
+    return rng.geometric(1.0 - math.sqrt(c), size=size) - 1
+
+
+def expected_walk_length(c: float) -> float:
+    """``E[l] = √c / (1 - √c)`` continuations per walk."""
+    c = _validate_decay(c)
+    sqrt_c = math.sqrt(c)
+    return sqrt_c / (1.0 - sqrt_c)
+
+
+def walk_length_cdf(c: float, length: int) -> float:
+    """``Pr(l ≤ length)`` under the geometric law: ``1 - (√c)^(length+1)``.
+
+    Matches the paper's ``p = Σ_{k=1..l_max} (√c)^(k-1) (1-√c)`` when
+    ``length = l_max - 1`` walk continuations, i.e. ``l_max`` coin flips.
+    """
+    c = _validate_decay(c)
+    if length < 0:
+        return 0.0
+    return 1.0 - math.sqrt(c) ** (length + 1)

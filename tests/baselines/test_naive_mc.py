@@ -1,0 +1,65 @@
+"""Tests for the Fogaras & Rácz coupled-walk Monte Carlo baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive_mc import naive_monte_carlo
+from repro.baselines.power_method import power_method_all_pairs
+from repro.errors import ParameterError
+
+
+class TestAccuracy:
+    def test_known_value_pair_graph(self, tiny_pair_graph):
+        scores = naive_monte_carlo(
+            tiny_pair_graph, 0, c=0.36, num_samples=4000, seed=1
+        )
+        assert scores[1] == pytest.approx(0.36, abs=0.03)
+        assert scores[2] == 0.0
+        assert scores[0] == 1.0
+
+    def test_matches_power_method(self, medium_random_graph):
+        graph = medium_random_graph
+        truth = power_method_all_pairs(graph, 0.6)
+        scores = naive_monte_carlo(graph, 3, num_samples=3000, seed=2)
+        assert np.abs(truth[3] - scores).max() < 0.04
+
+    def test_coupled_estimator_is_first_meeting(self, paper_graph):
+        # On the cyclic example graph the coupled estimator must NOT show
+        # the multi-meeting inflation (each sample contributes once).
+        truth = power_method_all_pairs(paper_graph, 0.6)
+        scores = naive_monte_carlo(paper_graph, 0, num_samples=8000, seed=3)
+        assert np.abs(truth[0] - scores).max() < 0.03
+
+    def test_scores_bounded(self, small_random_graph):
+        scores = naive_monte_carlo(small_random_graph, 0, num_samples=50, seed=4)
+        assert scores.min() >= 0.0
+        assert scores.max() <= 1.0
+
+
+class TestInterface:
+    def test_candidates_subset(self, paper_graph):
+        scores = naive_monte_carlo(
+            paper_graph, 0, candidates=[2, 4], num_samples=100, seed=5
+        )
+        assert scores.shape == (2,)
+
+    def test_deterministic_with_seed(self, paper_graph):
+        a = naive_monte_carlo(paper_graph, 0, num_samples=200, seed=6)
+        b = naive_monte_carlo(paper_graph, 0, num_samples=200, seed=6)
+        assert np.array_equal(a, b)
+
+    def test_dangling_source(self, dangling_graph):
+        scores = naive_monte_carlo(dangling_graph, 0, num_samples=100, seed=7)
+        assert scores[1] == 0.0  # source walk can never move
+
+    def test_validation(self, paper_graph):
+        with pytest.raises(ParameterError):
+            naive_monte_carlo(paper_graph, 99)
+        with pytest.raises(ParameterError):
+            naive_monte_carlo(paper_graph, 0, c=1.2)
+        with pytest.raises(ParameterError):
+            naive_monte_carlo(paper_graph, 0, num_samples=0)
+        with pytest.raises(ParameterError):
+            naive_monte_carlo(paper_graph, 0, max_steps=-1)
+        with pytest.raises(ParameterError):
+            naive_monte_carlo(paper_graph, 0, candidates=[99])

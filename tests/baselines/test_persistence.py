@@ -1,0 +1,94 @@
+"""Tests for index save / load."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.persistence import (
+    graph_fingerprint,
+    load_reads_index,
+    load_sling_index,
+    save_reads_index,
+    save_sling_index,
+)
+from repro.baselines.reads import ReadsIndex
+from repro.baselines.sling import SlingIndex
+from repro.errors import DatasetError, ParameterError
+from repro.graph.digraph import DiGraph
+
+
+class TestFingerprint:
+    def test_stable_for_same_structure(self, paper_graph):
+        other = DiGraph.from_edges(
+            paper_graph.num_nodes, list(paper_graph.edges())
+        )
+        assert graph_fingerprint(paper_graph) == graph_fingerprint(other)
+
+    def test_differs_for_different_structure(self, paper_graph):
+        other = DiGraph.from_edges(paper_graph.num_nodes, [(0, 1)])
+        assert graph_fingerprint(paper_graph) != graph_fingerprint(other)
+
+    def test_weights_enter_fingerprint(self):
+        plain = DiGraph.from_edges(3, [(0, 1), (1, 2)], weights=[1.0, 1.0])
+        heavy = DiGraph.from_edges(3, [(0, 1), (1, 2)], weights=[2.0, 1.0])
+        assert graph_fingerprint(plain) != graph_fingerprint(heavy)
+
+
+class TestSlingPersistence:
+    def test_round_trip_preserves_queries(self, small_random_graph, tmp_path):
+        index = SlingIndex(small_random_graph, num_d_samples=50, seed=1)
+        path = save_sling_index(index, tmp_path / "sling.npz")
+        loaded = load_sling_index(path, small_random_graph)
+        assert np.array_equal(loaded.d, index.d)
+        assert np.array_equal(loaded.query(3), index.query(3))
+
+    def test_wrong_graph_rejected(self, small_random_graph, paper_graph, tmp_path):
+        index = SlingIndex(small_random_graph, num_d_samples=10, seed=2)
+        path = save_sling_index(index, tmp_path / "sling.npz")
+        with pytest.raises(ParameterError):
+            load_sling_index(path, paper_graph)
+
+    def test_missing_file(self, paper_graph, tmp_path):
+        with pytest.raises(DatasetError):
+            load_sling_index(tmp_path / "nope.npz", paper_graph)
+
+    def test_wrong_kind_rejected(self, paper_graph, tmp_path):
+        reads = ReadsIndex(paper_graph, r=5, seed=3)
+        path = save_reads_index(reads, tmp_path / "reads.npz")
+        with pytest.raises(DatasetError):
+            load_sling_index(path, paper_graph)
+
+
+class TestReadsPersistence:
+    def test_round_trip_preserves_index(self, small_random_graph, tmp_path):
+        index = ReadsIndex(small_random_graph, r=20, r_q=2, seed=4)
+        path = save_reads_index(index, tmp_path / "reads.npz")
+        loaded = load_reads_index(path, small_random_graph, seed=4)
+        assert np.array_equal(loaded.pointers, index.pointers)
+        assert np.array_equal(loaded.alive, index.alive)
+        assert loaded.r == index.r and loaded.t == index.t
+
+    def test_loaded_index_still_updatable(self, small_random_graph, tmp_path):
+        from repro.graph.builder import GraphBuilder
+
+        index = ReadsIndex(small_random_graph, r=10, seed=5)
+        path = save_reads_index(index, tmp_path / "reads.npz")
+        loaded = load_reads_index(path, small_random_graph, seed=5)
+        edge = next(iter(small_random_graph.edges()))
+        builder = GraphBuilder.from_graph(small_random_graph)
+        builder.remove_edge(*edge)
+        loaded.apply_delta(builder.build(), removed=[edge])
+        assert not np.any(
+            loaded.pointers[:, edge[1]] == edge[0]
+        )
+
+    def test_wrong_graph_rejected(self, small_random_graph, paper_graph, tmp_path):
+        index = ReadsIndex(small_random_graph, r=5, seed=6)
+        path = save_reads_index(index, tmp_path / "reads.npz")
+        with pytest.raises(ParameterError):
+            load_reads_index(path, paper_graph)
+
+    def test_garbage_file_rejected(self, paper_graph, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, data=np.zeros(3))
+        with pytest.raises(DatasetError):
+            load_reads_index(path, paper_graph)

@@ -1,0 +1,117 @@
+"""Tests for the Power-Method ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.power_method import (
+    power_method_all_pairs,
+    power_method_single_source,
+)
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+
+
+class TestFixedPoint:
+    def test_simrank_recursion_satisfied(self, small_random_graph):
+        """The converged matrix satisfies Jeh & Widom's recursion."""
+        graph = small_random_graph
+        c = 0.6
+        sim = power_method_all_pairs(graph, c)
+        for u in (0, 5, 20):
+            for v in (3, 7, 33):
+                if u == v:
+                    continue
+                in_u = graph.in_neighbors(u)
+                in_v = graph.in_neighbors(v)
+                if in_u.size == 0 or in_v.size == 0:
+                    assert sim[u, v] == 0.0
+                    continue
+                expected = (
+                    c
+                    / (in_u.size * in_v.size)
+                    * sim[np.ix_(in_u, in_v)].sum()
+                )
+                assert sim[u, v] == pytest.approx(expected, abs=1e-10)
+
+    def test_diagonal_is_one(self, small_random_graph):
+        sim = power_method_all_pairs(small_random_graph, 0.6)
+        assert np.allclose(np.diag(sim), 1.0)
+
+    def test_symmetry(self, small_random_graph):
+        sim = power_method_all_pairs(small_random_graph, 0.6)
+        assert np.allclose(sim, sim.T)
+
+    def test_values_in_unit_interval(self, small_undirected_graph):
+        sim = power_method_all_pairs(small_undirected_graph, 0.8)
+        assert sim.min() >= 0.0
+        assert sim.max() <= 1.0 + 1e-12
+
+
+class TestKnownValues:
+    def test_shared_single_in_neighbor(self, tiny_pair_graph):
+        # I(0) = I(1) = {2}: sim(0, 1) = c · sim(2, 2) = c.
+        sim = power_method_all_pairs(tiny_pair_graph, 0.42)
+        assert sim[0, 1] == pytest.approx(0.42, abs=1e-12)
+        assert sim[0, 2] == 0.0
+
+    def test_two_hop_decay(self):
+        # 4 <- chains: I(0)={2}, I(1)={3}, I(2)=I(3)={4}:
+        # sim(2,3) = c, sim(0,1) = c·sim(2,3) = c².
+        graph = DiGraph.from_edges(5, [(2, 0), (3, 1), (4, 2), (4, 3)])
+        sim = power_method_all_pairs(graph, 0.5)
+        assert sim[2, 3] == pytest.approx(0.5)
+        assert sim[0, 1] == pytest.approx(0.25)
+
+    def test_dangling_source_all_zero(self, dangling_graph):
+        sim = power_method_all_pairs(dangling_graph, 0.6)
+        # Node 0 has no in-neighbours: similarity to every other node is 0.
+        row = sim[0].copy()
+        row[0] = 0.0
+        assert np.all(row == 0.0)
+
+    def test_empty_graph(self):
+        sim = power_method_all_pairs(DiGraph.from_edges(0, []), 0.6)
+        assert sim.shape == (0, 0)
+
+
+class TestConvergence:
+    def test_iterates_converge_geometrically(self, paper_graph):
+        coarse = power_method_all_pairs(paper_graph, 0.6, iterations=20)
+        fine = power_method_all_pairs(paper_graph, 0.6, iterations=55)
+        assert np.abs(coarse - fine).max() < 0.6**20
+
+    def test_tolerance_early_stop_matches(self, paper_graph):
+        fixed = power_method_all_pairs(paper_graph, 0.6, iterations=55)
+        stopped = power_method_all_pairs(
+            paper_graph, 0.6, iterations=200, tolerance=1e-12
+        )
+        assert np.allclose(fixed, stopped, atol=1e-10)
+
+    def test_zero_iterations_is_identity(self, paper_graph):
+        sim = power_method_all_pairs(paper_graph, 0.6, iterations=0)
+        assert np.array_equal(sim, np.eye(paper_graph.num_nodes))
+
+
+class TestSingleSource:
+    def test_slice_matches_matrix(self, small_random_graph):
+        matrix = power_method_all_pairs(small_random_graph, 0.6)
+        row = power_method_single_source(
+            small_random_graph, 7, 0.6, all_pairs=matrix
+        )
+        assert np.array_equal(row, matrix[7])
+
+    def test_computes_when_not_supplied(self, tiny_pair_graph):
+        row = power_method_single_source(tiny_pair_graph, 0, 0.42)
+        assert row[1] == pytest.approx(0.42, abs=1e-12)
+
+    def test_validation(self, tiny_pair_graph):
+        with pytest.raises(ParameterError):
+            power_method_single_source(tiny_pair_graph, 99, 0.6)
+        with pytest.raises(ParameterError):
+            power_method_single_source(
+                tiny_pair_graph, 0, 0.6, all_pairs=np.zeros((2, 2))
+            )
+        with pytest.raises(ParameterError):
+            power_method_all_pairs(tiny_pair_graph, 1.5)
+        with pytest.raises(ParameterError):
+            power_method_all_pairs(tiny_pair_graph, 0.6, iterations=-1)

@@ -1,0 +1,100 @@
+"""Tests for the ProbeSim baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.power_method import power_method_all_pairs
+from repro.baselines.probesim import probesim, probesim_trial_count
+from repro.errors import ParameterError
+
+
+class TestAccuracy:
+    def test_known_value_pair_graph(self, tiny_pair_graph):
+        scores = probesim(tiny_pair_graph, 0, c=0.36, n_r=4000, seed=1)
+        assert scores[1] == pytest.approx(0.36, abs=0.03)
+        assert scores[2] == 0.0
+
+    def test_matches_power_method(self, medium_random_graph):
+        graph = medium_random_graph
+        truth = power_method_all_pairs(graph, 0.6)
+        scores = probesim(graph, 3, n_r=1200, seed=2)
+        assert np.abs(truth[3] - scores).max() < 0.03
+
+    def test_first_meeting_exclusion_on_cyclic_graph(self, paper_graph):
+        # ProbeSim's probe excludes earlier walk positions, so the cyclic
+        # example graph must not show multi-meeting inflation.
+        truth = power_method_all_pairs(paper_graph, 0.6)
+        scores = probesim(paper_graph, 0, n_r=5000, seed=3)
+        assert np.abs(truth[0] - scores).max() < 0.03
+
+    def test_source_score_is_one(self, paper_graph):
+        scores = probesim(paper_graph, 2, n_r=20, seed=4)
+        assert scores[2] == 1.0
+
+    def test_dangling_source_all_zero(self, dangling_graph):
+        scores = probesim(dangling_graph, 0, n_r=100, seed=5)
+        expected = np.zeros(5)
+        expected[0] = 1.0
+        assert np.array_equal(scores, expected)
+
+
+class TestTrialCount:
+    def test_formula(self):
+        import math
+
+        expected = math.ceil(3 * 0.6 / 0.025**2 * math.log(1000 / 0.01))
+        assert probesim_trial_count(1000, 0.6, 0.025, 0.01) == expected
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            probesim_trial_count(100, 1.5, 0.025, 0.01)
+        with pytest.raises(ParameterError):
+            probesim_trial_count(100, 0.6, 0.0, 0.01)
+
+
+class TestSparseProbeMode:
+    def test_sparse_equals_dense(self, small_random_graph):
+        """Both probe implementations compute the same estimator, so with
+        identical walk randomness the results agree to float rounding."""
+        dense = probesim(small_random_graph, 2, n_r=200, seed=9)
+        sparse = probesim(
+            small_random_graph, 2, n_r=200, probe_mode="sparse", seed=9
+        )
+        assert np.allclose(dense, sparse, atol=1e-12)
+
+    def test_sparse_on_paper_graph(self, paper_graph):
+        dense = probesim(paper_graph, 0, n_r=300, seed=10)
+        sparse = probesim(paper_graph, 0, n_r=300, probe_mode="sparse", seed=10)
+        assert np.allclose(dense, sparse, atol=1e-12)
+
+    def test_sparse_weighted(self):
+        from repro.baselines.power_method import power_method_all_pairs
+        from repro.graph.digraph import DiGraph
+
+        graph = DiGraph.from_edges(
+            4, [(2, 0), (3, 0), (2, 1)], weights=[3.0, 1.0, 1.0]
+        )
+        truth = power_method_all_pairs(graph, 0.6)
+        scores = probesim(graph, 0, n_r=4000, probe_mode="sparse", seed=11)
+        assert scores[1] == pytest.approx(truth[0, 1], abs=0.03)
+
+    def test_unknown_mode_rejected(self, paper_graph):
+        with pytest.raises(ParameterError):
+            probesim(paper_graph, 0, n_r=5, probe_mode="magic")
+
+
+class TestInterface:
+    def test_deterministic_with_seed(self, paper_graph):
+        a = probesim(paper_graph, 0, n_r=100, seed=6)
+        b = probesim(paper_graph, 0, n_r=100, seed=6)
+        assert np.array_equal(a, b)
+
+    def test_max_walk_length_cap(self, paper_graph):
+        scores = probesim(paper_graph, 0, n_r=50, max_walk_length=1, seed=7)
+        assert scores.max() <= 1.0
+
+    def test_validation(self, paper_graph):
+        with pytest.raises(ParameterError):
+            probesim(paper_graph, 99)
+        with pytest.raises(ParameterError):
+            probesim(paper_graph, 0, n_r=0)

@@ -1,0 +1,115 @@
+"""Tests for the READS one-way-graph index."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.power_method import power_method_all_pairs
+from repro.baselines.reads import ReadsIndex
+from repro.errors import ParameterError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+
+
+def assert_pointers_valid(index: ReadsIndex):
+    """Every pointer entry must be -1 or a current in-neighbour."""
+    graph = index.graph
+    for node in graph.nodes():
+        neighbors = set(graph.in_neighbors(node).tolist())
+        column = index.pointers[:, node]
+        if not neighbors:
+            assert np.all(column == -1)
+        else:
+            assert np.all(np.isin(column, list(neighbors)))
+
+
+class TestConstruction:
+    def test_pointers_are_in_neighbors(self, paper_graph):
+        index = ReadsIndex(paper_graph, r=20, seed=1)
+        assert_pointers_valid(index)
+
+    def test_alive_rate_matches_sqrt_c(self, medium_random_graph):
+        index = ReadsIndex(medium_random_graph, r=100, c=0.49, seed=2)
+        rate = index.alive.mean()
+        assert rate == pytest.approx(0.7, abs=0.02)
+
+    def test_validation(self, paper_graph):
+        with pytest.raises(ParameterError):
+            ReadsIndex(paper_graph, r=0)
+        with pytest.raises(ParameterError):
+            ReadsIndex(paper_graph, c=1.0)
+
+
+class TestQueries:
+    def test_known_value_pair_graph(self, tiny_pair_graph):
+        index = ReadsIndex(tiny_pair_graph, r=400, r_q=10, c=0.36, seed=3)
+        scores = index.query(0)
+        assert scores[0] == 1.0
+        assert scores[1] == pytest.approx(0.36, abs=0.05)
+        assert scores[2] == 0.0
+
+    def test_roughly_matches_power_method(self, small_random_graph):
+        # READS has no error guarantee (paper §V-A); the check is loose.
+        truth = power_method_all_pairs(small_random_graph, 0.6)
+        index = ReadsIndex(small_random_graph, r=300, r_q=5, seed=4)
+        scores = index.query(2)
+        assert np.abs(truth[2] - scores).max() < 0.15
+
+    def test_query_validation(self, paper_graph):
+        index = ReadsIndex(paper_graph, r=5, seed=5)
+        with pytest.raises(ParameterError):
+            index.query(99)
+
+
+class TestDynamicUpdates:
+    def test_deletion_resamples_stale_pointers(self, paper_graph):
+        index = ReadsIndex(paper_graph, r=50, seed=6)
+        # Remove B -> A (B is an in-neighbour of A).
+        builder = GraphBuilder.from_graph(paper_graph)
+        builder.remove_edge("B", "A")
+        new_graph = builder.build()
+        changed = index.apply_delta(new_graph, removed=[(1, 0)])
+        assert changed >= 0
+        assert_pointers_valid(index)
+        assert not np.any(index.pointers[:, 0] == 1)
+
+    def test_insertion_preserves_uniformity(self):
+        # Node 0 with in-neighbours {1}; insert 2 -> 0: pointers must mix to
+        # roughly 50/50 between 1 and 2.
+        graph = DiGraph.from_edges(3, [(1, 0)])
+        index = ReadsIndex(graph, r=4000, seed=7)
+        new_graph = DiGraph.from_edges(3, [(1, 0), (2, 0)])
+        index.apply_delta(new_graph, added=[(2, 0)])
+        assert_pointers_valid(index)
+        fraction_new = float(np.mean(index.pointers[:, 0] == 2))
+        assert fraction_new == pytest.approx(0.5, abs=0.05)
+
+    def test_deletion_to_dangling_clears_pointer(self):
+        graph = DiGraph.from_edges(2, [(1, 0)])
+        index = ReadsIndex(graph, r=30, seed=8)
+        new_graph = DiGraph.from_edges(2, [])
+        index.apply_delta(new_graph, removed=[(1, 0)])
+        assert np.all(index.pointers[:, 0] == -1)
+
+    def test_undirected_delta_touches_both_endpoints(self):
+        graph = DiGraph.from_edges(3, [(0, 1), (1, 2)], directed=False)
+        index = ReadsIndex(graph, r=40, seed=9)
+        new_graph = DiGraph.from_edges(3, [(1, 2)], directed=False)
+        index.apply_delta(new_graph, removed=[(0, 1)])
+        assert_pointers_valid(index)
+
+    def test_queries_after_update_stay_consistent(self, small_random_graph):
+        index = ReadsIndex(small_random_graph, r=100, r_q=3, seed=10)
+        edge = next(iter(small_random_graph.edges()))
+        builder = GraphBuilder.from_graph(small_random_graph)
+        builder.remove_edge(edge[0], edge[1])
+        new_graph = builder.build()
+        index.apply_delta(new_graph, removed=[edge])
+        truth = power_method_all_pairs(new_graph, 0.6)
+        scores = index.query(1)
+        assert np.abs(truth[1] - scores).max() < 0.2
+
+    def test_node_count_change_rejected(self, paper_graph):
+        index = ReadsIndex(paper_graph, r=5, seed=11)
+        bigger = DiGraph.from_edges(20, [(0, 1)])
+        with pytest.raises(ParameterError):
+            index.apply_delta(bigger)

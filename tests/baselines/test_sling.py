@@ -1,0 +1,87 @@
+"""Tests for the SLING baseline (last-meeting decomposition)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.power_method import power_method_all_pairs
+from repro.baselines.sling import (
+    SlingIndex,
+    estimate_d_monte_carlo,
+    exact_d_small_graph,
+)
+from repro.errors import ParameterError
+
+
+class TestCorrectionFactors:
+    def test_exact_d_bounds(self, paper_graph):
+        d = exact_d_small_graph(paper_graph, 0.6)
+        assert np.all(d >= 0.0)
+        assert np.all(d <= 1.0)
+
+    def test_exact_d_dangling_node_is_one(self, dangling_graph):
+        d = exact_d_small_graph(dangling_graph, 0.6)
+        # Walks from a node with no in-neighbours never move: never meet.
+        assert d[0] == pytest.approx(1.0)
+
+    def test_exact_d_pair_graph(self, tiny_pair_graph):
+        # Two walks from node 0 both step to node 2 (if both survive) and
+        # meet there: meet(0,0) = c, so d(0) = 1 - c.
+        d = exact_d_small_graph(tiny_pair_graph, 0.36)
+        assert d[0] == pytest.approx(1 - 0.36, abs=1e-9)
+        assert d[2] == pytest.approx(1.0)
+
+    def test_monte_carlo_d_matches_exact(self, paper_graph):
+        exact = exact_d_small_graph(paper_graph, 0.6)
+        estimated = estimate_d_monte_carlo(paper_graph, 0.6, 3000, seed=1)
+        assert np.abs(exact - estimated).max() < 0.04
+
+    def test_estimate_d_validation(self, paper_graph):
+        with pytest.raises(ParameterError):
+            estimate_d_monte_carlo(paper_graph, 0.6, 0)
+
+
+class TestQueries:
+    def test_exact_d_reproduces_simrank(self, small_random_graph):
+        """With the exact d(·) and a deep truncation, the SLING
+        decomposition equals the Power-Method SimRank."""
+        graph = small_random_graph
+        c = 0.6
+        truth = power_method_all_pairs(graph, c)
+        d = exact_d_small_graph(graph, c, iterations=120)
+        index = SlingIndex(graph, c=c, epsilon=0.001, d_values=d)
+        for source in (0, 9, 31):
+            scores = index.query(source)
+            assert np.abs(truth[source] - scores).max() < 0.005
+
+    def test_monte_carlo_index_close_to_truth(self, paper_graph):
+        truth = power_method_all_pairs(paper_graph, 0.6)
+        index = SlingIndex(paper_graph, c=0.6, epsilon=0.01, num_d_samples=3000, seed=2)
+        scores = index.query(0)
+        assert np.abs(truth[0] - scores).max() < 0.04
+
+    def test_source_scores_one(self, paper_graph):
+        index = SlingIndex(paper_graph, num_d_samples=20, seed=3)
+        assert index.query(4)[4] == 1.0
+
+    def test_query_validation(self, paper_graph):
+        index = SlingIndex(paper_graph, num_d_samples=10, seed=4)
+        with pytest.raises(ParameterError):
+            index.query(99)
+
+
+class TestConstruction:
+    def test_d_values_shape_checked(self, paper_graph):
+        with pytest.raises(ParameterError):
+            SlingIndex(paper_graph, d_values=np.ones(3))
+
+    def test_parameter_validation(self, paper_graph):
+        with pytest.raises(ParameterError):
+            SlingIndex(paper_graph, c=0.0)
+        with pytest.raises(ParameterError):
+            SlingIndex(paper_graph, epsilon=0.0)
+
+    def test_depth_grows_with_precision(self, paper_graph):
+        d = np.ones(paper_graph.num_nodes)
+        loose = SlingIndex(paper_graph, epsilon=0.1, d_values=d)
+        tight = SlingIndex(paper_graph, epsilon=0.001, d_values=d)
+        assert tight.depth > loose.depth

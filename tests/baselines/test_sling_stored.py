@@ -1,0 +1,100 @@
+"""Tests for the SLING stored (hitting-probability list) index."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.power_method import power_method_all_pairs
+from repro.baselines.sling import SlingIndex, SlingStoredIndex, exact_d_small_graph
+from repro.errors import ParameterError
+
+
+class TestStoredIndexQueries:
+    def test_matches_power_method_with_exact_d(self, small_random_graph):
+        graph = small_random_graph
+        c = 0.6
+        truth = power_method_all_pairs(graph, c)
+        d = exact_d_small_graph(graph, c, iterations=120)
+        index = SlingStoredIndex(
+            graph, c=c, epsilon=0.02, d_values=d, threshold=1e-4
+        )
+        for source in (0, 11, 37):
+            scores = index.query(source)
+            # Thresholding drops tiny occupancy entries on both sides.
+            assert np.abs(truth[source] - scores).max() < 0.02
+
+    def test_agrees_with_decomposition_index(self, small_random_graph):
+        graph = small_random_graph
+        d = exact_d_small_graph(graph, 0.6, iterations=120)
+        stored = SlingStoredIndex(
+            graph, c=0.6, epsilon=0.02, d_values=d, threshold=1e-5
+        )
+        light = SlingIndex(graph, c=0.6, epsilon=0.001, d_values=d)
+        for source in (3, 20):
+            assert np.abs(stored.query(source) - light.query(source)).max() < 0.01
+
+    def test_single_pair_matches_query(self, small_random_graph):
+        graph = small_random_graph
+        d = exact_d_small_graph(graph, 0.6)
+        index = SlingStoredIndex(graph, c=0.6, d_values=d, threshold=1e-5)
+        scores = index.query(5)
+        for v in (0, 9, 23):
+            if v == 5:
+                continue
+            assert index.single_pair(5, v) == pytest.approx(
+                float(scores[v]), abs=1e-9
+            )
+
+    def test_single_pair_identity(self, small_random_graph):
+        d = np.ones(small_random_graph.num_nodes)
+        index = SlingStoredIndex(small_random_graph, d_values=d)
+        assert index.single_pair(4, 4) == 1.0
+
+    def test_source_scores_one(self, paper_graph):
+        index = SlingStoredIndex(paper_graph, num_d_samples=20, seed=1)
+        assert index.query(2)[2] == 1.0
+
+
+class TestIndexStructure:
+    def test_threshold_bounds_list_entries(self, small_random_graph):
+        graph = small_random_graph
+        d = np.ones(graph.num_nodes)
+        loose = SlingStoredIndex(graph, d_values=d, threshold=0.05)
+        tight = SlingStoredIndex(graph, d_values=d, threshold=0.001)
+        assert loose.size_entries < tight.size_entries
+        for entries in loose.hit_lists:
+            for _, _, h in entries:
+                assert h >= 0.05 or h == 1.0  # level-0 root entry is 1.0
+
+    def test_inverted_index_consistent(self, paper_graph):
+        index = SlingStoredIndex(paper_graph, num_d_samples=10, seed=2)
+        for node, entries in enumerate(index.hit_lists):
+            for t, x, h in entries:
+                assert (node, h) in index.inverted[(t, x)]
+
+    def test_weighted_graph_supported(self):
+        from repro.graph.digraph import DiGraph
+
+        graph = DiGraph.from_edges(
+            4, [(2, 0), (3, 0), (2, 1)], weights=[3.0, 1.0, 1.0]
+        )
+        truth = power_method_all_pairs(graph, 0.6)
+        d = exact_d_small_graph(graph, 0.6)
+        index = SlingStoredIndex(graph, d_values=d, threshold=1e-6)
+        assert index.query(0)[1] == pytest.approx(truth[0, 1], abs=1e-6)
+
+
+class TestValidation:
+    def test_bad_threshold(self, paper_graph):
+        with pytest.raises(ParameterError):
+            SlingStoredIndex(paper_graph, num_d_samples=5, threshold=0.0)
+
+    def test_bad_d_shape(self, paper_graph):
+        with pytest.raises(ParameterError):
+            SlingStoredIndex(paper_graph, d_values=np.ones(3))
+
+    def test_bad_source(self, paper_graph):
+        index = SlingStoredIndex(paper_graph, num_d_samples=5, seed=3)
+        with pytest.raises(ParameterError):
+            index.query(99)
+        with pytest.raises(ParameterError):
+            index.single_pair(0, 99)

@@ -1,0 +1,119 @@
+"""Tests for the per-snapshot-recompute temporal adapters."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.temporal_adapters import (
+    CrashSimAlgorithm,
+    PowerMethodAlgorithm,
+    make_snapshot_algorithm,
+    temporal_query_by_recompute,
+)
+from repro.core.params import CrashSimParams
+from repro.core.queries import ThresholdQuery, TrendQuery
+from repro.errors import ExperimentError, QueryError
+from repro.graph.temporal import TemporalGraphBuilder
+
+
+def pair_temporal():
+    """sim(0, 1) = 0.6 in snapshot 0, then 0 after the rewiring."""
+    builder = TemporalGraphBuilder(4, directed=True)
+    builder.push_snapshot([(2, 0), (2, 1)])
+    builder.push_snapshot([(2, 0), (3, 1)])
+    return builder.build()
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name", ["crashsim", "probesim", "sling", "reads", "power"]
+    )
+    def test_known_names(self, name):
+        algorithm = make_snapshot_algorithm(name, seed=0)
+        assert algorithm.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ExperimentError):
+            make_snapshot_algorithm("quantum")
+
+
+class TestPowerOracleAdapter:
+    def test_exact_threshold_answer(self):
+        temporal = pair_temporal()
+        oracle = make_snapshot_algorithm("power")
+        result = temporal_query_by_recompute(
+            temporal, 0, ThresholdQuery(theta=0.3), oracle
+        )
+        # Node 1 passes snapshot 0 (0.6 > 0.3) but fails snapshot 1 (0.0).
+        assert result.survivors == ()
+
+    def test_exact_trend_answer(self):
+        temporal = pair_temporal()
+        oracle = make_snapshot_algorithm("power")
+        result = temporal_query_by_recompute(
+            temporal, 0, TrendQuery(direction="decreasing"), oracle
+        )
+        assert 1 in result.survivors
+
+    def test_query_before_prepare_rejected(self):
+        oracle = PowerMethodAlgorithm()
+        with pytest.raises(ExperimentError):
+            oracle.query(0)
+
+
+class TestMonteCarloAdapters:
+    def test_crashsim_adapter_full_vector(self, paper_graph):
+        algorithm = CrashSimAlgorithm(
+            params=CrashSimParams(n_r_override=50), seed=1
+        )
+        algorithm.prepare(paper_graph)
+        scores = algorithm.query(0)
+        assert scores.shape == (paper_graph.num_nodes,)
+        assert scores[0] == 1.0
+
+    def test_reads_adapter_advances_incrementally(self):
+        temporal = pair_temporal()
+        algorithm = make_snapshot_algorithm("reads", r=50, r_q=3, seed=2)
+        result = temporal_query_by_recompute(
+            temporal, 0, ThresholdQuery(theta=0.3), algorithm
+        )
+        # The index was updated, not rebuilt: its graph is the last snapshot.
+        assert algorithm.graph.same_structure(temporal.snapshot(1))
+        assert result.survivors == ()
+
+    def test_sling_adapter_rebuilds(self):
+        temporal = pair_temporal()
+        algorithm = make_snapshot_algorithm("sling", num_d_samples=200, seed=3)
+        result = temporal_query_by_recompute(
+            temporal, 0, ThresholdQuery(theta=0.3), algorithm
+        )
+        assert result.survivors == ()
+
+    def test_probesim_adapter(self):
+        temporal = pair_temporal()
+        algorithm = make_snapshot_algorithm("probesim", n_r=400, seed=4)
+        result = temporal_query_by_recompute(
+            temporal, 0, ThresholdQuery(theta=0.3), algorithm
+        )
+        assert result.survivors == ()
+
+    def test_history_recorded(self):
+        temporal = pair_temporal()
+        algorithm = make_snapshot_algorithm("power")
+        result = temporal_query_by_recompute(
+            temporal, 0, ThresholdQuery(theta=0.0), algorithm
+        )
+        assert len(result.history) >= 1
+        assert result.history[0][1] == pytest.approx(0.6, abs=1e-9)
+
+
+class TestDriverValidation:
+    def test_invalid_interval(self):
+        temporal = pair_temporal()
+        with pytest.raises(QueryError):
+            temporal_query_by_recompute(
+                temporal,
+                0,
+                ThresholdQuery(theta=0.1),
+                make_snapshot_algorithm("power"),
+                interval=(1, 1),
+            )

@@ -1,0 +1,66 @@
+"""Shared fixtures: small graphs with known structure, seeded RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.example_graph import example_graph, example_temporal_graph
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi, preferential_attachment
+
+
+@pytest.fixture
+def paper_graph() -> DiGraph:
+    """The 8-node running-example graph of the paper's Fig. 2."""
+    return example_graph()
+
+
+@pytest.fixture
+def paper_temporal():
+    """The 3-snapshot temporal example of the paper's Fig. 1."""
+    return example_temporal_graph()
+
+
+@pytest.fixture
+def tiny_pair_graph() -> DiGraph:
+    """Three nodes: 0 and 1 share the single in-neighbour 2, so
+    ``sim(0, 1) = c`` exactly (both reverse walks step to 2 and meet)."""
+    return DiGraph.from_edges(3, [(2, 0), (2, 1)], directed=True)
+
+
+@pytest.fixture
+def chain_graph() -> DiGraph:
+    """Directed chain 0 <- 1 <- 2 <- 3 (edges point left): a cycle-free
+    graph on which the queue and level revReach variants must agree."""
+    return DiGraph.from_edges(4, [(1, 0), (2, 1), (3, 2)], directed=True)
+
+
+@pytest.fixture
+def small_random_graph() -> DiGraph:
+    """A 60-node preferential-attachment digraph, fixed seed."""
+    return preferential_attachment(60, 3, directed=True, seed=42)
+
+
+@pytest.fixture
+def small_undirected_graph() -> DiGraph:
+    """A 50-node undirected preferential-attachment graph, fixed seed."""
+    return preferential_attachment(50, 2, directed=False, seed=7)
+
+
+@pytest.fixture
+def medium_random_graph() -> DiGraph:
+    """A 300-node graph for statistical accuracy tests."""
+    return preferential_attachment(300, 3, directed=True, seed=11)
+
+
+@pytest.fixture
+def dangling_graph() -> DiGraph:
+    """Graph with nodes that have no in-neighbours (reverse walks die)."""
+    return DiGraph.from_edges(5, [(0, 1), (2, 1), (3, 4)], directed=True)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

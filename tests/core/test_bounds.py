@@ -1,0 +1,78 @@
+"""Tests for the shared concentration-bound helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import bernstein_radius, chernoff_trial_count
+from repro.errors import ParameterError
+
+
+class TestChernoffTrialCount:
+    def test_formula(self):
+        expected = math.ceil(3 * 0.6 / 0.025**2 * math.log(1000 / 0.01))
+        assert chernoff_trial_count(1000, 0.6, 0.025, 0.01) == expected
+
+    def test_monotonicity(self):
+        base = chernoff_trial_count(1000, 0.6, 0.05, 0.01)
+        assert chernoff_trial_count(1000, 0.6, 0.025, 0.01) > base
+        assert chernoff_trial_count(10_000, 0.6, 0.05, 0.01) > base
+        assert chernoff_trial_count(1000, 0.6, 0.05, 0.001) > base
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            chernoff_trial_count(0, 0.6, 0.05, 0.01)
+        with pytest.raises(ParameterError):
+            chernoff_trial_count(10, 1.5, 0.05, 0.01)
+        with pytest.raises(ParameterError):
+            chernoff_trial_count(10, 0.6, 0.0, 0.01)
+
+
+class TestBernsteinRadius:
+    def test_scalar_and_array_agree(self):
+        scalar = bernstein_radius(0.1, 0.6, 200)
+        array = bernstein_radius(np.array([0.1, 0.1]), 0.6, 200)
+        assert isinstance(scalar, float)
+        assert np.allclose(array, scalar)
+
+    def test_shrinks_with_trials(self):
+        assert bernstein_radius(0.1, 0.6, 1000) < bernstein_radius(0.1, 0.6, 100)
+
+    def test_grows_with_score(self):
+        assert bernstein_radius(0.5, 0.6, 200) > bernstein_radius(0.01, 0.6, 200)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            bernstein_radius(0.1, 0.6, 0)
+        with pytest.raises(ParameterError):
+            bernstein_radius(0.1, 1.5, 100)
+        with pytest.raises(ParameterError):
+            bernstein_radius(0.1, 0.6, 100, z=0.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=1, max_value=100_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_positive_and_finite(self, score, trials):
+        radius = bernstein_radius(score, 0.6, trials)
+        assert radius > 0.0
+        assert math.isfinite(radius)
+
+    def test_empirical_coverage(self):
+        """The 4σ radius must cover the true mean for essentially every
+        Monte-Carlo estimate of a Bernoulli-ish crash value."""
+        rng = np.random.default_rng(0)
+        c, true_mean, trials = 0.6, 0.05, 300
+        misses = 0
+        for _ in range(300):
+            # Trial values in {0, c} with mean true_mean (variance c·s-ish).
+            samples = c * (rng.random(trials) < true_mean / c)
+            estimate = samples.mean()
+            radius = bernstein_radius(estimate, c, trials)
+            if abs(estimate - true_mean) > radius:
+                misses += 1
+        assert misses == 0

@@ -1,0 +1,224 @@
+"""Tests for the CrashSim estimator (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.power_method import power_method_all_pairs
+from repro.core.crashsim import crashsim
+from repro.core.params import CrashSimParams
+from repro.core.revreach import revreach_levels
+from repro.errors import ParameterError
+
+
+def dense_scores(graph, result):
+    scores = np.zeros(graph.num_nodes)
+    scores[result.candidates] = result.scores
+    return scores
+
+
+class TestAccuracy:
+    def test_matches_power_method_on_random_graph(self, medium_random_graph):
+        graph = medium_random_graph
+        truth = power_method_all_pairs(graph, 0.6)
+        params = CrashSimParams(c=0.6, epsilon=0.025, n_r_override=1500)
+        for source in (0, 17, 123):
+            result = crashsim(graph, source, params=params, seed=99)
+            estimate = dense_scores(graph, result)
+            estimate[source] = 1.0
+            # The literal estimator over-counts pairs of walks that meet
+            # more than once (hub neighbourhoods); 0.05 bounds bias + noise.
+            error = np.abs(truth[source] - estimate).max()
+            assert error < 0.05, f"source {source}: ME {error}"
+
+    def test_tiny_pair_graph_value(self, tiny_pair_graph):
+        # sim(0, 1) = c exactly: both walk to node 2 at step 1 and stop.
+        params = CrashSimParams(c=0.36, epsilon=0.05, n_r_override=4000)
+        result = crashsim(tiny_pair_graph, 0, params=params, seed=5)
+        assert result.score(1) == pytest.approx(0.36, abs=0.03)
+        assert result.score(2) == 0.0  # node 2's walks can never meet 0's
+
+    def test_dp_mode_unbiased_on_cyclic_graph(self, paper_graph):
+        # The example graph is small and cyclic: multi-meeting overcounting
+        # is large for the paper-literal mode, while the DP correction must
+        # stay within Monte-Carlo noise of the truth.
+        truth = power_method_all_pairs(paper_graph, 0.6)
+        params = CrashSimParams(c=0.6, epsilon=0.025, n_r_override=3000)
+        literal = crashsim(paper_graph, 0, params=params, seed=3)
+        exact = crashsim(
+            paper_graph, 0, params=params, first_meeting="dp", seed=3
+        )
+        literal_err = np.abs(truth[0] - dense_scores(paper_graph, literal))[1:].max()
+        exact_err = np.abs(truth[0] - dense_scores(paper_graph, exact))[1:].max()
+        assert exact_err < 0.02
+        assert exact_err < literal_err
+
+    def test_undirected_graph(self, small_undirected_graph):
+        graph = small_undirected_graph
+        truth = power_method_all_pairs(graph, 0.6)
+        params = CrashSimParams(n_r_override=2000)
+        result = crashsim(graph, 3, params=params, seed=11)
+        estimate = dense_scores(graph, result)
+        estimate[3] = 1.0
+        # Undirected small-world graphs have heavy multi-meeting bias for
+        # the literal estimator; the check is correspondingly loose.
+        assert np.abs(truth[3] - estimate).max() < 0.12
+
+    def test_scores_clipped_to_unit_interval(self, paper_graph):
+        result = crashsim(
+            paper_graph, 0, params=CrashSimParams(n_r_override=50), seed=0
+        )
+        assert np.all(result.scores >= 0.0)
+        assert np.all(result.scores <= 1.0)
+
+
+class TestCandidates:
+    def test_default_excludes_source(self, paper_graph):
+        result = crashsim(
+            paper_graph, 2, params=CrashSimParams(n_r_override=10), seed=0
+        )
+        assert 2 not in result.candidates
+        assert result.candidates.size == paper_graph.num_nodes - 1
+
+    def test_partial_candidate_set(self, paper_graph):
+        result = crashsim(
+            paper_graph,
+            0,
+            candidates=[3, 5],
+            params=CrashSimParams(n_r_override=10),
+            seed=0,
+        )
+        assert result.candidates.tolist() == [3, 5]
+
+    def test_source_in_candidates_scores_one(self, paper_graph):
+        result = crashsim(
+            paper_graph,
+            0,
+            candidates=[0, 1],
+            params=CrashSimParams(n_r_override=10),
+            seed=0,
+        )
+        assert result.score(0) == 1.0
+
+    def test_duplicate_candidates_deduped(self, paper_graph):
+        result = crashsim(
+            paper_graph,
+            0,
+            candidates=[3, 3, 5],
+            params=CrashSimParams(n_r_override=10),
+            seed=0,
+        )
+        assert result.candidates.tolist() == [3, 5]
+
+    def test_empty_candidates(self, paper_graph):
+        result = crashsim(
+            paper_graph,
+            0,
+            candidates=[],
+            params=CrashSimParams(n_r_override=10),
+            seed=0,
+        )
+        assert result.candidates.size == 0
+        assert result.scores.size == 0
+
+    def test_dangling_candidate_scores_zero(self, dangling_graph):
+        # Node 0 has no in-neighbours: its walk cannot move, estimator 0.
+        result = crashsim(
+            dangling_graph,
+            1,
+            candidates=[0],
+            params=CrashSimParams(n_r_override=10),
+            seed=0,
+        )
+        assert result.score(0) == 0.0
+
+    def test_out_of_range_candidate_rejected(self, paper_graph):
+        with pytest.raises(ParameterError):
+            crashsim(paper_graph, 0, candidates=[99])
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, small_random_graph):
+        params = CrashSimParams(n_r_override=100)
+        a = crashsim(small_random_graph, 1, params=params, seed=42)
+        b = crashsim(small_random_graph, 1, params=params, seed=42)
+        assert np.array_equal(a.scores, b.scores)
+
+    def test_different_seeds_differ(self, small_random_graph):
+        params = CrashSimParams(n_r_override=100)
+        a = crashsim(small_random_graph, 1, params=params, seed=1)
+        b = crashsim(small_random_graph, 1, params=params, seed=2)
+        assert not np.array_equal(a.scores, b.scores)
+
+
+class TestTreeReuse:
+    def test_precomputed_tree_accepted(self, paper_graph):
+        params = CrashSimParams(n_r_override=50)
+        tree = revreach_levels(paper_graph, 0, params.l_max, params.c)
+        result = crashsim(paper_graph, 0, params=params, tree=tree, seed=1)
+        assert result.tree is tree
+
+    def test_mismatched_tree_rejected(self, paper_graph):
+        params = CrashSimParams(n_r_override=50)
+        wrong_source = revreach_levels(paper_graph, 1, params.l_max, params.c)
+        with pytest.raises(ParameterError):
+            crashsim(paper_graph, 0, params=params, tree=wrong_source)
+        wrong_depth = revreach_levels(paper_graph, 0, 3, params.c)
+        with pytest.raises(ParameterError):
+            crashsim(paper_graph, 0, params=params, tree=wrong_depth)
+        wrong_variant = revreach_levels(
+            paper_graph, 0, params.l_max, params.c, variant="paper"
+        )
+        with pytest.raises(ParameterError):
+            crashsim(paper_graph, 0, params=params, tree=wrong_variant)
+
+
+class TestResultInterface:
+    def test_as_dict(self, paper_graph):
+        result = crashsim(
+            paper_graph, 0, params=CrashSimParams(n_r_override=10), seed=0
+        )
+        mapping = result.as_dict()
+        assert set(mapping) == set(range(1, 8))
+
+    def test_top_k_ordering(self, medium_random_graph):
+        result = crashsim(
+            medium_random_graph,
+            0,
+            params=CrashSimParams(n_r_override=300),
+            seed=0,
+        )
+        top = result.top_k(5)
+        assert len(top) == 5
+        scores = [score for _, score in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_bounds(self, paper_graph):
+        result = crashsim(
+            paper_graph, 0, params=CrashSimParams(n_r_override=10), seed=0
+        )
+        assert result.top_k(0) == []
+        assert len(result.top_k(100)) == 7
+        with pytest.raises(ParameterError):
+            result.top_k(-1)
+
+    def test_score_unknown_node_rejected(self, paper_graph):
+        result = crashsim(
+            paper_graph, 0, candidates=[2], params=CrashSimParams(n_r_override=10)
+        )
+        with pytest.raises(ParameterError):
+            result.score(5)
+
+
+class TestValidation:
+    def test_bad_source(self, paper_graph):
+        with pytest.raises(ParameterError):
+            crashsim(paper_graph, 99)
+
+    def test_bad_first_meeting(self, paper_graph):
+        with pytest.raises(ParameterError):
+            crashsim(
+                paper_graph,
+                0,
+                params=CrashSimParams(n_r_override=5),
+                first_meeting="approximate",
+            )

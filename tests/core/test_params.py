@@ -1,0 +1,124 @@
+"""Tests for the Theorem-1 parameter derivations."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import CrashSimParams
+from repro.errors import ParameterError
+
+
+class TestDerivations:
+    def test_l_max_paper_values(self):
+        # c = 0.25 -> √c = 0.5 -> (1.5)/(0.25) = 6 (Example 2's setting).
+        assert CrashSimParams(c=0.25, epsilon=0.1).l_max == 6
+        # c = 0.6 -> ≈ 34.94 -> 35 (the experiments' setting).
+        assert CrashSimParams(c=0.6, epsilon=0.025).l_max == 35
+
+    def test_p_is_geometric_cdf(self):
+        params = CrashSimParams(c=0.6, epsilon=0.025)
+        explicit = sum(
+            params.sqrt_c ** (k - 1) * (1 - params.sqrt_c)
+            for k in range(1, params.l_max + 1)
+        )
+        assert params.p == pytest.approx(explicit)
+
+    def test_p_plus_epsilon_t_is_one(self):
+        params = CrashSimParams(c=0.6, epsilon=0.025)
+        assert params.p + params.epsilon_t == pytest.approx(1.0)
+
+    def test_n_r_formula(self):
+        params = CrashSimParams(c=0.6, epsilon=0.025, delta=0.01)
+        margin = params.epsilon - params.p * params.epsilon_t
+        expected = math.ceil(3 * 0.6 / margin**2 * math.log(1000 / 0.01))
+        assert params.n_r_theoretical(1000) == expected
+
+    def test_n_r_monotone_in_nodes(self):
+        params = CrashSimParams()
+        assert params.n_r_theoretical(10_000) > params.n_r_theoretical(100)
+
+    def test_n_r_decreases_with_epsilon(self):
+        loose = CrashSimParams(epsilon=0.1)
+        tight = CrashSimParams(epsilon=0.0125)
+        assert tight.n_r_theoretical(1000) > loose.n_r_theoretical(1000)
+
+    @given(
+        st.floats(min_value=0.1, max_value=0.9),
+        st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_derivations_in_valid_ranges(self, c, epsilon):
+        try:
+            params = CrashSimParams(c=c, epsilon=epsilon)
+        except ParameterError:
+            # Small c makes the truncation slack p·ε_t exceed tight ε; the
+            # constructor must reject that combination, which is fine.
+            import math
+
+            l_max = math.ceil((1 + math.sqrt(c)) / (1 - math.sqrt(c)) ** 2)
+            slack = (1 - math.sqrt(c) ** l_max) * math.sqrt(c) ** l_max
+            assert epsilon <= slack
+            return
+        assert params.l_max >= 1
+        # For large c, (√c)^l_max underflows to exactly 0.0 in float64, so
+        # p may round to exactly 1.
+        assert 0.0 < params.p <= 1.0
+        assert 0.0 <= params.epsilon_t < 1.0
+        assert params.truncation_slack < params.epsilon
+        assert params.n_r_theoretical(100) >= 1
+
+
+class TestOverrides:
+    def test_override_wins(self):
+        params = CrashSimParams(n_r_override=7, n_r_cap=3)
+        assert params.n_r(10_000) == 7
+
+    def test_cap_clamps(self):
+        params = CrashSimParams(n_r_cap=50)
+        assert params.n_r(10_000) == 50
+
+    def test_cap_does_not_raise_small_theoretical(self):
+        params = CrashSimParams(epsilon=0.5, n_r_cap=10**9)
+        assert params.n_r(10) == params.n_r_theoretical(10)
+
+    def test_with_epsilon_copies(self):
+        base = CrashSimParams(c=0.7, epsilon=0.05, n_r_cap=99)
+        derived = base.with_epsilon(0.1)
+        assert derived.epsilon == 0.1
+        assert derived.c == 0.7
+        assert derived.n_r_cap == 99
+
+    def test_describe_mentions_values(self):
+        text = CrashSimParams().describe(100)
+        assert "l_max=35" in text
+        assert "c=0.6" in text
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"c": 0.0},
+            {"c": 1.0},
+            {"epsilon": 0.0},
+            {"epsilon": 1.0},
+            {"delta": 0.0},
+            {"delta": 1.5},
+            {"n_r_override": 0},
+            {"n_r_cap": -1},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            CrashSimParams(**kwargs)
+
+    def test_epsilon_below_truncation_slack_rejected(self):
+        # c = 0.25 gives ε_t = 0.5^6 ≈ 0.0156; ε must exceed p·ε_t.
+        with pytest.raises(ParameterError):
+            CrashSimParams(c=0.25, epsilon=0.01)
+
+    def test_n_r_requires_positive_nodes(self):
+        with pytest.raises(ParameterError):
+            CrashSimParams().n_r_theoretical(0)

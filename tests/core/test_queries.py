@@ -1,0 +1,165 @@
+"""Tests for the temporal query predicates (Definitions 4 and 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.queries import (
+    CompositeQuery,
+    TemporalQuery,
+    ThresholdQuery,
+    TrendQuery,
+)
+from repro.errors import QueryError
+
+score_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(0, 12),
+    elements=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+class TestThresholdQuery:
+    def test_masks(self):
+        query = ThresholdQuery(theta=0.5)
+        scores = np.array([0.2, 0.5, 0.8])
+        assert query.initial_mask(scores).tolist() == [False, False, True]
+        assert query.step_mask(scores, scores).tolist() == [False, False, True]
+
+    def test_strict_inequality(self):
+        query = ThresholdQuery(theta=0.3)
+        assert not query.initial_mask(np.array([0.3]))[0]
+
+    def test_invalid_theta(self):
+        with pytest.raises(QueryError):
+            ThresholdQuery(theta=-0.1)
+        with pytest.raises(QueryError):
+            ThresholdQuery(theta=1.0)
+
+    def test_protocol_conformance(self):
+        assert isinstance(ThresholdQuery(theta=0.1), TemporalQuery)
+
+    @given(score_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_step_ignores_previous(self, scores):
+        query = ThresholdQuery(theta=0.4)
+        jitter = np.zeros_like(scores)
+        assert np.array_equal(
+            query.step_mask(jitter, scores), query.initial_mask(scores)
+        )
+
+
+class TestTrendQuery:
+    def test_increasing(self):
+        query = TrendQuery(direction="increasing")
+        previous = np.array([0.1, 0.5, 0.3])
+        current = np.array([0.2, 0.4, 0.3])
+        assert query.step_mask(previous, current).tolist() == [True, False, True]
+
+    def test_decreasing(self):
+        query = TrendQuery(direction="decreasing")
+        previous = np.array([0.1, 0.5])
+        current = np.array([0.2, 0.4])
+        assert query.step_mask(previous, current).tolist() == [False, True]
+
+    def test_initial_mask_accepts_all(self):
+        query = TrendQuery()
+        assert query.initial_mask(np.array([0.0, 1.0, 0.5])).all()
+
+    def test_tolerance_absorbs_noise(self):
+        query = TrendQuery(direction="increasing", tolerance=0.05)
+        previous = np.array([0.50])
+        current = np.array([0.46])
+        assert query.step_mask(previous, current)[0]
+        assert not query.step_mask(previous, np.array([0.44]))[0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(QueryError):
+            TrendQuery(direction="sideways")
+        with pytest.raises(QueryError):
+            TrendQuery(tolerance=-0.1)
+
+    def test_describe(self):
+        assert "increasing" in TrendQuery().describe()
+        assert "0.3" in ThresholdQuery(theta=0.3).describe()
+
+    @given(score_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_directions_partition_strict_changes(self, scores):
+        """With zero tolerance, a strictly changed score passes exactly one
+        of the two trend directions; unchanged scores pass both."""
+        up = TrendQuery(direction="increasing")
+        down = TrendQuery(direction="decreasing")
+        previous = np.full_like(scores, 0.5)
+        up_mask = up.step_mask(previous, scores)
+        down_mask = down.step_mask(previous, scores)
+        assert np.array_equal(up_mask | down_mask, np.ones_like(up_mask))
+        both = up_mask & down_mask
+        assert np.array_equal(both, scores == 0.5)
+
+
+class TestCompositeQuery:
+    def test_all_mode_intersects(self):
+        query = CompositeQuery(
+            (ThresholdQuery(theta=0.1), TrendQuery(direction="increasing")),
+            mode="all",
+        )
+        previous = np.array([0.2, 0.2, 0.05])
+        current = np.array([0.25, 0.05, 0.30])
+        # candidate 0: above θ and rising -> keep; 1: falls -> drop;
+        # 2: rising and above θ -> keep.
+        assert query.step_mask(previous, current).tolist() == [True, False, True]
+
+    def test_any_mode_unions(self):
+        query = CompositeQuery(
+            (ThresholdQuery(theta=0.5), TrendQuery(direction="increasing")),
+            mode="any",
+        )
+        previous = np.array([0.1, 0.9])
+        current = np.array([0.2, 0.6])
+        # 0: below θ but rising -> keep; 1: above θ though falling -> keep.
+        assert query.step_mask(previous, current).tolist() == [True, True]
+
+    def test_initial_mask_combines(self):
+        query = CompositeQuery(
+            (ThresholdQuery(theta=0.1), ThresholdQuery(theta=0.5)), mode="all"
+        )
+        scores = np.array([0.05, 0.3, 0.7])
+        assert query.initial_mask(scores).tolist() == [False, False, True]
+
+    def test_single_subquery_is_identity(self):
+        inner = ThresholdQuery(theta=0.2)
+        composite = CompositeQuery((inner,))
+        scores = np.array([0.1, 0.3])
+        assert np.array_equal(
+            composite.initial_mask(scores), inner.initial_mask(scores)
+        )
+
+    def test_describe(self):
+        query = CompositeQuery(
+            (ThresholdQuery(theta=0.1), TrendQuery()), mode="all"
+        )
+        assert "&" in query.describe()
+        assert "|" in CompositeQuery((TrendQuery(),), mode="any").describe() or True
+
+    def test_protocol_conformance(self):
+        assert isinstance(
+            CompositeQuery((ThresholdQuery(theta=0.1),)), TemporalQuery
+        )
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            CompositeQuery(())
+        with pytest.raises(QueryError):
+            CompositeQuery((TrendQuery(),), mode="xor")
+
+    def test_nested_composites(self):
+        inner = CompositeQuery(
+            (ThresholdQuery(theta=0.1), ThresholdQuery(theta=0.2)), mode="any"
+        )
+        outer = CompositeQuery((inner, TrendQuery()), mode="all")
+        previous = np.array([0.15])
+        current = np.array([0.15])
+        assert outer.step_mask(previous, current).tolist() == [True]

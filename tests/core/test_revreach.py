@@ -1,0 +1,166 @@
+"""Tests for revReach, including the paper's worked Example 2."""
+
+import numpy as np
+import pytest
+
+from repro.core.revreach import revreach_levels, revreach_queue
+from repro.datasets.example_graph import node_id
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+
+# (step, node, probability) exactly as Example 2 states them (c = 0.25).
+EXAMPLE2_ENTRIES = [
+    (1, "B", 0.25),
+    (1, "C", 1 / 6),
+    (2, "E", 0.0625),
+    (2, "B", 1 / 24),
+    (2, "D", 1 / 24),
+    (3, "H", 0.015625),
+    (3, "A", 1 / 96),
+    (3, "E", 1 / 96),
+    (3, "B", 1 / 96),
+]
+
+
+class TestPaperExample:
+    def test_queue_paper_variant_reproduces_example2(self, paper_graph):
+        tree = revreach_queue(paper_graph, node_id("A"), 3, 0.25, variant="paper")
+        for step, label, expected in EXAMPLE2_ENTRIES:
+            assert tree.probability(step, node_id(label)) == pytest.approx(
+                expected, abs=1e-9
+            ), (step, label)
+
+    def test_example2_crash_probability(self, paper_graph):
+        # W(C) = (C, D, B, A): s_k(A,C) = U(2,B) + U(3,A) = 0.0521.
+        tree = revreach_queue(paper_graph, node_id("A"), 3, 0.25, variant="paper")
+        crash = tree.probability(2, node_id("B")) + tree.probability(3, node_id("A"))
+        assert crash == pytest.approx(0.0521, abs=5e-4)
+
+    def test_root_level(self, paper_graph):
+        tree = revreach_levels(paper_graph, node_id("A"), 3, 0.25)
+        assert tree.probability(0, node_id("A")) == 1.0
+        assert tree.total_mass(0) == 1.0
+
+
+class TestCorrectedVariant:
+    def test_level_mass_decays_by_sqrt_c(self, paper_graph):
+        # The example graph has no dangling nodes, so the occupancy mass at
+        # step k is exactly (√c)^k.
+        tree = revreach_levels(paper_graph, node_id("A"), 6, 0.25, variant="corrected")
+        for step in range(7):
+            assert tree.total_mass(step) == pytest.approx(0.5**step)
+
+    def test_matches_transition_matrix_power(self, small_random_graph):
+        graph = small_random_graph
+        c = 0.6
+        tree = revreach_levels(graph, 4, 5, c, variant="corrected")
+        operator = np.sqrt(c) * graph.reverse_transition_matrix().toarray()
+        vector = np.zeros(graph.num_nodes)
+        vector[4] = 1.0
+        for step in range(1, 6):
+            vector = vector @ operator
+            assert np.allclose(tree.matrix[step], vector, atol=1e-12)
+
+    def test_mass_lost_at_dangling_nodes(self, dangling_graph):
+        tree = revreach_levels(dangling_graph, 1, 3, 0.25, variant="corrected")
+        # I(1) = {0, 2}; both 0 and 2 are dangling, so level 2 is empty.
+        assert tree.total_mass(1) == pytest.approx(0.5)
+        assert tree.total_mass(2) == 0.0
+
+
+class TestVariantAgreement:
+    def test_queue_and_levels_agree_on_dags(self, chain_graph):
+        # Without 2-cycles the parent-exclusion rule never fires, so the
+        # literal queue algorithm equals the level propagation per variant.
+        for variant in ("corrected", "paper"):
+            by_queue = revreach_queue(chain_graph, 0, 3, 0.36, variant=variant)
+            by_levels = revreach_levels(chain_graph, 0, 3, 0.36, variant=variant)
+            assert np.allclose(by_queue.matrix, by_levels.matrix)
+
+    def test_queue_undercounts_on_two_cycles(self):
+        # 0 <-> 1: the queue's parent exclusion drops the bounce-back path,
+        # so its level-2 mass at the source is below the exact propagation.
+        graph = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        exact = revreach_levels(graph, 0, 2, 0.25, variant="corrected")
+        literal = revreach_queue(graph, 0, 2, 0.25, variant="corrected")
+        assert exact.probability(2, 0) > 0.0
+        assert literal.probability(2, 0) == 0.0
+
+
+class TestTreeInterface:
+    def test_level_sparse_view(self, paper_graph):
+        tree = revreach_levels(paper_graph, node_id("A"), 2, 0.25)
+        level1 = tree.level(1)
+        assert set(level1) == {node_id("B"), node_id("C")}
+
+    def test_support(self, chain_graph):
+        tree = revreach_levels(chain_graph, 0, 2, 0.25)
+        assert tree.support().tolist() == [0, 1, 2]
+
+    def test_same_as(self, paper_graph):
+        a = revreach_levels(paper_graph, 0, 3, 0.25)
+        b = revreach_levels(paper_graph, 0, 3, 0.25)
+        assert a.same_as(b)
+        c = revreach_levels(paper_graph, 1, 3, 0.25)
+        assert not a.same_as(c)
+        shorter = revreach_levels(paper_graph, 0, 2, 0.25)
+        assert not a.same_as(shorter)
+
+    def test_same_as_with_tolerance(self, paper_graph):
+        a = revreach_levels(paper_graph, 0, 3, 0.25)
+        perturbed = a.matrix.copy()
+        perturbed[1, 1] += 1e-12
+        from repro.core.revreach import ReverseReachableTree
+
+        b = ReverseReachableTree(
+            source=a.source, c=a.c, l_max=a.l_max, variant=a.variant,
+            matrix=perturbed,
+        )
+        assert not a.same_as(b)
+        assert a.same_as(b, tol=1e-9)
+
+    def test_matrix_is_read_only(self, paper_graph):
+        tree = revreach_levels(paper_graph, 0, 2, 0.25)
+        with pytest.raises(ValueError):
+            tree.matrix[0, 0] = 5.0
+
+    def test_probability_bounds_checked(self, paper_graph):
+        tree = revreach_levels(paper_graph, 0, 2, 0.25)
+        with pytest.raises(ParameterError):
+            tree.probability(3, 0)
+
+
+class TestPruneBelow:
+    def test_prune_below_drops_small_entries(self, medium_random_graph):
+        exact = revreach_levels(medium_random_graph, 0, 6, 0.6)
+        pruned = revreach_levels(medium_random_graph, 0, 6, 0.6, prune_below=0.01)
+        assert pruned.matrix.sum() <= exact.matrix.sum()
+        # Every surviving entry (the root's 1.0 included) clears the floor.
+        nonzero = pruned.matrix[pruned.matrix > 0]
+        if nonzero.size:
+            assert nonzero.min() >= 0.01
+
+
+class TestValidation:
+    def test_bad_source(self, paper_graph):
+        with pytest.raises(ParameterError):
+            revreach_levels(paper_graph, 99, 3, 0.25)
+
+    def test_bad_c(self, paper_graph):
+        with pytest.raises(ParameterError):
+            revreach_levels(paper_graph, 0, 3, 0.0)
+
+    def test_bad_l_max(self, paper_graph):
+        with pytest.raises(ParameterError):
+            revreach_levels(paper_graph, 0, -1, 0.25)
+
+    def test_bad_variant(self, paper_graph):
+        with pytest.raises(ParameterError):
+            revreach_levels(paper_graph, 0, 3, 0.25, variant="mystery")
+        with pytest.raises(ParameterError):
+            revreach_queue(paper_graph, 0, 3, 0.25, variant="mystery")
+
+    def test_l_max_zero_gives_root_only(self, paper_graph):
+        tree = revreach_levels(paper_graph, 0, 0, 0.25)
+        assert tree.matrix.shape == (1, paper_graph.num_nodes)
+        assert tree.total_mass(0) == 1.0

@@ -1,0 +1,121 @@
+"""Tests for the streaming temporal query session."""
+
+import numpy as np
+import pytest
+
+from repro.core.crashsim_t import crashsim_t
+from repro.core.params import CrashSimParams
+from repro.core.queries import CompositeQuery, ThresholdQuery, TrendQuery
+from repro.core.streaming import TemporalQuerySession
+from repro.errors import ParameterError, TemporalError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import evolve_snapshots, preferential_attachment
+
+PARAMS = CrashSimParams(c=0.6, epsilon=0.1, n_r_override=400)
+
+
+def pair_snapshots():
+    first = DiGraph.from_edges(4, [(2, 0), (2, 1)])
+    second = DiGraph.from_edges(4, [(2, 0), (3, 1)])
+    return first, second
+
+
+class TestStreamingBasics:
+    def test_matches_batch_driver(self):
+        """Streaming the same snapshots must select the same survivors as
+        the batch crashsim_t run with the same seed."""
+        base = preferential_attachment(40, 2, directed=True, seed=1)
+        temporal = evolve_snapshots(base, 4, churn_rate=0.02, seed=2)
+        query = ThresholdQuery(theta=0.02)
+        batch = crashsim_t(temporal, 3, query, params=PARAMS, seed=5)
+
+        session = TemporalQuerySession(3, query, params=PARAMS, seed=5)
+        for graph in temporal.snapshots():
+            session.push_snapshot(graph)
+        assert session.survivors == batch.survivors
+        assert session.snapshots_seen == temporal.num_snapshots
+
+    def test_threshold_drop_detected(self):
+        first, second = pair_snapshots()
+        session = TemporalQuerySession(
+            0, ThresholdQuery(theta=0.3), params=PARAMS, seed=1
+        )
+        assert session.push_snapshot(first) == (1,)
+        assert session.push_snapshot(second) == ()
+
+    def test_push_delta_equivalent_to_full_snapshot(self):
+        first, second = pair_snapshots()
+        by_snapshot = TemporalQuerySession(
+            0, ThresholdQuery(theta=0.3), params=PARAMS, seed=9
+        )
+        by_snapshot.push_snapshot(first)
+        by_snapshot.push_snapshot(second)
+
+        by_delta = TemporalQuerySession(
+            0, ThresholdQuery(theta=0.3), params=PARAMS, seed=9
+        )
+        by_delta.push_snapshot(first)
+        by_delta.push_delta(added=[(3, 1)], removed=[(2, 1)])
+        assert by_delta.survivors == by_snapshot.survivors
+
+    def test_scores_exposed(self):
+        first, _ = pair_snapshots()
+        session = TemporalQuerySession(
+            0, ThresholdQuery(theta=0.3), params=PARAMS, seed=2
+        )
+        session.push_snapshot(first)
+        scores = session.scores
+        assert set(scores) == {1}
+        assert scores[1] == pytest.approx(0.6, abs=0.08)
+
+    def test_composite_query(self):
+        first, second = pair_snapshots()
+        query = CompositeQuery(
+            (ThresholdQuery(theta=0.3), TrendQuery(tolerance=0.05)),
+            mode="all",
+        )
+        session = TemporalQuerySession(0, query, params=PARAMS, seed=3)
+        session.push_snapshot(first)
+        assert 1 in session.survivors
+        session.push_snapshot(second)  # similarity collapses to 0
+        assert session.survivors == ()
+
+    def test_constant_state_across_long_stream(self):
+        base = preferential_attachment(30, 2, directed=True, seed=4)
+        session = TemporalQuerySession(
+            2, ThresholdQuery(theta=0.0), params=PARAMS, seed=4
+        )
+        for _ in range(12):
+            session.push_snapshot(base)  # identical snapshots
+        assert session.snapshots_seen == 12
+        # Carried forward, never recomputed: scores are stable objects.
+        assert len(session.scores) == len(session.survivors)
+
+
+class TestStreamingValidation:
+    def test_delta_before_start_rejected(self):
+        session = TemporalQuerySession(0, ThresholdQuery(theta=0.1))
+        with pytest.raises(TemporalError):
+            session.push_delta(added=[(0, 1)])
+
+    def test_node_count_change_rejected(self):
+        first, _ = pair_snapshots()
+        session = TemporalQuerySession(
+            0, ThresholdQuery(theta=0.1), params=PARAMS
+        )
+        session.push_snapshot(first)
+        with pytest.raises(TemporalError):
+            session.push_snapshot(DiGraph.from_edges(9, [(0, 1)]))
+
+    def test_bad_source(self):
+        first, _ = pair_snapshots()
+        session = TemporalQuerySession(
+            99, ThresholdQuery(theta=0.1), params=PARAMS
+        )
+        with pytest.raises(ParameterError):
+            session.push_snapshot(first)
+
+    def test_survivors_empty_before_start(self):
+        session = TemporalQuerySession(0, ThresholdQuery(theta=0.1))
+        assert session.survivors == ()
+        assert not session.started

@@ -1,0 +1,78 @@
+"""Tests for the durable top-k temporal query."""
+
+import pytest
+
+from repro.core.params import CrashSimParams
+from repro.core.temporal_topk import durable_topk
+from repro.errors import ParameterError, QueryError
+from repro.graph.temporal import TemporalGraphBuilder
+
+PARAMS = CrashSimParams(c=0.6, epsilon=0.1, n_r_override=500)
+
+
+def staged_temporal():
+    """Node 1 is durably similar to the source (shared in-neighbour in
+    every snapshot); node 2 is similar only in snapshot 0."""
+    builder = TemporalGraphBuilder(6, directed=True)
+    builder.push_snapshot([(3, 0), (3, 1), (3, 2)])
+    builder.push_snapshot([(3, 0), (3, 1), (4, 2)])
+    builder.push_snapshot([(3, 0), (3, 1), (4, 2)])
+    return builder.build()
+
+
+class TestDurableTopK:
+    def test_durable_node_ranks_first(self):
+        temporal = staged_temporal()
+        result = durable_topk(temporal, 0, 1, params=PARAMS, seed=1)
+        assert result.nodes() == [1]
+        # Worst-case similarity of node 1 is sim = c/... > 0 everywhere.
+        assert result.ranking[0][1] > 0.1
+
+    def test_transient_node_ranked_below(self):
+        temporal = staged_temporal()
+        result = durable_topk(temporal, 0, 3, params=PARAMS, seed=2)
+        ranking = dict(result.ranking)
+        assert ranking.get(2, 0.0) < ranking[1]
+
+    def test_candidate_set_shrinks(self):
+        temporal = staged_temporal()
+        result = durable_topk(temporal, 0, 1, params=PARAMS, seed=3)
+        sizes = result.candidates_per_snapshot
+        assert sizes[0] == temporal.num_nodes - 1
+        assert sizes[-1] <= sizes[0]
+
+    def test_processes_whole_interval(self):
+        temporal = staged_temporal()
+        result = durable_topk(temporal, 0, 2, params=PARAMS, seed=4)
+        assert result.snapshots_processed == 3
+
+    def test_interval_subset(self):
+        temporal = staged_temporal()
+        result = durable_topk(
+            temporal, 0, 2, interval=(0, 2), params=PARAMS, seed=5
+        )
+        assert result.snapshots_processed == 2
+
+    def test_generalises_threshold_query(self):
+        # Every durable-top-k score must be the min over the window, so a
+        # node whose score is always above θ appears with value > θ.
+        temporal = staged_temporal()
+        result = durable_topk(temporal, 0, 5, params=PARAMS, seed=6)
+        ranking = dict(result.ranking)
+        assert ranking[1] > 0.05
+
+
+class TestValidation:
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            durable_topk(staged_temporal(), 0, 0, params=PARAMS)
+
+    def test_invalid_interval(self):
+        with pytest.raises(QueryError):
+            durable_topk(
+                staged_temporal(), 0, 2, interval=(2, 2), params=PARAMS
+            )
+
+    def test_invalid_source(self):
+        with pytest.raises(ParameterError):
+            durable_topk(staged_temporal(), 99, 2, params=PARAMS)

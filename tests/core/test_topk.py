@@ -1,0 +1,68 @@
+"""Tests for the adaptive top-k query."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.power_method import power_method_all_pairs
+from repro.core.params import CrashSimParams
+from repro.core.topk import crashsim_topk
+from repro.errors import ParameterError
+
+PARAMS = CrashSimParams(c=0.6, epsilon=0.05, n_r_override=800)
+
+
+class TestRanking:
+    def test_recovers_exact_topk(self, medium_random_graph):
+        graph = medium_random_graph
+        truth = power_method_all_pairs(graph, 0.6)
+        source = 0
+        k = 5
+        result = crashsim_topk(graph, source, k, params=PARAMS, seed=3)
+        exact_order = np.argsort(-truth[source])
+        exact_top = [int(v) for v in exact_order if v != source][:k]
+        overlap = len(set(result.nodes()) & set(exact_top))
+        assert overlap >= k - 1, (result.nodes(), exact_top)
+
+    def test_ranking_sorted_descending(self, medium_random_graph):
+        result = crashsim_topk(medium_random_graph, 1, 8, params=PARAMS, seed=4)
+        scores = [score for _, score in result.ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_pruning_reduces_candidates(self):
+        # Screening can only separate candidates when similarities have
+        # contrast: a cluster of 10 nodes sharing the source's in-hubs
+        # (sim ≈ 0.3+) against ~90 chain nodes with sim 0.
+        from repro.graph.digraph import DiGraph
+
+        edges = [(10, v) for v in range(10)] + [(11, v) for v in range(10)]
+        edges += [(v, v + 1) for v in range(12, 99)]
+        graph = DiGraph.from_edges(100, edges)
+        result = crashsim_topk(graph, 0, 3, params=PARAMS, seed=5)
+        assert result.candidates_after_pruning < graph.num_nodes // 2
+        # Everything in the ranking comes from the hub cluster.
+        assert set(result.nodes()) <= set(range(1, 10))
+
+    def test_k_larger_than_graph(self, paper_graph):
+        result = crashsim_topk(paper_graph, 0, 100, params=PARAMS, seed=6)
+        assert len(result.ranking) <= paper_graph.num_nodes - 1
+
+    def test_trial_budget_respected(self, paper_graph):
+        result = crashsim_topk(paper_graph, 0, 3, params=PARAMS, seed=7)
+        assert result.trials_spent <= PARAMS.n_r_override + 1
+
+
+class TestValidation:
+    def test_invalid_k(self, paper_graph):
+        with pytest.raises(ParameterError):
+            crashsim_topk(paper_graph, 0, 0, params=PARAMS)
+
+    def test_invalid_fraction(self, paper_graph):
+        with pytest.raises(ParameterError):
+            crashsim_topk(
+                paper_graph, 0, 3, params=PARAMS, screening_fraction=1.0
+            )
+
+    def test_deterministic(self, paper_graph):
+        a = crashsim_topk(paper_graph, 0, 3, params=PARAMS, seed=8)
+        b = crashsim_topk(paper_graph, 0, 3, params=PARAMS, seed=8)
+        assert a.ranking == b.ranking

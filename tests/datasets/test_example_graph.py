@@ -1,0 +1,81 @@
+"""Tests pinning the reconstructed paper example graphs."""
+
+import pytest
+
+from repro.core.revreach import revreach_queue
+from repro.datasets.example_graph import (
+    EXAMPLE_NODES,
+    example_graph,
+    example_temporal_graph,
+    node_id,
+)
+
+
+class TestStaticExample:
+    def test_shape(self):
+        graph = example_graph()
+        assert graph.num_nodes == 8
+        assert graph.num_edges == 15
+        assert graph.node_labels == EXAMPLE_NODES
+
+    def test_in_neighbor_structure_from_example2(self):
+        graph = example_graph()
+        expected = {
+            "A": {"B", "C"},
+            "B": {"A", "E"},
+            "C": {"A", "B", "D"},
+            "D": {"B", "C"},
+            "E": {"B", "H"},
+            "H": {"F", "G"},
+        }
+        for label, in_labels in expected.items():
+            got = {
+                EXAMPLE_NODES[i] for i in graph.in_neighbors(node_id(label))
+            }
+            assert got == in_labels, label
+
+    def test_example2_walk_is_valid(self):
+        # W(C) = (C, D, B, A) must be a valid reverse walk.
+        graph = example_graph()
+        walk = [node_id(x) for x in ("C", "D", "B", "A")]
+        for previous, current in zip(walk, walk[1:]):
+            assert current in graph.in_neighbors(previous)
+
+    def test_example2_tree_probabilities(self):
+        graph = example_graph()
+        tree = revreach_queue(graph, node_id("A"), 3, 0.25, variant="paper")
+        # The nine values Example 2 states, to the paper's printed precision.
+        assert tree.probability(1, node_id("B")) == pytest.approx(0.25)
+        assert tree.probability(1, node_id("C")) == pytest.approx(0.167, abs=5e-4)
+        assert tree.probability(2, node_id("E")) == pytest.approx(0.0625)
+        assert tree.probability(2, node_id("B")) == pytest.approx(0.0417, abs=5e-5)
+        assert tree.probability(2, node_id("D")) == pytest.approx(0.0417, abs=5e-5)
+        assert tree.probability(3, node_id("H")) == pytest.approx(0.0156, abs=5e-5)
+        assert tree.probability(3, node_id("A")) == pytest.approx(0.0104, abs=5e-5)
+        assert tree.probability(3, node_id("E")) == pytest.approx(0.0104, abs=5e-5)
+        assert tree.probability(3, node_id("B")) == pytest.approx(0.0104, abs=5e-5)
+
+
+class TestTemporalExample:
+    def test_three_snapshots(self):
+        temporal = example_temporal_graph()
+        assert temporal.num_snapshots == 3
+        assert temporal.num_nodes == 8
+
+    def test_deltas_match_figure1(self):
+        temporal = example_temporal_graph()
+        h_to_f = (node_id("H"), node_id("F"))
+        g_to_f = (node_id("G"), node_id("F"))
+        assert temporal.delta(1).removed == frozenset({h_to_f})
+        assert temporal.delta(2).added == frozenset({g_to_f})
+
+    def test_f_has_no_out_neighbors_after_delete(self):
+        # Example 3's premise.
+        snapshot = example_temporal_graph().snapshot(1)
+        assert snapshot.out_degree(node_id("F")) == 0
+
+    def test_node_id_lookup(self):
+        assert node_id("A") == 0
+        assert node_id("H") == 7
+        with pytest.raises(ValueError):
+            node_id("Z")

@@ -1,0 +1,88 @@
+"""Tests for the dataset registry and synthetic stand-ins."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASETS,
+    dataset_names,
+    load_dataset,
+    load_static_dataset,
+)
+from repro.errors import DatasetError
+
+
+class TestRegistry:
+    def test_all_five_paper_datasets_registered(self):
+        assert dataset_names() == [
+            "as733",
+            "as_caida",
+            "wiki_vote",
+            "hepth",
+            "hepph",
+        ]
+
+    def test_paper_statistics_recorded(self):
+        spec = DATASETS["wiki_vote"]
+        assert spec.paper_nodes == 7115
+        assert spec.paper_edges == 103689
+        assert spec.paper_snapshots == 100
+        assert spec.directed
+
+    def test_directedness_matches_table3(self):
+        assert not DATASETS["as733"].directed
+        assert DATASETS["as_caida"].directed
+        assert not DATASETS["hepth"].directed
+        assert DATASETS["hepph"].directed
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("enron")
+        with pytest.raises(DatasetError):
+            load_static_dataset("enron")
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_generates_with_matching_shape(self, name):
+        spec = DATASETS[name]
+        temporal = load_dataset(name, scale=0.02, num_snapshots=4, seed=0)
+        assert temporal.directed == spec.directed
+        assert temporal.num_snapshots == 4
+        assert temporal.num_nodes == spec.scaled_nodes(0.02)
+        assert temporal.name == name
+
+    def test_scale_controls_size(self):
+        small = load_static_dataset("hepth", scale=0.02, seed=0)
+        large = load_static_dataset("hepth", scale=0.05, seed=0)
+        assert large.num_nodes > small.num_nodes
+
+    def test_deterministic_for_seed(self):
+        a = load_static_dataset("wiki_vote", scale=0.02, seed=3)
+        b = load_static_dataset("wiki_vote", scale=0.02, seed=3)
+        assert a.same_structure(b)
+        c = load_static_dataset("wiki_vote", scale=0.02, seed=4)
+        assert not a.same_structure(c)
+
+    def test_growing_datasets_accrete(self):
+        temporal = load_dataset("as733", scale=0.02, num_snapshots=6, seed=0)
+        counts = temporal.edge_counts()
+        assert counts == sorted(counts)
+
+    def test_churn_datasets_stay_stable(self):
+        temporal = load_dataset("hepth", scale=0.02, num_snapshots=6, seed=0)
+        counts = temporal.edge_counts()
+        assert max(counts) - min(counts) <= max(counts) // 5
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("as733", scale=0.0)
+        with pytest.raises(DatasetError):
+            load_dataset("as733", scale=1.5)
+
+    def test_invalid_snapshots(self):
+        with pytest.raises(DatasetError):
+            load_dataset("as733", scale=0.02, num_snapshots=0)
+
+    def test_default_snapshots_follow_paper(self):
+        temporal = load_dataset("hepth", scale=0.02, seed=0)
+        assert temporal.num_snapshots == 100

@@ -1,0 +1,248 @@
+"""Smoke + shape tests for the experiment runners (tiny profile)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.ablation import run_estimator_ablation, run_pruning_ablation
+from repro.experiments.config import ExperimentProfile, PROFILES, get_profile
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import make_queries, run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.report import format_table, format_value
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+TINY = ExperimentProfile(
+    name="tiny",
+    scale=0.01,
+    datasets=("hepth",),
+    fig5_repetitions=2,
+    crashsim_epsilons=(0.1, 0.025),
+    n_r_cap=40,
+    probesim_n_r=40,
+    sling_d_samples=10,
+    reads_r=10,
+    reads_r_q=2,
+    reads_t=8,
+    fig6_snapshots=3,
+    fig6_sources=1,
+    threshold_theta=0.05,
+    fig7_snapshot_counts=(2, 3),
+)
+
+
+class TestProfiles:
+    def test_registry_names(self):
+        assert set(PROFILES) == {"quick", "default", "full"}
+
+    def test_get_profile_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert get_profile().name == "quick"
+        monkeypatch.setenv("REPRO_PROFILE", "default")
+        assert get_profile().name == "default"
+
+    def test_unknown_profile(self):
+        with pytest.raises(ExperimentError):
+            get_profile("nope")
+
+
+class TestTable2:
+    def test_rows(self):
+        rows = run_table2()
+        assert [row["node"] for row in rows] == list("ABCDEFGH")
+        assert rows[0]["sim(A, node)"] == 1.0
+        assert all(0.0 <= row["sim(A, node)"] <= 1.0 for row in rows)
+
+    def test_stable_under_more_iterations(self):
+        a = {row["node"]: row["sim(A, node)"] for row in run_table2()}
+        b = {
+            row["node"]: row["sim(A, node)"]
+            for row in run_table2(iterations=80)
+        }
+        for node in a:
+            assert a[node] == pytest.approx(b[node], abs=1e-6)
+
+
+class TestTable3:
+    def test_rows_cover_profile_datasets(self):
+        rows = run_table3(TINY)
+        assert [row["dataset"] for row in rows] == list(TINY.datasets)
+        for row in rows:
+            assert row["synth_n"] > 0
+            assert row["synth_m"] > 0
+
+
+class TestFigure5:
+    def test_rows_structure(self):
+        rows = run_figure5(TINY)
+        algorithms = {row["algorithm"] for row in rows}
+        assert "probesim" in algorithms
+        assert "sling" in algorithms
+        assert "reads" in algorithms
+        assert any(a.startswith("crashsim") for a in algorithms)
+        for row in rows:
+            assert row["mean_time_s"] >= 0.0
+            assert 0.0 <= row["mean_ME"] <= 1.0
+            assert row["queries"] == TINY.fig5_repetitions
+
+    def test_epsilon_sweep_trades_time_for_error(self):
+        rows = run_figure5(TINY)
+        crash = [r for r in rows if r["algorithm"].startswith("crashsim")]
+        loose = next(r for r in crash if "0.1" in r["algorithm"])
+        tight = next(r for r in crash if "0.025" in r["algorithm"])
+        # Tighter ε runs more trials, hence at least as slow.
+        assert tight["mean_time_s"] >= loose["mean_time_s"] * 0.5
+
+
+class TestFigure6:
+    def test_rows_structure(self):
+        rows = run_figure6(TINY)
+        queries = {row["query"] for row in rows}
+        assert queries == {"trend", "threshold"}
+        for row in rows:
+            assert 0.0 <= row["precision"] <= 1.0
+
+    def test_make_queries(self):
+        queries = make_queries(TINY)
+        assert set(queries) == {"trend", "threshold"}
+
+    def test_oracle_survivor_sets_match_adapter(self):
+        """The batched oracle must answer exactly like the per-source
+        power-method adapter."""
+        from repro.baselines.temporal_adapters import (
+            make_snapshot_algorithm,
+            temporal_query_by_recompute,
+        )
+        from repro.core.queries import ThresholdQuery
+        from repro.datasets.registry import load_dataset
+        from repro.experiments.figure6 import oracle_survivor_sets
+
+        temporal = load_dataset("hepth", scale=0.01, num_snapshots=3, seed=0)
+        query = ThresholdQuery(theta=0.03)
+        sources = [0, 5, 11]
+        batched = oracle_survivor_sets(temporal, sources, query, c=0.6)
+        for source in sources:
+            adapter = make_snapshot_algorithm("power", c=0.6)
+            expected = temporal_query_by_recompute(
+                temporal, source, query, adapter
+            ).survivor_set
+            assert batched[source] == expected, source
+
+
+class TestFigure7:
+    def test_series_structure(self):
+        rows = run_figure7(TINY, dataset="hepth")
+        counts = sorted({row["snapshots"] for row in rows})
+        assert counts == [2, 3]
+        algorithms = {row["algorithm"] for row in rows}
+        assert algorithms == {"crashsim_t", "probesim", "sling", "reads"}
+        assert all(row["total_time_s"] >= 0 for row in rows)
+
+
+class TestAblations:
+    def test_pruning_ablation_rows(self):
+        rows = run_pruning_ablation(TINY, dataset="hepth")
+        labels = [row["pruning"] for row in rows]
+        assert labels == ["none", "delta_only", "difference_only", "both"]
+        none_row = rows[0]
+        assert none_row["carried"] == 0
+
+    def test_estimator_ablation_rows(self):
+        rows = run_estimator_ablation(TINY, dataset="hepth", num_sources=1)
+        combos = {(r["tree_variant"], r["first_meeting"]) for r in rows}
+        assert combos == {
+            ("corrected", "none"),
+            ("corrected", "dp"),
+            ("paper", "none"),
+            ("paper", "dp"),
+        }
+
+
+class TestScalability:
+    def test_rows_cover_scales_and_algorithms(self):
+        from repro.experiments.scalability import run_scalability
+
+        rows = run_scalability(
+            TINY, dataset="hepth", scales=(0.01, 0.02), repetitions=1
+        )
+        scales = sorted({row["scale"] for row in rows})
+        assert scales == [0.01, 0.02]
+        algorithms = {row["algorithm"] for row in rows}
+        assert algorithms == {
+            "crashsim",
+            "probesim",
+            "sling_query",
+            "reads_query",
+        }
+        by_scale = {
+            scale: next(
+                r["n"] for r in rows if r["scale"] == scale
+            )
+            for scale in scales
+        }
+        assert by_scale[0.02] > by_scale[0.01]
+
+
+class TestSensitivity:
+    def test_c_sweep_rows(self):
+        from repro.experiments.sensitivity import run_c_sensitivity
+
+        rows = run_c_sensitivity(
+            TINY, dataset="hepth", c_values=(0.4, 0.6), repetitions=1
+        )
+        assert len(rows) == 4
+        by_c = {
+            (row["c"], row["algorithm"]): row["l_max"] for row in rows
+        }
+        # l_max grows with c (Lemma 1's formula).
+        assert by_c[(0.6, "crashsim")] > by_c[(0.4, "crashsim")]
+
+    def test_theta_sweep_rows(self):
+        from repro.experiments.sensitivity import run_theta_sensitivity
+
+        rows = run_theta_sensitivity(TINY, dataset="hepth", thetas=(0.01, 0.2))
+        assert [row["theta"] for row in rows] == [0.01, 0.2]
+        # A stricter threshold cannot keep more survivors.
+        assert rows[1]["survivors"] <= rows[0]["survivors"]
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(0.123456) == "0.1235"
+        assert format_value(1.5e-7) == "1.500e-07"
+        assert format_value(3) == "3"
+        assert format_value("x") == "x"
+        assert format_value(0.0) == "0"
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_series(self):
+        from repro.experiments.report import format_series
+
+        rows = [
+            {"snapshots": 10, "algorithm": "a", "t": 1.0},
+            {"snapshots": 20, "algorithm": "a", "t": 2.0},
+            {"snapshots": 10, "algorithm": "bb", "t": 0.5},
+            {"snapshots": 20, "algorithm": "bb", "t": 4.0},
+        ]
+        text = format_series(rows, x="snapshots", y="t", group="algorithm")
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert lines[1].startswith("bb")
+        # The global maximum (bb at 20) renders as the tallest block.
+        assert "█" in lines[1]
+        assert "x: 10, 20" in lines[-1]
+
+    def test_format_series_empty(self):
+        from repro.experiments.report import format_series
+
+        assert "(no rows)" in format_series([], x="x", y="y", group="g")

@@ -1,0 +1,56 @@
+"""Tests for the one-shot markdown report."""
+
+import pytest
+
+from repro.experiments.full_report import _markdown_table, generate_report, write_report
+from tests.experiments.test_experiments import TINY
+
+
+class TestMarkdownTable:
+    def test_renders_rows(self):
+        text = _markdown_table([{"a": 1, "b": 0.5}, {"a": 2, "b": 0.25}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 0.5 |"
+
+    def test_empty(self):
+        assert "(no rows)" in _markdown_table([])
+
+
+class TestReportGeneration:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(TINY)
+
+    def test_header(self, report):
+        assert report.startswith("# CrashSim reproduction report")
+        assert "profile: `tiny`" in report
+
+    def test_all_sections_present(self, report):
+        for title in (
+            "Table II",
+            "Table III",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "Pruning ablation",
+            "Estimator ablation",
+            "Scalability",
+            "Sensitivity — decay factor c",
+            "Sensitivity — threshold θ",
+        ):
+            assert title in report, title
+
+    def test_write_report(self, tmp_path, report, monkeypatch):
+        import repro.experiments.full_report as module
+
+        monkeypatch.setattr(module, "generate_report", lambda profile=None: report)
+        path = write_report(tmp_path / "sub" / "report.md", TINY)
+        assert path.read_text() == report
+
+    def test_cli_requires_out(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["report"])

@@ -1,0 +1,81 @@
+"""Tests for JSON result serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.serialization import load_rows, rows_differ, save_rows
+
+ROWS = [
+    {"dataset": "hepth", "algorithm": "crashsim", "mean_time_s": 0.01, "mean_ME": 0.02},
+    {"dataset": "hepth", "algorithm": "probesim", "mean_time_s": 0.03, "mean_ME": 0.01},
+]
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = save_rows(
+            ROWS, tmp_path / "out" / "fig5.json", experiment="fig5", profile="quick"
+        )
+        rows, meta = load_rows(path)
+        assert rows == ROWS
+        assert meta["experiment"] == "fig5"
+        assert meta["profile"] == "quick"
+        assert meta["format_version"] == 1
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_rows(tmp_path / "nope.json")
+
+    def test_wrong_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ExperimentError):
+            load_rows(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"format_version": 99, "rows": []}))
+        with pytest.raises(ExperimentError):
+            load_rows(path)
+
+
+class TestDiff:
+    def test_identical(self):
+        assert rows_differ(ROWS, ROWS) == []
+
+    def test_timing_fields_ignored(self):
+        noisy = [dict(row, mean_time_s=row["mean_time_s"] * 10) for row in ROWS]
+        assert rows_differ(ROWS, noisy) == []
+
+    def test_numeric_drift_within_tolerance(self):
+        close = [dict(row, mean_ME=row["mean_ME"] * 1.1) for row in ROWS]
+        assert rows_differ(ROWS, close) == []
+
+    def test_numeric_drift_beyond_tolerance(self):
+        far = [dict(row, mean_ME=row["mean_ME"] * 3) for row in ROWS]
+        problems = rows_differ(ROWS, far)
+        assert len(problems) == 2
+        assert "mean_ME" in problems[0]
+
+    def test_categorical_change(self):
+        changed = [dict(ROWS[0], algorithm="sling"), ROWS[1]]
+        problems = rows_differ(ROWS, changed)
+        assert any("algorithm" in p for p in problems)
+
+    def test_row_count_change(self):
+        assert rows_differ(ROWS, ROWS[:1]) == [
+            "row count changed: 2 -> 1"
+        ]
+
+
+class TestCliIntegration:
+    def test_save_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "table2.json"
+        assert main(["table2", "--save", str(out)]) == 0
+        rows, meta = load_rows(out)
+        assert meta["experiment"] == "table2"
+        assert len(rows) == 8

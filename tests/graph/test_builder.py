@@ -1,0 +1,117 @@
+"""Tests for GraphBuilder: interning, mutation, round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EdgeNotFoundError, GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import DiGraph
+
+
+class TestNodes:
+    def test_add_node_idempotent(self):
+        builder = GraphBuilder()
+        first = builder.add_node("x")
+        second = builder.add_node("x")
+        assert first == second
+        assert builder.num_nodes == 1
+
+    def test_node_id_unknown_raises(self):
+        builder = GraphBuilder()
+        with pytest.raises(GraphError):
+            builder.node_id("missing")
+
+    def test_labels_preserved_in_build(self):
+        builder = GraphBuilder()
+        builder.add_edge("alpha", "beta")
+        graph = builder.build()
+        assert graph.node_labels == ("alpha", "beta")
+
+
+class TestEdges:
+    def test_add_remove_cycle(self):
+        builder = GraphBuilder()
+        builder.add_edge(1, 2)
+        assert builder.has_edge(1, 2)
+        builder.remove_edge(1, 2)
+        assert not builder.has_edge(1, 2)
+        with pytest.raises(EdgeNotFoundError):
+            builder.remove_edge(1, 2)
+
+    def test_remove_unknown_node_edge_raises(self):
+        builder = GraphBuilder()
+        with pytest.raises(EdgeNotFoundError):
+            builder.remove_edge("a", "b")
+
+    def test_self_loop_ignored(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "a")
+        assert builder.num_edges == 0
+        assert builder.num_nodes == 1
+
+    def test_undirected_canonicalises(self):
+        builder = GraphBuilder(directed=False)
+        builder.add_edge("a", "b")
+        builder.add_edge("b", "a")
+        assert builder.num_edges == 1
+        assert builder.has_edge("b", "a")
+        builder.remove_edge("b", "a")
+        assert builder.num_edges == 0
+
+    def test_add_edges_bulk(self):
+        builder = GraphBuilder()
+        builder.add_edges([("a", "b"), ("b", "c"), ("a", "b")])
+        assert builder.num_edges == 2
+
+
+class TestBuild:
+    def test_build_empty(self):
+        graph = GraphBuilder().build()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+    def test_build_directed_structure(self):
+        builder = GraphBuilder()
+        builder.add_edges([("b", "a"), ("c", "a")])
+        graph = builder.build()
+        a = builder.node_id("a")
+        assert graph.in_degree(a) == 2
+        assert graph.out_degree(a) == 0
+
+    def test_build_undirected_structure(self):
+        builder = GraphBuilder(directed=False)
+        builder.add_edges([("a", "b"), ("b", "c")])
+        graph = builder.build()
+        assert not graph.directed
+        assert graph.num_edges == 2
+        b = builder.node_id("b")
+        assert graph.in_degree(b) == 2
+
+    def test_from_graph_round_trip(self, paper_graph):
+        rebuilt = GraphBuilder.from_graph(paper_graph).build()
+        assert rebuilt.same_structure(paper_graph)
+        assert rebuilt.node_labels == paper_graph.node_labels
+
+    def test_from_graph_round_trip_undirected(self, small_undirected_graph):
+        rebuilt = GraphBuilder.from_graph(small_undirected_graph).build()
+        assert rebuilt.same_structure(small_undirected_graph)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=40
+        ),
+        st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_build_matches_from_edges(self, edges, directed):
+        """Builder output must equal the direct DiGraph construction when
+        fed identical integer edges in identical insertion order."""
+        builder = GraphBuilder(directed=directed)
+        for node in range(9):
+            builder.add_node(node)
+        builder.add_edges(edges)
+        built = builder.build()
+        direct = DiGraph.from_edges(9, edges, directed=directed)
+        assert built.num_edges == direct.num_edges
+        assert built.edge_set() == direct.edge_set()

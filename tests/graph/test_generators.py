@@ -1,0 +1,149 @@
+"""Tests for synthetic graph generators and temporal synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, TemporalError
+from repro.graph.generators import (
+    copying_model,
+    erdos_renyi,
+    evolve_snapshots,
+    growing_snapshots,
+    preferential_attachment,
+)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        graph = erdos_renyi(30, 60, seed=0)
+        assert graph.num_edges == 60
+        assert graph.num_nodes == 30
+
+    def test_undirected(self):
+        graph = erdos_renyi(20, 30, directed=False, seed=1)
+        assert graph.num_edges == 30
+        assert graph.num_arcs == 60
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(3, 100, seed=0)
+
+    def test_deterministic(self):
+        a = erdos_renyi(25, 50, seed=5)
+        b = erdos_renyi(25, 50, seed=5)
+        assert a.same_structure(b)
+
+
+class TestPreferentialAttachment:
+    def test_size(self):
+        graph = preferential_attachment(100, 3, seed=0)
+        assert graph.num_nodes == 100
+        # seed clique + 3 per subsequent node
+        assert graph.num_edges >= 3 * (100 - 4)
+
+    def test_heavy_tail(self):
+        graph = preferential_attachment(400, 2, directed=True, seed=0)
+        degrees = np.sort(graph.in_degrees())[::-1]
+        # Degree concentration: the top node should dominate the median.
+        assert degrees[0] >= 5 * max(int(np.median(degrees)), 1)
+
+    def test_undirected_degrees(self):
+        graph = preferential_attachment(60, 2, directed=False, seed=3)
+        assert not graph.directed
+        assert int(graph.in_degrees().min()) >= 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            preferential_attachment(5, 0)
+        with pytest.raises(GraphError):
+            preferential_attachment(3, 3)
+
+    def test_deterministic(self):
+        a = preferential_attachment(80, 3, seed=9)
+        b = preferential_attachment(80, 3, seed=9)
+        assert a.same_structure(b)
+
+
+class TestCopyingModel:
+    def test_size_and_out_degree(self):
+        graph = copying_model(100, 5, seed=0)
+        assert graph.num_nodes == 100
+        out_degrees = graph.out_degrees()
+        # All non-seed nodes emit exactly out_degree arcs.
+        assert np.all(out_degrees[6:] == 5)
+
+    def test_copy_probability_bounds(self):
+        with pytest.raises(GraphError):
+            copying_model(50, 3, copy_probability=1.5)
+        with pytest.raises(GraphError):
+            copying_model(50, 3, copy_probability=-0.1)
+
+    def test_skew_increases_with_copy_probability(self):
+        uniform = copying_model(300, 4, copy_probability=0.0, seed=2)
+        skewed = copying_model(300, 4, copy_probability=0.9, seed=2)
+        assert skewed.in_degrees().max() > uniform.in_degrees().max()
+
+
+class TestEvolveSnapshots:
+    def test_horizon_and_churn(self):
+        base = preferential_attachment(80, 2, seed=0)
+        temporal = evolve_snapshots(base, 5, churn_rate=0.02, seed=1)
+        assert temporal.num_snapshots == 5
+        expected_changes = max(1, round(0.02 * base.num_edges))
+        for index in range(1, 5):
+            delta = temporal.delta(index)
+            assert len(delta.removed) == expected_changes
+            # Additions may fall short only if sampling struggled; with this
+            # density it must succeed.
+            assert len(delta.added) == expected_changes
+
+    def test_first_snapshot_is_base(self):
+        base = preferential_attachment(40, 2, seed=3)
+        temporal = evolve_snapshots(base, 3, seed=4)
+        assert temporal.snapshot(0).same_structure(base)
+
+    def test_edge_count_roughly_stable(self):
+        base = preferential_attachment(60, 2, seed=5)
+        temporal = evolve_snapshots(base, 10, churn_rate=0.05, seed=6)
+        counts = temporal.edge_counts()
+        assert max(counts) - min(counts) <= max(counts) // 4
+
+    def test_invalid_parameters(self):
+        base = preferential_attachment(20, 2, seed=0)
+        with pytest.raises(TemporalError):
+            evolve_snapshots(base, 0)
+        with pytest.raises(TemporalError):
+            evolve_snapshots(base, 3, churn_rate=2.0)
+
+    def test_undirected_base(self):
+        base = preferential_attachment(40, 2, directed=False, seed=7)
+        temporal = evolve_snapshots(base, 4, seed=8)
+        assert not temporal.directed
+        for graph in temporal.snapshots():
+            assert not graph.directed
+
+
+class TestGrowingSnapshots:
+    def test_monotone_growth(self):
+        final = preferential_attachment(60, 2, seed=0)
+        temporal = growing_snapshots(final, 6, initial_fraction=0.5, seed=1)
+        counts = temporal.edge_counts()
+        assert counts == sorted(counts)
+        assert counts[-1] == final.num_edges
+        for index in range(1, 6):
+            assert not temporal.delta(index).removed
+
+    def test_last_snapshot_equals_final(self):
+        final = preferential_attachment(50, 2, seed=2)
+        temporal = growing_snapshots(final, 4, seed=3)
+        assert temporal.snapshot(3).same_structure(final)
+
+    def test_single_snapshot(self):
+        final = preferential_attachment(30, 2, seed=4)
+        temporal = growing_snapshots(final, 1, initial_fraction=0.4, seed=5)
+        assert temporal.num_snapshots == 1
+
+    def test_invalid_fraction(self):
+        final = preferential_attachment(30, 2, seed=4)
+        with pytest.raises(TemporalError):
+            growing_snapshots(final, 3, initial_fraction=0.0)

@@ -1,0 +1,140 @@
+"""Round-trip tests for the SNAP-style edge-list and snapshot-directory I/O."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.generators import preferential_attachment
+from repro.graph.io import (
+    read_edge_list,
+    read_snapshot_directory,
+    write_edge_list,
+    write_snapshot_directory,
+)
+from repro.graph.temporal import TemporalGraphBuilder
+
+
+class TestEdgeList:
+    def test_round_trip_directed(self, tmp_path, small_random_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(small_random_graph, path, header="test graph")
+        loaded = read_edge_list(path, directed=True)
+        assert loaded.num_nodes == small_random_graph.num_nodes
+        assert loaded.num_edges == small_random_graph.num_edges
+
+    def test_round_trip_undirected(self, tmp_path, small_undirected_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(small_undirected_graph, path)
+        loaded = read_edge_list(path, directed=False)
+        assert loaded.num_edges == small_undirected_graph.num_edges
+
+    def test_snap_format_parsing(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text(
+            "# Directed graph (each unordered pair of nodes is saved once)\n"
+            "# FromNodeId\tToNodeId\n"
+            "30\t1412\n"
+            "30\t3352\n"
+            "% alternate comment style\n"
+            "3\t30\n"
+        )
+        graph = read_edge_list(path)
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 3
+        assert graph.node_labels == ("30", "1412", "3352", "3")
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("justone\n")
+        with pytest.raises(DatasetError):
+            read_edge_list(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_edge_list(tmp_path / "nope.txt")
+
+
+class TestCaidaAsrel:
+    def test_parses_pipe_format(self, tmp_path):
+        from repro.graph.io import read_caida_asrel
+
+        path = tmp_path / "as-rel.txt"
+        path.write_text(
+            "# source: CAIDA AS relationships\n"
+            "1|2|-1\n"
+            "3|2|-1\n"
+            "2|4|0\n"
+        )
+        graph = read_caida_asrel(path)
+        assert graph.num_nodes == 4
+        labels = {label: i for i, label in enumerate(graph.node_labels)}
+        assert graph.has_edge(labels["1"], labels["2"])
+        # Peering (rel 0) is mutual.
+        assert graph.has_edge(labels["2"], labels["4"])
+        assert graph.has_edge(labels["4"], labels["2"])
+        assert not graph.has_edge(labels["2"], labels["1"])
+
+    def test_two_column_lines_accepted(self, tmp_path):
+        from repro.graph.io import read_caida_asrel
+
+        path = tmp_path / "rel.txt"
+        path.write_text("5|6\n")
+        graph = read_caida_asrel(path)
+        assert graph.num_edges == 1
+
+    def test_malformed_line_rejected(self, tmp_path):
+        from repro.errors import DatasetError
+        from repro.graph.io import read_caida_asrel
+
+        path = tmp_path / "bad.txt"
+        path.write_text("justone\n")
+        with pytest.raises(DatasetError):
+            read_caida_asrel(path)
+
+    def test_missing_file(self, tmp_path):
+        from repro.errors import DatasetError
+        from repro.graph.io import read_caida_asrel
+
+        with pytest.raises(DatasetError):
+            read_caida_asrel(tmp_path / "nope.txt")
+
+
+class TestSnapshotDirectory:
+    def build_temporal(self):
+        builder = TemporalGraphBuilder(4, directed=True, name="mini")
+        builder.push_snapshot([(0, 1), (1, 2)])
+        builder.push_snapshot([(0, 1), (2, 3)])
+        builder.push_snapshot([(2, 3)])
+        return builder.build()
+
+    def test_round_trip(self, tmp_path):
+        temporal = self.build_temporal()
+        write_snapshot_directory(temporal, tmp_path / "snaps")
+        loaded = read_snapshot_directory(tmp_path / "snaps", directed=True)
+        assert loaded.num_snapshots == temporal.num_snapshots
+        # Node identity can be renumbered by first-seen order; compare via
+        # labels, which the writer emitted as original ids.
+        for index in range(temporal.num_snapshots):
+            original = temporal.snapshot(index)
+            relabeled = loaded.snapshot(index)
+            labels = relabeled.node_labels
+            edges = {
+                (labels[s], labels[t]) for s, t in relabeled.edges()
+            }
+            expected = {(str(s), str(t)) for s, t in original.edges()}
+            assert edges == expected
+
+    def test_empty_directory_rejected(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(DatasetError):
+            read_snapshot_directory(tmp_path / "empty")
+
+    def test_isolated_nodes_preserved_across_snapshots(self, tmp_path):
+        # A node present only in snapshot 0 must still exist (isolated) in
+        # later snapshots: the paper's temporal model fixes V.
+        directory = tmp_path / "snaps"
+        directory.mkdir()
+        (directory / "a.txt").write_text("1\t2\n3\t1\n")
+        (directory / "b.txt").write_text("1\t2\n")
+        temporal = read_snapshot_directory(directory)
+        assert temporal.num_nodes == 3
+        assert temporal.snapshot(1).num_nodes == 3

@@ -1,0 +1,52 @@
+"""Tests for graph/temporal statistics (Table III inputs)."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.stats import graph_stats, temporal_stats
+from repro.graph.temporal import TemporalGraphBuilder
+
+
+class TestGraphStats:
+    def test_basic(self, paper_graph):
+        stats = graph_stats(paper_graph)
+        assert stats.num_nodes == 8
+        assert stats.num_edges == 15
+        assert stats.directed
+        assert stats.max_in_degree == 3  # node C
+        assert stats.dangling_nodes == 0
+
+    def test_dangling_counted(self, dangling_graph):
+        stats = graph_stats(dangling_graph)
+        # Nodes 0, 2, 3 have no in-neighbours.
+        assert stats.dangling_nodes == 3
+
+    def test_empty_graph(self):
+        stats = graph_stats(DiGraph.from_edges(0, []))
+        assert stats.num_nodes == 0
+        assert stats.mean_in_degree == 0.0
+
+    def test_as_row_keys(self, paper_graph):
+        row = graph_stats(paper_graph).as_row()
+        assert row["n"] == 8
+        assert row["type"] == "Directed"
+
+
+class TestTemporalStats:
+    def test_deltas_summarised(self):
+        builder = TemporalGraphBuilder(4, name="mini")
+        builder.push_snapshot([(0, 1)])
+        builder.push_snapshot([(0, 1), (1, 2), (2, 3)])
+        builder.push_snapshot([(1, 2), (2, 3)])
+        stats = temporal_stats(builder.build())
+        assert stats.num_snapshots == 3
+        assert stats.mean_delta_size == (2 + 1) / 2
+        assert stats.max_delta_size == 2
+        assert stats.first_snapshot.num_edges == 1
+        assert stats.last_snapshot.num_edges == 2
+        assert stats.as_row()["dataset"] == "mini"
+
+    def test_single_snapshot(self):
+        builder = TemporalGraphBuilder(2)
+        builder.push_snapshot([(0, 1)])
+        stats = temporal_stats(builder.build())
+        assert stats.mean_delta_size == 0.0
+        assert stats.max_delta_size == 0

@@ -1,0 +1,174 @@
+"""Tests for temporal graphs: deltas, snapshot materialisation, windows."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SnapshotIndexError, TemporalError
+from repro.graph.temporal import EdgeDelta, TemporalGraph, TemporalGraphBuilder
+
+
+def build_simple():
+    builder = TemporalGraphBuilder(4, directed=True, name="t")
+    builder.push_snapshot([(0, 1), (1, 2)])
+    builder.push_snapshot([(0, 1), (1, 2), (2, 3)])
+    builder.push_snapshot([(0, 1), (2, 3)])
+    return builder.build()
+
+
+class TestEdgeDelta:
+    def test_between(self):
+        delta = EdgeDelta.between({(0, 1), (1, 2)}, {(1, 2), (2, 3)})
+        assert delta.added == frozenset({(2, 3)})
+        assert delta.removed == frozenset({(0, 1)})
+        assert delta.num_changed == 2
+        assert not delta.is_empty()
+
+    def test_apply_round_trip(self):
+        old = {(0, 1), (1, 2)}
+        new = {(1, 2), (3, 1)}
+        delta = EdgeDelta.between(old, new)
+        assert delta.apply(old) == new
+
+    def test_apply_rejects_missing_removal(self):
+        delta = EdgeDelta(added=frozenset(), removed=frozenset({(9, 9)}))
+        with pytest.raises(TemporalError):
+            delta.apply({(0, 1)})
+
+    def test_apply_rejects_duplicate_addition(self):
+        delta = EdgeDelta(added=frozenset({(0, 1)}), removed=frozenset())
+        with pytest.raises(TemporalError):
+            delta.apply({(0, 1)})
+
+    @given(
+        st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=15),
+        st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=15),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_between_apply_inverse(self, old, new):
+        """between(old, new) applied to old always reproduces new."""
+        delta = EdgeDelta.between(old, new)
+        assert delta.apply(set(old)) == new
+
+
+class TestTemporalGraph:
+    def test_horizon_and_indexing(self):
+        temporal = build_simple()
+        assert temporal.num_snapshots == 3
+        assert len(temporal) == 3
+        assert temporal.snapshot(-1).same_structure(temporal.snapshot(2))
+
+    def test_snapshot_edges(self):
+        temporal = build_simple()
+        assert temporal.edges_at(0) == frozenset({(0, 1), (1, 2)})
+        assert temporal.edges_at(1) == frozenset({(0, 1), (1, 2), (2, 3)})
+        assert temporal.edges_at(2) == frozenset({(0, 1), (2, 3)})
+
+    def test_snapshot_graphs_consistent(self):
+        temporal = build_simple()
+        for index in range(3):
+            graph = temporal.snapshot(index)
+            assert set(graph.edges()) == set(temporal.edges_at(index))
+
+    def test_snapshot_cache_returns_same_object(self):
+        temporal = build_simple()
+        assert temporal.snapshot(1) is temporal.snapshot(1)
+
+    def test_delta_access(self):
+        temporal = build_simple()
+        assert temporal.delta(1).added == frozenset({(2, 3)})
+        assert temporal.delta(2).removed == frozenset({(1, 2)})
+        with pytest.raises(TemporalError):
+            temporal.delta(0)
+
+    def test_out_of_range_raises(self):
+        temporal = build_simple()
+        with pytest.raises(SnapshotIndexError):
+            temporal.snapshot(3)
+        with pytest.raises(SnapshotIndexError):
+            temporal.edges_at(-4)
+
+    def test_window(self):
+        temporal = build_simple()
+        window = temporal.window(1, 3)
+        assert window.num_snapshots == 2
+        assert window.edges_at(0) == temporal.edges_at(1)
+        assert window.edges_at(1) == temporal.edges_at(2)
+
+    def test_window_invalid(self):
+        temporal = build_simple()
+        with pytest.raises(TemporalError):
+            temporal.window(2, 2)
+        with pytest.raises(TemporalError):
+            temporal.window(0, 9)
+
+    def test_edge_counts(self):
+        assert build_simple().edge_counts() == [2, 3, 2]
+
+    def test_paper_temporal_example(self, paper_temporal):
+        # Fig. 1: H -> F removed after snapshot 0, G -> F added at snapshot 2.
+        assert paper_temporal.num_snapshots == 3
+        h, f, g = 7, 5, 6
+        assert paper_temporal.snapshot(0).has_edge(h, f)
+        assert not paper_temporal.snapshot(1).has_edge(h, f)
+        assert paper_temporal.snapshot(2).has_edge(g, f)
+
+
+class TestTemporalGraphBuilder:
+    def test_empty_build_rejected(self):
+        with pytest.raises(TemporalError):
+            TemporalGraphBuilder(3).build()
+
+    def test_delta_before_snapshot_rejected(self):
+        builder = TemporalGraphBuilder(3)
+        with pytest.raises(TemporalError):
+            builder.push_delta(added=[(0, 1)])
+
+    def test_push_delta_filters_redundant_changes(self):
+        builder = TemporalGraphBuilder(3)
+        builder.push_snapshot([(0, 1)])
+        # Adding an existing edge and removing a missing one are no-ops.
+        builder.push_delta(added=[(0, 1), (1, 2)], removed=[(2, 0)])
+        temporal = builder.build()
+        assert temporal.edges_at(1) == frozenset({(0, 1), (1, 2)})
+
+    def test_out_of_range_edge_rejected(self):
+        builder = TemporalGraphBuilder(2)
+        with pytest.raises(TemporalError):
+            builder.push_snapshot([(0, 5)])
+
+    def test_undirected_canonicalisation(self):
+        builder = TemporalGraphBuilder(3, directed=False)
+        builder.push_snapshot([(1, 0), (2, 1)])
+        builder.push_delta(removed=[(0, 1)])
+        temporal = builder.build()
+        assert temporal.edges_at(0) == frozenset({(0, 1), (1, 2)})
+        assert temporal.edges_at(1) == frozenset({(1, 2)})
+        graph = temporal.snapshot(0)
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+
+    def test_self_loops_dropped(self):
+        builder = TemporalGraphBuilder(3)
+        builder.push_snapshot([(0, 0), (0, 1)])
+        assert builder.build().edges_at(0) == frozenset({(0, 1)})
+
+    @given(
+        st.lists(
+            st.sets(
+                st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=10
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_round_trip(self, snapshots):
+        """push_snapshot then edges_at reproduces each (canonical) input."""
+        builder = TemporalGraphBuilder(5, directed=True)
+        for edges in snapshots:
+            builder.push_snapshot(edges)
+        temporal = builder.build()
+        assert temporal.num_snapshots == len(snapshots)
+        for index, edges in enumerate(snapshots):
+            canonical = {(s, t) for s, t in edges if s != t}
+            assert temporal.edges_at(index) == canonical

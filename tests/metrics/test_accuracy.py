@@ -1,0 +1,114 @@
+"""Tests for the paper's accuracy metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ParameterError
+from repro.metrics.accuracy import (
+    max_error,
+    mean_absolute_error,
+    result_set_precision,
+    top_k_precision,
+)
+
+unit_vectors = arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 20),
+    elements=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+class TestMaxError:
+    def test_basic(self):
+        truth = np.array([0.1, 0.5, 0.9])
+        estimate = np.array([0.1, 0.6, 0.7])
+        assert max_error(truth, estimate) == pytest.approx(0.2)
+
+    def test_exclude_source(self):
+        truth = np.array([1.0, 0.5])
+        estimate = np.array([0.0, 0.5])
+        assert max_error(truth, estimate, exclude=[0]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            max_error(np.zeros(3), np.zeros(4))
+
+    def test_all_excluded(self):
+        assert max_error(np.ones(2), np.zeros(2), exclude=[0, 1]) == 0.0
+
+    @given(unit_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_zero_for_identical(self, vector):
+        assert max_error(vector, vector.copy()) == 0.0
+
+    @given(unit_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_dominates_mean(self, vector):
+        other = np.clip(vector + 0.05, 0, 1)
+        # 1e-12 slack: np.mean's pairwise summation can round a hair above
+        # the true maximum when every element is identical.
+        assert (
+            max_error(vector, other)
+            >= mean_absolute_error(vector, other) - 1e-12
+        )
+
+
+class TestResultSetPrecision:
+    def test_paper_formula(self):
+        # |∩| / max(k1, k2)
+        assert result_set_precision({1, 2, 3}, {2, 3, 4, 5}) == pytest.approx(
+            2 / 4
+        )
+
+    def test_perfect(self):
+        assert result_set_precision({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert result_set_precision({1}, {2}) == 0.0
+
+    def test_both_empty_is_perfect(self):
+        assert result_set_precision(set(), set()) == 1.0
+
+    def test_one_empty(self):
+        assert result_set_precision({1, 2}, set()) == 0.0
+
+    @given(
+        st.sets(st.integers(0, 30), max_size=15),
+        st.sets(st.integers(0, 30), max_size=15),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_and_symmetric(self, a, b):
+        value = result_set_precision(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == result_set_precision(b, a)
+
+
+class TestTopKPrecision:
+    def test_full_overlap(self):
+        truth = np.array([0.9, 0.5, 0.1, 0.0])
+        estimate = np.array([0.8, 0.6, 0.2, 0.1])
+        assert top_k_precision(truth, estimate, 2) == 1.0
+
+    def test_partial_overlap(self):
+        truth = np.array([0.9, 0.5, 0.1, 0.0])
+        estimate = np.array([0.0, 0.1, 0.5, 0.9])
+        assert top_k_precision(truth, estimate, 2) == 0.0
+
+    def test_exclude_node(self):
+        truth = np.array([1.0, 0.5, 0.4])
+        estimate = np.array([1.0, 0.4, 0.5])
+        assert top_k_precision(truth, estimate, 1, exclude=0) == 0.0
+
+    def test_k_zero(self):
+        assert top_k_precision(np.array([1.0]), np.array([0.5]), 0) == 1.0
+
+    def test_k_larger_than_n(self):
+        truth = np.array([0.9, 0.5])
+        assert top_k_precision(truth, truth, 10) == 1.0
+
+    def test_negative_k(self):
+        with pytest.raises(ParameterError):
+            top_k_precision(np.array([1.0]), np.array([1.0]), -1)

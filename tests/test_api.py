@@ -1,0 +1,64 @@
+"""Tests for the high-level facade (single_source / single_pair)."""
+
+import numpy as np
+import pytest
+
+from repro.api import SINGLE_SOURCE_METHODS, single_pair, single_source
+from repro.baselines.power_method import power_method_all_pairs
+from repro.errors import ParameterError
+
+
+class TestSingleSource:
+    @pytest.mark.parametrize("method", SINGLE_SOURCE_METHODS)
+    def test_every_method_returns_valid_vector(self, paper_graph, method):
+        scores = single_source(
+            paper_graph, 0, method=method, n_r=200, seed=1
+        )
+        assert scores.shape == (paper_graph.num_nodes,)
+        assert scores[0] == pytest.approx(1.0)
+        assert scores.min() >= 0.0
+        assert scores.max() <= 1.0 + 1e-12
+
+    def test_methods_agree_with_exact(self, tiny_pair_graph):
+        exact = single_source(tiny_pair_graph, 0, method="exact")
+        for method in ("crashsim", "probesim", "naive-mc"):
+            scores = single_source(
+                tiny_pair_graph, 0, method=method, n_r=3000, seed=2
+            )
+            assert np.abs(scores - exact).max() < 0.05, method
+
+    def test_unknown_method(self, paper_graph):
+        with pytest.raises(ParameterError):
+            single_source(paper_graph, 0, method="oracle")
+
+
+class TestSinglePair:
+    def test_identity(self, paper_graph):
+        assert single_pair(paper_graph, 3, 3) == 1.0
+
+    def test_exact_method(self, tiny_pair_graph):
+        assert single_pair(
+            tiny_pair_graph, 0, 1, method="exact", c=0.42
+        ) == pytest.approx(0.42, abs=1e-9)
+
+    def test_monte_carlo_matches_exact(self, medium_random_graph):
+        truth = power_method_all_pairs(medium_random_graph, 0.6)
+        pairs = [(0, 1), (3, 17), (5, 40)]
+        for u, v in pairs:
+            estimate = single_pair(
+                medium_random_graph, u, v, num_samples=20000, seed=4
+            )
+            assert estimate == pytest.approx(truth[u, v], abs=0.02), (u, v)
+
+    def test_symmetric_in_distribution(self, small_random_graph):
+        forward = single_pair(small_random_graph, 2, 9, num_samples=30000, seed=5)
+        backward = single_pair(small_random_graph, 9, 2, num_samples=30000, seed=6)
+        assert forward == pytest.approx(backward, abs=0.02)
+
+    def test_validation(self, paper_graph):
+        with pytest.raises(ParameterError):
+            single_pair(paper_graph, 0, 99)
+        with pytest.raises(ParameterError):
+            single_pair(paper_graph, 0, 1, method="guess")
+        with pytest.raises(ParameterError):
+            single_pair(paper_graph, 0, 1, num_samples=0)

@@ -1,0 +1,26 @@
+"""Every example script must run to completion (they carry assertions).
+
+Executed in-process via runpy so failures surface as ordinary test
+failures with tracebacks; stdout is captured by pytest.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"
+
+
+def test_all_examples_discovered():
+    # Guard against the glob silently matching nothing after a move.
+    assert len(SCRIPTS) >= 8

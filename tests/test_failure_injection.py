@@ -1,0 +1,159 @@
+"""Failure injection: degenerate inputs every layer must survive.
+
+DESIGN.md §6 commits to: empty graphs, dead-end nodes, isolated sources,
+single-snapshot intervals, Ω = ∅, and deltas touching missing nodes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import single_source
+from repro.baselines.power_method import power_method_all_pairs
+from repro.baselines.probesim import probesim
+from repro.baselines.reads import ReadsIndex
+from repro.baselines.sling import SlingIndex
+from repro.core.crashsim import crashsim
+from repro.core.crashsim_t import crashsim_t
+from repro.core.params import CrashSimParams
+from repro.core.queries import ThresholdQuery, TrendQuery
+from repro.core.revreach import revreach_levels
+from repro.errors import TemporalError
+from repro.graph.digraph import DiGraph
+from repro.graph.temporal import EdgeDelta, TemporalGraphBuilder
+
+PARAMS = CrashSimParams(c=0.6, epsilon=0.1, n_r_override=20)
+
+
+@pytest.fixture
+def edgeless_graph():
+    return DiGraph.from_edges(4, [])
+
+
+class TestEdgelessGraph:
+    def test_crashsim_all_zero(self, edgeless_graph):
+        result = crashsim(edgeless_graph, 0, params=PARAMS, seed=1)
+        assert np.all(result.scores == 0.0)
+
+    def test_power_method_identity(self, edgeless_graph):
+        sim = power_method_all_pairs(edgeless_graph, 0.6)
+        assert np.array_equal(sim, np.eye(4))
+
+    def test_probesim_all_zero(self, edgeless_graph):
+        scores = probesim(edgeless_graph, 0, n_r=10, seed=2)
+        assert scores[0] == 1.0
+        assert np.all(scores[1:] == 0.0)
+
+    def test_sling_index_and_query(self, edgeless_graph):
+        index = SlingIndex(edgeless_graph, num_d_samples=5, seed=3)
+        scores = index.query(0)
+        assert scores[0] == 1.0
+        assert np.all(scores[1:] == 0.0)
+
+    def test_reads_index_and_query(self, edgeless_graph):
+        index = ReadsIndex(edgeless_graph, r=5, seed=4)
+        scores = index.query(0)
+        assert np.all(scores[1:] == 0.0)
+
+    def test_revreach_root_only(self, edgeless_graph):
+        tree = revreach_levels(edgeless_graph, 2, 5, 0.6)
+        assert tree.total_mass(0) == 1.0
+        assert tree.matrix[1:].sum() == 0.0
+
+    @pytest.mark.parametrize(
+        "method", ["crashsim", "probesim", "naive-mc", "exact"]
+    )
+    def test_facade_methods(self, edgeless_graph, method):
+        scores = single_source(edgeless_graph, 1, method=method, n_r=10, seed=5)
+        assert scores[1] == 1.0
+
+
+class TestIsolatedSource:
+    def test_crashsim_isolated_source(self, dangling_graph):
+        # Node 0 has no in-neighbours: sim(0, v) = 0 for every v.
+        result = crashsim(dangling_graph, 0, params=PARAMS, seed=1)
+        assert np.all(result.scores == 0.0)
+
+    def test_temporal_query_isolated_source(self):
+        builder = TemporalGraphBuilder(4, directed=True)
+        builder.push_snapshot([(1, 2)])
+        builder.push_snapshot([(1, 3)])
+        temporal = builder.build()
+        result = crashsim_t(
+            temporal, 0, ThresholdQuery(theta=0.01), params=PARAMS, seed=2
+        )
+        assert result.survivors == ()
+
+
+class TestSingleSnapshotInterval:
+    def test_threshold_over_one_snapshot(self, paper_temporal):
+        result = crashsim_t(
+            paper_temporal,
+            0,
+            ThresholdQuery(theta=0.0),
+            interval=(0, 1),
+            params=CrashSimParams(c=0.6, epsilon=0.1, n_r_override=300),
+            seed=3,
+        )
+        assert result.stats.snapshots_processed == 1
+        assert len(result.history) == 1
+
+    def test_trend_over_one_snapshot_keeps_everyone(self, paper_temporal):
+        result = crashsim_t(
+            paper_temporal,
+            0,
+            TrendQuery(),
+            interval=(1, 2),
+            params=PARAMS,
+            seed=4,
+        )
+        # A trend needs two observations; one snapshot filters nothing.
+        assert len(result.survivors) == paper_temporal.num_nodes - 1
+
+
+class TestDegenerateCandidates:
+    def test_empty_omega(self, paper_graph):
+        result = crashsim(paper_graph, 0, candidates=[], params=PARAMS)
+        assert result.scores.size == 0
+        assert result.top_k(3) == []
+
+    def test_omega_of_only_dangling_nodes(self, dangling_graph):
+        result = crashsim(
+            dangling_graph, 1, candidates=[0, 2, 3], params=PARAMS, seed=5
+        )
+        assert np.all(result.scores == 0.0)
+
+    def test_omega_of_only_the_source(self, paper_graph):
+        result = crashsim(paper_graph, 4, candidates=[4], params=PARAMS)
+        assert result.score(4) == 1.0
+
+
+class TestBadDeltas:
+    def test_delta_removing_missing_edge_rejected(self):
+        delta = EdgeDelta(added=frozenset(), removed=frozenset({(0, 1)}))
+        with pytest.raises(TemporalError):
+            delta.apply(set())
+
+    def test_builder_rejects_out_of_range_delta(self):
+        builder = TemporalGraphBuilder(3)
+        builder.push_snapshot([(0, 1)])
+        with pytest.raises(TemporalError):
+            builder.push_delta(added=[(0, 7)])
+
+    def test_reads_delta_on_nodes_without_edges(self):
+        # Applying a delta whose head had no in-edges before must not crash.
+        graph = DiGraph.from_edges(3, [])
+        index = ReadsIndex(graph, r=5, seed=6)
+        new_graph = DiGraph.from_edges(3, [(0, 2)])
+        index.apply_delta(new_graph, added=[(0, 2)])
+        assert np.all(np.isin(index.pointers[:, 2], [0]))
+
+
+class TestSingleNodeGraph:
+    def test_crashsim(self):
+        graph = DiGraph.from_edges(1, [])
+        result = crashsim(graph, 0, params=PARAMS)
+        assert result.candidates.size == 0
+
+    def test_power_method(self):
+        sim = power_method_all_pairs(DiGraph.from_edges(1, []), 0.6)
+        assert sim.tolist() == [[1.0]]

@@ -1,0 +1,140 @@
+"""Cross-algorithm SimRank invariants, property-tested with hypothesis.
+
+These pin mathematical facts every implementation must respect, on
+arbitrary random graphs:
+
+* SimRank bounds: ``sim(u, u) = 1``; ``0 ≤ sim(u, v) ≤ c`` for ``u ≠ v``.
+* Symmetry: ``sim(u, v) = sim(v, u)``.
+* Monotone decay: increasing ``c`` cannot decrease any similarity.
+* revReach mass law: level ``k`` carries at most ``(√c)^k`` total mass.
+* CrashSim-T: the candidate set only ever shrinks.
+* Estimators live in ``[0, 1]`` and are seed-deterministic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.power_method import power_method_all_pairs
+from repro.core.crashsim import crashsim
+from repro.core.crashsim_t import crashsim_t
+from repro.core.params import CrashSimParams
+from repro.core.queries import ThresholdQuery
+from repro.core.revreach import revreach_levels
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi, evolve_snapshots
+
+
+def graph_strategy(max_nodes=14, max_edges=40):
+    return st.builds(
+        lambda n, edges, directed: DiGraph.from_edges(
+            n, [(s % n, t % n) for s, t in edges], directed=directed
+        ),
+        st.integers(min_value=2, max_value=max_nodes),
+        st.lists(
+            st.tuples(st.integers(0, max_nodes), st.integers(0, max_nodes)),
+            max_size=max_edges,
+        ),
+        st.booleans(),
+    )
+
+
+class TestSimRankAxioms:
+    @given(graph_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_bounds_and_symmetry(self, graph):
+        c = 0.6
+        sim = power_method_all_pairs(graph, c, iterations=40)
+        n = graph.num_nodes
+        assert np.allclose(np.diag(sim), 1.0)
+        off_diagonal = sim[~np.eye(n, dtype=bool)]
+        if off_diagonal.size:
+            assert off_diagonal.min() >= 0.0
+            assert off_diagonal.max() <= c + 1e-9
+        assert np.allclose(sim, sim.T)
+
+    @given(graph_strategy())
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_in_c(self, graph):
+        low = power_method_all_pairs(graph, 0.4, iterations=40)
+        high = power_method_all_pairs(graph, 0.7, iterations=40)
+        assert np.all(high >= low - 1e-9)
+
+    @given(graph_strategy())
+    @settings(max_examples=20, deadline=None)
+    def test_zero_iff_no_common_ancestry(self, graph):
+        """sim(u, v) > 0 requires some node reachable backwards from both
+        at the same depth; a node with no in-neighbours has sim 0 to all."""
+        sim = power_method_all_pairs(graph, 0.6, iterations=40)
+        degrees = graph.in_degrees()
+        for node in np.nonzero(degrees == 0)[0]:
+            row = sim[node].copy()
+            row[node] = 0.0
+            assert np.all(row == 0.0)
+
+
+class TestRevReachInvariants:
+    @given(graph_strategy(), st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_level_mass_law(self, graph, c):
+        tree = revreach_levels(graph, 0, 6, c)
+        sqrt_c = np.sqrt(c)
+        for step in range(7):
+            assert tree.total_mass(step) <= sqrt_c**step + 1e-12
+
+    @given(graph_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_support_is_backward_reachable(self, graph):
+        tree = revreach_levels(graph, 0, 6, 0.5)
+        # BFS over in-edges from the source.
+        reachable = {0}
+        frontier = [0]
+        for _ in range(6):
+            frontier = [
+                int(x)
+                for node in frontier
+                for x in graph.in_neighbors(node)
+            ]
+            reachable.update(frontier)
+        assert set(tree.support().tolist()) <= reachable
+
+
+class TestEstimatorInvariants:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_crashsim_in_unit_interval_and_deterministic(self, seed):
+        graph = erdos_renyi(25, 60, seed=seed % 100)
+        params = CrashSimParams(c=0.6, epsilon=0.1, n_r_override=50)
+        a = crashsim(graph, 1, params=params, seed=seed)
+        b = crashsim(graph, 1, params=params, seed=seed)
+        assert np.array_equal(a.scores, b.scores)
+        assert a.scores.min() >= 0.0
+        assert a.scores.max() <= 1.0
+
+    def test_crashsim_expected_value_tracks_truth_across_c(self):
+        graph = erdos_renyi(40, 140, seed=7)
+        for c in (0.3, 0.6, 0.8):
+            truth = power_method_all_pairs(graph, c)
+            params = CrashSimParams(c=c, epsilon=0.1, n_r_override=1500)
+            result = crashsim(graph, 3, params=params, seed=9)
+            estimate = np.zeros(graph.num_nodes)
+            estimate[result.candidates] = result.scores
+            estimate[3] = 1.0
+            assert np.abs(truth[3] - estimate).max() < 0.12, c
+
+
+class TestTemporalInvariants:
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_candidate_set_shrinks_monotonically(self, seed):
+        base = erdos_renyi(20, 50, seed=seed % 50)
+        temporal = evolve_snapshots(base, 4, churn_rate=0.05, seed=seed)
+        params = CrashSimParams(c=0.6, epsilon=0.1, n_r_override=60)
+        result = crashsim_t(
+            temporal, 0, ThresholdQuery(theta=0.01), params=params, seed=seed
+        )
+        alive = [set(snapshot_scores) for snapshot_scores in result.history]
+        for earlier, later in zip(alive, alive[1:]):
+            assert later <= earlier
+        assert result.survivor_set <= alive[-1] | set()

@@ -1,0 +1,115 @@
+"""Coverage for corners not exercised elsewhere: CLI smoke paths, profile
+invariants, weighted/always walk combinations, persistence path handling."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.revreach import revreach_levels
+from repro.experiments.config import PROFILES
+from repro.graph.digraph import DiGraph
+from repro.walks.engine import BatchWalkStepper
+
+
+class TestProfileInvariants:
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_fields_sane(self, name):
+        profile = PROFILES[name]
+        assert 0.0 < profile.scale <= 1.0
+        assert profile.fig7_snapshot_counts == tuple(
+            sorted(profile.fig7_snapshot_counts)
+        )
+        assert profile.n_r_cap >= 1
+        assert profile.fig6_snapshots >= 2
+        assert all(0 < e < 1 for e in profile.crashsim_epsilons)
+        assert set(profile.datasets) <= {
+            "as733",
+            "as_caida",
+            "wiki_vote",
+            "hepth",
+            "hepph",
+        }
+
+    def test_quick_is_smallest(self):
+        assert PROFILES["quick"].scale <= PROFILES["default"].scale
+        assert PROFILES["default"].scale <= PROFILES["full"].scale
+
+
+class TestCliSmoke:
+    def test_sensitivity_theta(self, capsys):
+        assert main(["sensitivity-theta", "--profile", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "theta" in out and "survivors" in out
+
+    def test_scalability_prints_sparklines(self, capsys, monkeypatch):
+        import repro.experiments.scalability as module
+
+        monkeypatch.setattr(module, "DEFAULT_SCALES", (0.01, 0.02))
+        assert main(["scalability", "--profile", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "taller = slower" in out
+
+
+class TestWeightedAlwaysWalks:
+    def test_weighted_survival_always(self, rng):
+        graph = DiGraph.from_edges(
+            3, [(1, 0), (2, 0), (0, 1), (0, 2)], weights=[9.0, 1.0, 1.0, 1.0]
+        )
+        stepper = BatchWalkStepper(graph, 0.5)
+        first = next(
+            iter(
+                stepper.walk(
+                    np.zeros(40000, dtype=np.int64),
+                    1,
+                    seed=rng,
+                    survival="always",
+                )
+            )
+        )
+        assert first.num_alive == 40000
+        heavy = float(np.mean(first.positions == 1))
+        assert heavy == pytest.approx(0.9, abs=0.01)
+
+    def test_weighted_prune_below(self):
+        graph = DiGraph.from_edges(
+            3, [(1, 0), (2, 0)], weights=[99.0, 1.0]
+        )
+        tree = revreach_levels(graph, 0, 2, 0.64, prune_below=0.05)
+        # Node 2's share is 0.8 * 0.01 = 0.008 < 0.05: pruned away.
+        assert tree.probability(1, 2) == 0.0
+        assert tree.probability(1, 1) == pytest.approx(0.8 * 0.99)
+
+
+class TestPersistencePaths:
+    def test_npz_suffix_added(self, small_random_graph, tmp_path):
+        from repro.baselines.persistence import (
+            load_sling_index,
+            save_sling_index,
+        )
+        from repro.baselines.sling import SlingIndex
+
+        index = SlingIndex(small_random_graph, num_d_samples=5, seed=1)
+        written = save_sling_index(index, tmp_path / "plain")
+        assert written.suffix == ".npz"
+        assert written.exists()
+        loaded = load_sling_index(written, small_random_graph)
+        assert np.array_equal(loaded.d, index.d)
+
+
+class TestSinglePairOptions:
+    def test_max_steps_truncation(self, tiny_pair_graph):
+        from repro.api import single_pair
+
+        # With zero steps the walks never move, so the estimate is 0.
+        value = single_pair(
+            tiny_pair_graph, 0, 1, num_samples=100, max_steps=0, seed=1
+        )
+        assert value == 0.0
+
+    def test_stats_max_out_degree(self, paper_graph):
+        from repro.graph.stats import graph_stats
+
+        stats = graph_stats(paper_graph)
+        assert stats.max_out_degree == max(
+            paper_graph.out_degree(node) for node in paper_graph.nodes()
+        )

@@ -1,0 +1,30 @@
+"""The promised public surface of the ``repro`` package."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_quickstart_docstring_flow(self):
+        """The README / module-docstring quickstart must keep working."""
+        from repro import CrashSimParams, GraphBuilder, crashsim
+
+        builder = GraphBuilder(directed=True)
+        builder.add_edges([("b", "a"), ("c", "a"), ("a", "b"), ("d", "c")])
+        graph = builder.build()
+        result = crashsim(
+            graph,
+            builder.node_id("a"),
+            params=CrashSimParams(c=0.6, epsilon=0.1, n_r_override=200),
+            seed=7,
+        )
+        expected = sorted(builder.node_id(x) for x in ("b", "c", "d"))
+        assert sorted(result.as_dict()) == expected

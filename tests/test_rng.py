@@ -1,0 +1,77 @@
+"""Tests for the RNG normalisation utilities."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.rng import ensure_rng, spawn, stream
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        a = ensure_rng(np.random.SeedSequence(7)).random(3)
+        b = ensure_rng(seq).random(3)
+        assert np.array_equal(a, b)
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("forty-two")
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        parent = ensure_rng(0)
+        children = spawn(parent, 3)
+        draws = [child.random(4).tolist() for child in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_parent_unaffected_reproducibly(self):
+        a = ensure_rng(5)
+        spawn(a, 2)
+        after_spawn = a.random(3)
+        b = ensure_rng(5)
+        spawn(b, 2)
+        assert np.array_equal(after_spawn, b.random(3))
+
+    def test_repeated_spawns_differ(self):
+        parent = ensure_rng(1)
+        first = spawn(parent, 1)[0].random(3)
+        second = spawn(parent, 1)[0].random(3)
+        assert not np.array_equal(first, second)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)
+
+    def test_zero_count(self):
+        assert spawn(ensure_rng(0), 0) == []
+
+
+class TestStream:
+    def test_yields_fresh_generators(self):
+        generators = list(itertools.islice(stream(ensure_rng(3)), 4))
+        assert len(generators) == 4
+        draws = {tuple(g.random(2).tolist()) for g in generators}
+        assert len(draws) == 4
+
+    def test_deterministic_for_seed(self):
+        a = [g.random(2).tolist() for g in itertools.islice(stream(ensure_rng(9)), 3)]
+        b = [g.random(2).tolist() for g in itertools.islice(stream(ensure_rng(9)), 3)]
+        assert a == b

@@ -1,0 +1,34 @@
+"""Tests for the installation self-test."""
+
+from repro.cli import main
+from repro.selftest import CHECKS, run_selftest
+
+
+class TestSelftest:
+    def test_passes_on_this_install(self, capsys):
+        assert run_selftest(verbose=True)
+        out = capsys.readouterr().out
+        assert "selftest passed" in out
+        assert out.count("ok ") == len(CHECKS)
+
+    def test_quiet_mode(self, capsys):
+        assert run_selftest(verbose=False)
+        assert capsys.readouterr().out == ""
+
+    def test_cli_entry(self, capsys):
+        assert main(["selftest"]) == 0
+        assert "selftest passed" in capsys.readouterr().out
+
+    def test_failure_reported(self, capsys, monkeypatch):
+        import repro.selftest as module
+
+        def broken():
+            raise AssertionError("injected")
+
+        monkeypatch.setattr(
+            module, "CHECKS", [("broken check", broken)] + list(CHECKS)
+        )
+        assert not module.run_selftest()
+        out = capsys.readouterr().out
+        assert "FAIL  broken check" in out
+        assert "selftest FAILED" in out

@@ -1,0 +1,128 @@
+"""Tests for the vectorised batch walk stepper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.walks.engine import BatchWalkStepper
+from repro.walks.sqrt_c import expected_walk_length
+
+
+class TestWalkMechanics:
+    def test_positions_follow_in_edges(self, paper_graph, rng):
+        stepper = BatchWalkStepper(paper_graph, 0.6)
+        starts = np.arange(paper_graph.num_nodes)
+        paths = stepper.sample_paths(starts, 12, seed=rng)
+        for row in paths:
+            for step in range(1, paths.shape[1]):
+                if row[step] < 0:
+                    break
+                assert row[step] in paper_graph.in_neighbors(row[step - 1])
+
+    def test_walk_ids_strictly_increasing_subset(self, paper_graph, rng):
+        stepper = BatchWalkStepper(paper_graph, 0.6)
+        starts = np.zeros(100, dtype=np.int64)
+        previous = set(range(100))
+        for batch in stepper.walk(starts, 20, seed=rng):
+            ids = batch.walk_ids
+            assert np.all(np.diff(ids) > 0)
+            assert set(ids.tolist()) <= previous
+            previous = set(ids.tolist())
+
+    def test_dead_ends_kill_walks(self, rng):
+        graph = DiGraph.from_edges(2, [(0, 1)])  # node 0 has no in-edges
+        stepper = BatchWalkStepper(graph, 0.95)
+        batches = list(stepper.walk(np.array([0, 0, 0]), 10, seed=rng))
+        assert batches == []
+
+    def test_survival_always_ignores_coin(self, rng):
+        # 2-cycle: walks can never die structurally.
+        graph = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        stepper = BatchWalkStepper(graph, 0.1)
+        batches = list(
+            stepper.walk(np.array([0, 1]), 15, seed=rng, survival="always")
+        )
+        assert len(batches) == 15
+        assert all(batch.num_alive == 2 for batch in batches)
+
+    def test_survival_rate_matches_sqrt_c(self, rng):
+        graph = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        c = 0.49  # sqrt_c = 0.7
+        stepper = BatchWalkStepper(graph, c)
+        starts = np.zeros(20000, dtype=np.int64)
+        first = next(iter(stepper.walk(starts, 1, seed=rng)))
+        assert first.num_alive / 20000 == pytest.approx(0.7, abs=0.02)
+
+    def test_mean_path_length_matches_geometry(self, rng):
+        graph = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        c = 0.6
+        stepper = BatchWalkStepper(graph, c)
+        paths = stepper.sample_paths(np.zeros(20000, dtype=np.int64), 60, seed=rng)
+        lengths = (paths >= 0).sum(axis=1) - 1
+        assert lengths.mean() == pytest.approx(expected_walk_length(c), rel=0.05)
+
+    def test_scatter_positions(self, paper_graph, rng):
+        stepper = BatchWalkStepper(paper_graph, 0.9)
+        starts = np.zeros(10, dtype=np.int64)
+        for batch in stepper.walk(starts, 3, seed=rng):
+            dense = batch.scatter_positions(10)
+            assert dense.shape == (10,)
+            assert np.array_equal(dense[batch.walk_ids], batch.positions)
+            dead = np.setdiff1d(np.arange(10), batch.walk_ids)
+            assert np.all(dense[dead] == -1)
+
+
+class TestValidation:
+    def test_invalid_c(self, paper_graph):
+        with pytest.raises(ParameterError):
+            BatchWalkStepper(paper_graph, 0.0)
+        with pytest.raises(ParameterError):
+            BatchWalkStepper(paper_graph, 1.0)
+
+    def test_invalid_survival_mode(self, paper_graph):
+        stepper = BatchWalkStepper(paper_graph, 0.5)
+        with pytest.raises(ParameterError):
+            list(stepper.walk(np.array([0]), 5, survival="sometimes"))
+
+    def test_negative_steps(self, paper_graph):
+        stepper = BatchWalkStepper(paper_graph, 0.5)
+        with pytest.raises(ParameterError):
+            list(stepper.walk(np.array([0]), -1))
+
+    def test_out_of_range_start(self, paper_graph):
+        stepper = BatchWalkStepper(paper_graph, 0.5)
+        with pytest.raises(ParameterError):
+            list(stepper.walk(np.array([99]), 5))
+
+    def test_non_1d_starts(self, paper_graph):
+        stepper = BatchWalkStepper(paper_graph, 0.5)
+        with pytest.raises(ParameterError):
+            list(stepper.walk(np.zeros((2, 2), dtype=np.int64), 5))
+
+    def test_empty_starts(self, paper_graph, rng):
+        stepper = BatchWalkStepper(paper_graph, 0.5)
+        assert list(stepper.walk(np.array([], dtype=np.int64), 5, seed=rng)) == []
+
+
+class TestStatisticalEquivalence:
+    def test_occupancy_matches_analytic(self, rng):
+        """Batch walks at step k must hit the analytic √c-walk occupancy
+        (the corrected revReach distribution)."""
+        from repro.core.revreach import revreach_levels
+
+        graph = DiGraph.from_edges(
+            5, [(1, 0), (2, 0), (3, 1), (4, 1), (0, 2), (2, 3), (1, 4), (3, 4)]
+        )
+        c = 0.64
+        tree = revreach_levels(graph, 0, 3, c, variant="corrected")
+        stepper = BatchWalkStepper(graph, c)
+        samples = 60000
+        counts = {1: np.zeros(5), 2: np.zeros(5), 3: np.zeros(5)}
+        for batch in stepper.walk(
+            np.zeros(samples, dtype=np.int64), 3, seed=rng
+        ):
+            counts[batch.step] += np.bincount(batch.positions, minlength=5)
+        for step in (1, 2, 3):
+            empirical = counts[step] / samples
+            assert np.allclose(empirical, tree.matrix[step], atol=0.01)

@@ -1,0 +1,92 @@
+"""Tests for scalar √c-walk sampling against the geometric law of Lemma 1."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.walks.sqrt_c import (
+    expected_walk_length,
+    sample_sqrt_c_walk,
+    sample_walk_length,
+    walk_length_cdf,
+)
+
+
+class TestSampleWalk:
+    def test_walk_follows_in_edges(self, paper_graph, rng):
+        for _ in range(50):
+            path = sample_sqrt_c_walk(paper_graph, 0, 0.6, seed=rng)
+            for previous, current in zip(path, path[1:]):
+                assert current in paper_graph.in_neighbors(previous)
+
+    def test_walk_starts_at_source(self, paper_graph, rng):
+        path = sample_sqrt_c_walk(paper_graph, 3, 0.6, seed=rng)
+        assert path[0] == 3
+
+    def test_max_length_respected(self, paper_graph, rng):
+        for _ in range(50):
+            path = sample_sqrt_c_walk(paper_graph, 0, 0.9, max_length=4, seed=rng)
+            assert len(path) - 1 <= 4
+
+    def test_dead_end_stops_walk(self, rng):
+        graph = DiGraph.from_edges(3, [(0, 1)], directed=True)  # I(0) empty
+        path = sample_sqrt_c_walk(graph, 0, 0.99, seed=rng)
+        assert path == [0]
+
+    def test_invalid_c_rejected(self, paper_graph):
+        with pytest.raises(ParameterError):
+            sample_sqrt_c_walk(paper_graph, 0, 1.5)
+        with pytest.raises(ParameterError):
+            sample_sqrt_c_walk(paper_graph, 0, 0.0)
+
+    def test_empirical_length_matches_geometric(self, rng):
+        # Complete-ish graph so walks never die at dead ends.
+        graph = DiGraph.from_edges(
+            6, [(i, j) for i in range(6) for j in range(6) if i != j]
+        )
+        c = 0.6
+        lengths = [
+            len(sample_sqrt_c_walk(graph, 0, c, seed=rng)) - 1
+            for _ in range(4000)
+        ]
+        assert np.mean(lengths) == pytest.approx(
+            expected_walk_length(c), rel=0.1
+        )
+
+
+class TestLengthDistribution:
+    def test_sample_walk_length_mean(self, rng):
+        c = 0.6
+        lengths = sample_walk_length(c, seed=rng, size=20000)
+        assert lengths.min() >= 0
+        assert lengths.mean() == pytest.approx(expected_walk_length(c), rel=0.05)
+
+    def test_expected_walk_length_formula(self):
+        assert expected_walk_length(0.25) == pytest.approx(0.5 / 0.5)
+
+    def test_cdf_monotone_and_bounded(self):
+        c = 0.6
+        values = [walk_length_cdf(c, k) for k in range(-1, 30)]
+        assert values[0] == 0.0
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] <= 1.0
+
+    def test_cdf_matches_paper_p(self):
+        # p = Σ_{k=1..l_max} (√c)^{k-1}(1-√c) = 1 - (√c)^{l_max}: l_max coin
+        # flips = l_max - 1 completed continuations.
+        c, l_max = 0.6, 35
+        p_paper = sum(
+            math.sqrt(c) ** (k - 1) * (1 - math.sqrt(c))
+            for k in range(1, l_max + 1)
+        )
+        assert walk_length_cdf(c, l_max - 1) == pytest.approx(p_paper)
+
+    def test_cdf_matches_empirical(self, rng):
+        c = 0.6
+        lengths = sample_walk_length(c, seed=rng, size=20000)
+        for k in (0, 2, 5, 10):
+            empirical = float(np.mean(lengths <= k))
+            assert empirical == pytest.approx(walk_length_cdf(c, k), abs=0.02)
