@@ -3,13 +3,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench selftest experiments report examples clean
+.PHONY: install test test-parallel bench selftest experiments report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Parallel subsystem only; set REPRO_START_METHOD=spawn (or fork) to pin
+# the multiprocessing start method the pool tests use.
+test-parallel:
+	$(PYTHON) -m pytest tests/parallel/ tests/test_guarantee.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,148 @@
+"""Parallel-executor benches: speedup and determinism vs. worker count.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_parallel.py --benchmark-only`` — records one
+  single-source parallel CrashSim query per worker count on a 50k-node
+  generated graph (the quantity the speedup claim is about);
+* ``python benchmarks/bench_parallel.py`` — runs the full sweep once,
+  prints a speedup table, and verifies that every worker count produced
+  byte-identical scores for the same master seed.
+
+Speedup is bounded by physical cores: on a single-core container the
+parallel rows only measure pool + shared-memory overhead, so the ≥ 2×
+assertion is skipped below 4 CPUs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Sequence
+
+import numpy as np
+import pytest
+
+from repro.core.params import CrashSimParams
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi
+from repro.parallel import parallel_crashsim
+
+BENCH_NODES = 50_000
+BENCH_EDGES = 150_000
+BENCH_N_R = 512
+BENCH_SEED = 0
+WORKER_COUNTS = (1, 2, 4)
+
+
+def make_bench_graph(
+    num_nodes: int = BENCH_NODES, num_edges: int = BENCH_EDGES
+) -> DiGraph:
+    return erdos_renyi(num_nodes, num_edges, seed=BENCH_SEED)
+
+
+def run_sweep(
+    graph: DiGraph,
+    worker_counts: Sequence[int] = WORKER_COUNTS,
+    *,
+    n_r: int = BENCH_N_R,
+    source: int = 0,
+    seed: int = 1,
+) -> List[Dict[str, object]]:
+    """Time one query per worker count; report speedup vs. ``workers=1``.
+
+    Every row also records whether its scores are byte-identical to the
+    ``workers=1`` run — the seed-sharding determinism contract.
+    """
+    params = CrashSimParams(n_r_override=n_r)
+    rows: List[Dict[str, object]] = []
+    baseline_scores = None
+    baseline_seconds = None
+    for workers in worker_counts:
+        started = time.perf_counter()
+        result = parallel_crashsim(
+            graph, source, params=params, seed=seed, workers=workers
+        )
+        seconds = time.perf_counter() - started
+        if baseline_scores is None:
+            baseline_scores = result.scores
+            baseline_seconds = seconds
+        rows.append(
+            {
+                "workers": workers,
+                "seconds": round(seconds, 4),
+                "speedup": round(baseline_seconds / seconds, 3),
+                "identical_to_w1": bool(
+                    np.array_equal(baseline_scores, result.scores)
+                ),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark harness
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def parallel_graph():
+    return make_bench_graph()
+
+
+@pytest.mark.parametrize("workers", list(WORKER_COUNTS))
+def test_parallel_crashsim_workers(benchmark, parallel_graph, workers):
+    params = CrashSimParams(n_r_override=BENCH_N_R)
+    result = benchmark.pedantic(
+        lambda: parallel_crashsim(
+            parallel_graph, 0, params=params, seed=1, workers=workers
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    assert result.n_r == BENCH_N_R
+
+
+def test_scores_identical_across_worker_counts(parallel_graph):
+    params = CrashSimParams(n_r_override=64)
+    reference = parallel_crashsim(parallel_graph, 0, params=params, seed=7, workers=1)
+    for workers in (2, 4):
+        other = parallel_crashsim(
+            parallel_graph, 0, params=params, seed=7, workers=workers
+        )
+        assert np.array_equal(reference.scores, other.scores)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="speedup needs >= 4 physical CPUs; fewer cores only measure overhead",
+)
+def test_speedup_at_four_workers(parallel_graph):
+    rows = run_sweep(parallel_graph, worker_counts=(1, 4))
+    assert all(row["identical_to_w1"] for row in rows)
+    assert rows[-1]["speedup"] >= 2.0, rows
+
+
+def main() -> int:
+    print(
+        f"generating graph: n={BENCH_NODES} m={BENCH_EDGES} "
+        f"(seed {BENCH_SEED}), n_r={BENCH_N_R}, cpus={os.cpu_count()}"
+    )
+    graph = make_bench_graph()
+    rows = run_sweep(graph)
+    header = f"{'workers':>8} {'seconds':>10} {'speedup':>9} {'identical':>10}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['workers']:>8} {row['seconds']:>10} "
+            f"{row['speedup']:>9} {str(row['identical_to_w1']):>10}"
+        )
+    if not all(row["identical_to_w1"] for row in rows):
+        print("FAIL: scores drifted across worker counts")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,7 @@ def single_source(
     delta: float = 0.01,
     n_r: Optional[int] = None,
     seed: RngLike = None,
+    workers: Optional[int] = None,
 ) -> np.ndarray:
     """Single-source SimRank ``s(source, ·)`` by any implemented method.
 
@@ -65,6 +66,12 @@ def single_source(
         (the theoretical counts are expensive; see DESIGN.md §2.3).
     seed:
         Anything :func:`repro.rng.ensure_rng` accepts.
+    workers:
+        ``crashsim`` only: shard the Monte-Carlo trials over this many
+        processes via :mod:`repro.parallel` (``None`` keeps the classic
+        serial estimator; any explicit count — including 1 — routes through
+        the deterministic seed-sharded scheme, whose scores are identical
+        for the same seed at every worker count).
 
     Returns
     -------
@@ -72,11 +79,22 @@ def single_source(
         Dense vector of length ``n`` with ``result[source] == 1``.
     """
     rng = ensure_rng(seed)
+    if workers is not None and method != "crashsim":
+        raise ParameterError(
+            f"workers= is only supported for method='crashsim', got {method!r}"
+        )
     if method == "crashsim":
         params = CrashSimParams(
             c=c, epsilon=epsilon, delta=delta, n_r_override=n_r
         )
-        result = crashsim(graph, source, params=params, seed=rng)
+        if workers is None:
+            result = crashsim(graph, source, params=params, seed=rng)
+        else:
+            from repro.parallel import parallel_crashsim
+
+            result = parallel_crashsim(
+                graph, source, params=params, seed=rng, workers=workers
+            )
         scores = np.zeros(graph.num_nodes)
         scores[result.candidates] = result.scores
         scores[int(source)] = 1.0

@@ -55,6 +55,7 @@ EXPERIMENTS = [
     "export-dataset",
     "check",
     "selftest",
+    "query",
 ]
 
 
@@ -103,6 +104,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of saved result JSONs to regress against "
         "('check' only)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process count for parallel execution ('query' only; "
+        "default: serial estimator, 0 = all CPUs)",
+    )
+    parser.add_argument(
+        "--source",
+        type=int,
+        default=None,
+        help="query source node id ('query' only; default: max in-degree node)",
+    )
+    parser.add_argument(
+        "--method",
+        default="crashsim",
+        help="single-source algorithm for 'query' (default: crashsim)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="number of top-scoring nodes 'query' prints (default: 10)",
+    )
     return parser
 
 
@@ -124,6 +149,57 @@ def _export_dataset(args, profile) -> None:
             temporal, f"{args.out}/{name}", prefix=name
         )
         print(f"wrote {len(paths)} snapshot files to {args.out}/{name}")
+
+
+def _run_query(args, profile) -> int:
+    """One single-source query against a profile-sized dataset graph.
+
+    ``--workers N`` routes CrashSim through the parallel executor
+    (``--workers 0`` means "all CPUs"); any worker count returns identical
+    scores for the same profile seed.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.api import single_source
+    from repro.datasets.registry import load_static_dataset
+
+    name = (args.dataset or ["hepth"])[0]
+    graph = load_static_dataset(name, scale=profile.scale, seed=profile.seed)
+    source = (
+        int(np.argmax(graph.in_degrees())) if args.source is None else args.source
+    )
+    workers = args.workers
+    if workers == 0:
+        workers = None if args.method != "crashsim" else __import__("os").cpu_count()
+    started = time.perf_counter()
+    scores = single_source(
+        graph,
+        source,
+        method=args.method,
+        c=profile.c,
+        delta=profile.delta,
+        n_r=profile.n_r_cap,
+        seed=profile.seed,
+        workers=workers,
+    )
+    elapsed = time.perf_counter() - started
+    mode = f"workers={workers}" if workers is not None else "serial"
+    print(
+        f"{args.method} on {name} (n={graph.num_nodes}, m={graph.num_edges}): "
+        f"source {source}, {mode}, {elapsed:.3f}s"
+    )
+    order = np.lexsort((np.arange(scores.size), -scores))
+    shown = 0
+    for node in order:
+        if node == source:
+            continue
+        print(f"  s({source}, {int(node)}) = {scores[node]:.6f}")
+        shown += 1
+        if shown >= max(0, args.top):
+            break
+    return 0
 
 
 def _check_baselines(args, runners) -> int:
@@ -249,6 +325,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.selftest import run_selftest
 
         return 0 if run_selftest() else 1
+    if args.experiment == "query":
+        return _run_query(args, profile)
     if args.experiment == "export-dataset":
         _export_dataset(args, profile)
     elif args.experiment == "check":

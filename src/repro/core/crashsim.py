@@ -39,7 +39,12 @@ from repro.graph.digraph import DiGraph
 from repro.rng import RngLike, ensure_rng
 from repro.walks.engine import BatchWalkStepper
 
-__all__ = ["CrashSimResult", "crashsim"]
+__all__ = [
+    "CrashSimResult",
+    "crashsim",
+    "accumulate_crash_totals",
+    "resolve_candidates",
+]
 
 FirstMeeting = Literal["none", "dp"]
 
@@ -86,7 +91,14 @@ class CrashSimResult:
         }
 
     def top_k(self, k: int) -> List[Tuple[int, float]]:
-        """The ``k`` highest-scoring candidates, score-descending then id."""
+        """The ``k`` highest-scoring candidates as ``(node, score)`` pairs.
+
+        The order is deterministic: score **descending**, ties broken by
+        node id **ascending** — so equal-scoring candidates always come out
+        lowest-id first, independent of the candidate array's layout.  A
+        ``k`` larger than the candidate set returns every candidate; an
+        empty candidate set returns ``[]`` for any ``k``.
+        """
         if k < 0:
             raise ParameterError(f"k must be non-negative, got {k}")
         order = np.lexsort((self.candidates, -self.scores))
@@ -95,9 +107,14 @@ class CrashSimResult:
         ]
 
 
-def _resolve_candidates(
+def resolve_candidates(
     graph: DiGraph, source: int, candidates: Optional[Iterable[int]]
 ) -> np.ndarray:
+    """Normalise a candidate spec to a sorted unique id array (``Ω``).
+
+    ``None`` means every node except the source.  Shared by the serial
+    estimator and the parallel drivers so both agree on candidate layout.
+    """
     if candidates is None:
         others = np.arange(graph.num_nodes, dtype=np.int64)
         return others[others != source]
@@ -105,6 +122,9 @@ def _resolve_candidates(
     if arr.size and (arr.min() < 0 or arr.max() >= graph.num_nodes):
         raise ParameterError("candidate node outside the graph's node range")
     return arr
+
+
+_resolve_candidates = resolve_candidates  # backwards-compatible alias
 
 
 def crashsim(
@@ -155,7 +175,7 @@ def crashsim(
         )
     source = int(source)
     rng = ensure_rng(seed)
-    candidate_array = _resolve_candidates(graph, source, candidates)
+    candidate_array = resolve_candidates(graph, source, candidates)
     l_max = params.l_max
     n_r = params.n_r(max(graph.num_nodes, 2))
 
@@ -204,6 +224,52 @@ def crashsim(
 _WALK_CHUNK = 1 << 20  # max simultaneous walks per batched pass
 
 
+def accumulate_crash_totals(
+    graph: DiGraph,
+    matrix: np.ndarray,
+    targets: np.ndarray,
+    n_trials: int,
+    *,
+    c: float,
+    l_max: int,
+    rng: np.random.Generator,
+    walk_chunk: int = _WALK_CHUNK,
+) -> np.ndarray:
+    """Paper-literal accumulation: ``Σ_k Σ_step U[step, W_k(v)_step]``.
+
+    All trials' walks are independent, so they advance together: chunks of
+    up to ``walk_chunk`` walks (trials × candidates) run through the batch
+    stepper in one pass, reducing the whole Monte-Carlo loop to ``O(l_max)``
+    NumPy operations per chunk.
+
+    ``graph`` only needs the walk-facing protocol (in-CSR arrays, degrees,
+    weight totals), so a :class:`repro.parallel.CsrGraphView` attached to
+    shared memory works as well as a full :class:`DiGraph` — this is the
+    unit of work the parallel executor ships to each trial shard, and the
+    serial estimator runs through the exact same code path.
+    """
+    totals = np.zeros(targets.size, dtype=np.float64)
+    if targets.size == 0 or n_trials <= 0:
+        return totals
+    stepper = BatchWalkStepper(graph, c)
+    trials_per_chunk = max(1, walk_chunk // targets.size)
+    candidate_index = np.arange(targets.size, dtype=np.int64)
+    remaining = n_trials
+    while remaining > 0:
+        trials = min(trials_per_chunk, remaining)
+        remaining -= trials
+        starts = np.tile(targets, trials)
+        walk_owner = np.tile(candidate_index, trials)
+        for batch in stepper.walk(starts, l_max, seed=rng):
+            contributions = matrix[batch.step, batch.positions]
+            totals += np.bincount(
+                walk_owner[batch.walk_ids],
+                weights=contributions,
+                minlength=targets.size,
+            )
+    return totals
+
+
 def _accumulate_crashes(
     graph: DiGraph,
     tree: ReverseReachableTree,
@@ -212,34 +278,15 @@ def _accumulate_crashes(
     params: CrashSimParams,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """Paper-literal accumulation: ``Σ_k Σ_step U[step, W_k(v)_step]``.
-
-    All ``n_r`` trials' walks are independent, so they advance together:
-    chunks of up to ``_WALK_CHUNK`` walks (trials × candidates) run through
-    the batch stepper in one pass, reducing the whole Monte-Carlo loop to
-    ``O(l_max)`` NumPy operations per chunk.
-    """
-    totals = np.zeros(targets.size, dtype=np.float64)
-    if targets.size == 0:
-        return totals
-    stepper = BatchWalkStepper(graph, params.c)
-    matrix = tree.matrix
-    trials_per_chunk = max(1, _WALK_CHUNK // targets.size)
-    candidate_index = np.arange(targets.size, dtype=np.int64)
-    remaining = n_r
-    while remaining > 0:
-        trials = min(trials_per_chunk, remaining)
-        remaining -= trials
-        starts = np.tile(targets, trials)
-        walk_owner = np.tile(candidate_index, trials)
-        for batch in stepper.walk(starts, params.l_max, seed=rng):
-            contributions = matrix[batch.step, batch.positions]
-            totals += np.bincount(
-                walk_owner[batch.walk_ids],
-                weights=contributions,
-                minlength=targets.size,
-            )
-    return totals
+    return accumulate_crash_totals(
+        graph,
+        tree.matrix,
+        targets,
+        n_r,
+        c=params.c,
+        l_max=params.l_max,
+        rng=rng,
+    )
 
 
 def _accumulate_crashes_dp(

@@ -1,0 +1,50 @@
+"""Parallel query execution: shared-memory graphs + process-pool sharding.
+
+The subsystem has three layers (docs/internals.md §7):
+
+* :mod:`repro.parallel.shared_graph` — publish a graph's CSR arrays over
+  ``multiprocessing.shared_memory`` so workers attach zero-copy;
+* :mod:`repro.parallel.executor` — :class:`ParallelExecutor`, a process
+  pool with a serial in-process fallback (``workers=1`` or restricted
+  platforms);
+* the drivers — :func:`parallel_crashsim`,
+  :func:`parallel_crashsim_multi_source`, and
+  :func:`parallel_crashsim_t` — which shard work using
+  ``numpy.random.SeedSequence.spawn`` so any worker count yields identical,
+  reproducible scores for the same master seed.
+"""
+
+from repro.parallel.executor import ParallelExecutor, resolve_workers
+from repro.parallel.runner import (
+    DEFAULT_SHARDS,
+    parallel_crashsim,
+    parallel_crashsim_multi_source,
+    shard_sizes,
+)
+from repro.parallel.shared_graph import (
+    ArraySpec,
+    CsrGraphView,
+    SharedArray,
+    SharedGraph,
+    SharedGraphSpec,
+    attach_array,
+    attach_graph,
+)
+from repro.parallel.temporal import parallel_crashsim_t
+
+__all__ = [
+    "ParallelExecutor",
+    "resolve_workers",
+    "DEFAULT_SHARDS",
+    "shard_sizes",
+    "parallel_crashsim",
+    "parallel_crashsim_multi_source",
+    "parallel_crashsim_t",
+    "ArraySpec",
+    "SharedArray",
+    "SharedGraph",
+    "SharedGraphSpec",
+    "CsrGraphView",
+    "attach_array",
+    "attach_graph",
+]

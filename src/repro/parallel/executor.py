@@ -1,0 +1,121 @@
+"""Process-pool execution with a serial in-process fallback.
+
+:class:`ParallelExecutor` is the one place worker processes are created.
+Policy:
+
+* ``workers=1`` (or a platform where process pools cannot start) runs every
+  task in-process, in order — the *same* shard decomposition as the
+  parallel path, so results are bit-identical at any worker count;
+* otherwise a ``concurrent.futures.ProcessPoolExecutor`` is used, preferring
+  the cheap ``fork`` start method where available and falling back to
+  ``spawn``.  Worker functions must therefore be importable module-level
+  callables with picklable arguments (shard tasks carry shared-memory specs,
+  not graphs).
+* a pool that breaks mid-run (or cannot start workers at all) degrades to
+  the serial path rather than failing the query — parallelism here is an
+  optimisation, never a semantic switch.
+
+``map`` always returns results in task order; the deterministic seed-shard
+scheme in :mod:`repro.parallel.runner` relies on that ordering to sum shard
+totals identically regardless of scheduling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.errors import ParameterError
+
+__all__ = ["ParallelExecutor", "resolve_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``workers`` argument: ``None`` → CPU count, else ≥ 1."""
+    if workers is None:
+        return max(1, os.cpu_count() or 1)
+    workers = int(workers)
+    if workers < 1:
+        raise ParameterError(f"workers must be positive, got {workers}")
+    return workers
+
+
+def _preferred_context() -> Optional[multiprocessing.context.BaseContext]:
+    # REPRO_START_METHOD forces a specific start method (CI runs the parallel
+    # suite under both fork and spawn this way); otherwise prefer fork.
+    forced = os.environ.get("REPRO_START_METHOD")
+    if forced:
+        return multiprocessing.get_context(forced)
+    methods = multiprocessing.get_all_start_methods()
+    for method in ("fork", "spawn", "forkserver"):
+        if method in methods:
+            return multiprocessing.get_context(method)
+    return None  # pragma: no cover - every CPython platform has one
+
+
+class ParallelExecutor:
+    """Run picklable tasks over ``workers`` processes (or serially).
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` uses the CPU count, ``1`` forces the serial
+        in-process path.
+    start_method:
+        Optional multiprocessing start-method override (``"fork"``,
+        ``"spawn"``, ``"forkserver"``); default honours the
+        ``REPRO_START_METHOD`` environment variable, then prefers ``fork``.
+    """
+
+    def __init__(self, workers: Optional[int] = None, *, start_method: Optional[str] = None):
+        self.workers = resolve_workers(workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        if self.workers > 1:
+            try:
+                context = (
+                    multiprocessing.get_context(start_method)
+                    if start_method
+                    else _preferred_context()
+                )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context
+                )
+            except (OSError, ValueError, ImportError):  # pragma: no cover
+                self._pool = None  # sandboxed / esoteric platform: go serial
+
+    @property
+    def serial(self) -> bool:
+        """Whether tasks run in-process (no pool)."""
+        return self._pool is None
+
+    def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> List[R]:
+        """Apply ``fn`` to every task, returning results in task order."""
+        task_list: Sequence[T] = list(tasks)
+        if self._pool is not None:
+            try:
+                return list(self._pool.map(fn, task_list))
+            except BrokenProcessPool:  # pragma: no cover - resource limits
+                self.close()
+        return [fn(task) for task in task_list]
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); the executor turns serial."""
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        mode = "serial" if self.serial else "process-pool"
+        return f"ParallelExecutor(workers={self.workers}, mode={mode})"

@@ -1,0 +1,404 @@
+"""Parallel CrashSim drivers: shard trials, share memory, stay deterministic.
+
+Algorithm 1's ``n_r`` Monte-Carlo trials are mutually independent, so they
+split cleanly: the run is decomposed into a **fixed** number of trial shards
+(:data:`DEFAULT_SHARDS`, independent of the worker count), each shard gets
+its own child of the master :class:`~numpy.random.SeedSequence` via
+``spawn``, and shard totals are summed in shard order.  Because neither the
+shard boundaries nor the seed derivation depend on how many processes run
+them, **any** worker count — including the serial ``workers=1`` fallback —
+produces byte-identical scores for the same master seed.
+
+Workers receive a :class:`_ShardTask` carrying only shared-memory specs
+(graph CSR, reverse-reachable-tree matrix, walk targets) plus a trial count
+and a seed — a few hundred bytes per task; the megabyte-scale arrays are
+attached zero-copy via :mod:`repro.parallel.shared_graph`.
+
+:func:`parallel_crashsim_multi_source` shards the same way but keeps the
+multi-source walk-sharing amortisation: every shard scores its walks against
+*all* sources' trees (stacked into one shared 3-D array), so the dominant
+walk-generation cost is still paid once per trial, not once per source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.crashsim import (
+    CrashSimResult,
+    accumulate_crash_totals,
+    resolve_candidates,
+)
+from repro.core.params import CrashSimParams
+from repro.core.revreach import revreach_levels
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.shared_graph import (
+    ArraySpec,
+    SharedArray,
+    SharedGraph,
+    SharedGraphSpec,
+    attach_array,
+    attach_graph,
+)
+from repro.rng import RngLike, as_seed_sequence
+
+__all__ = [
+    "DEFAULT_SHARDS",
+    "shard_sizes",
+    "parallel_crashsim",
+    "parallel_crashsim_multi_source",
+]
+
+#: Number of trial shards a run is cut into.  A constant (not the worker
+#: count!) so the RNG stream assignment — and therefore every score — is
+#: identical no matter how many processes execute the shards.  16 keeps all
+#: cores of typical machines busy with ≥ 2 shards each for load balancing.
+DEFAULT_SHARDS = 16
+
+
+def shard_sizes(n_trials: int, shards: int = DEFAULT_SHARDS) -> List[int]:
+    """Split ``n_trials`` into at most ``shards`` near-equal positive parts.
+
+    ``sum(shard_sizes(n, s)) == n`` always; fewer shards come back when
+    ``n_trials < shards`` so no shard is ever empty.
+    """
+    if n_trials < 0:
+        raise ParameterError(f"n_trials must be non-negative, got {n_trials}")
+    if shards < 1:
+        raise ParameterError(f"shards must be positive, got {shards}")
+    count = min(shards, n_trials)
+    if count == 0:
+        return []
+    base, remainder = divmod(n_trials, count)
+    return [base + 1] * remainder + [base] * (count - remainder)
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One worker's slice of a run: attach specs + trial count + seed."""
+
+    graph: SharedGraphSpec
+    matrix: ArraySpec
+    targets: ArraySpec
+    trials: int
+    c: float
+    l_max: int
+    seed: np.random.SeedSequence
+
+
+def _run_shard(task: _ShardTask) -> np.ndarray:
+    """Worker entry point: one trial shard against one tree matrix."""
+    view = attach_graph(task.graph)
+    matrix, matrix_handle = attach_array(task.matrix)
+    targets, targets_handle = attach_array(task.targets)
+    try:
+        return accumulate_crash_totals(
+            view,
+            matrix,
+            targets,
+            task.trials,
+            c=task.c,
+            l_max=task.l_max,
+            rng=np.random.default_rng(task.seed),
+        )
+    finally:
+        view.close()
+        matrix_handle.close()
+        targets_handle.close()
+
+
+def _run_shard_multi(task: _ShardTask) -> np.ndarray:
+    """Worker entry point for multi-source: score walks against every tree."""
+    view = attach_graph(task.graph)
+    matrices, matrix_handle = attach_array(task.matrix)
+    targets, targets_handle = attach_array(task.targets)
+    try:
+        return _accumulate_multi(
+            view,
+            matrices,
+            targets,
+            task.trials,
+            c=task.c,
+            l_max=task.l_max,
+            rng=np.random.default_rng(task.seed),
+        )
+    finally:
+        view.close()
+        matrix_handle.close()
+        targets_handle.close()
+
+
+_WALK_CHUNK = 1 << 20
+
+
+def _accumulate_multi(
+    graph,
+    matrices: np.ndarray,
+    targets: np.ndarray,
+    n_trials: int,
+    *,
+    c: float,
+    l_max: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Shared-walk accumulation against ``q`` stacked tree matrices.
+
+    Mirrors :func:`repro.core.multi_source.crashsim_multi_source`'s inner
+    loop: one walk per candidate per trial, one gather per source per step.
+    Returns totals of shape ``(q, k)``.
+    """
+    from repro.walks.engine import BatchWalkStepper
+
+    num_sources = matrices.shape[0]
+    totals = np.zeros((num_sources, targets.size), dtype=np.float64)
+    if targets.size == 0 or n_trials <= 0:
+        return totals
+    stepper = BatchWalkStepper(graph, c)
+    owner_index = np.arange(targets.size, dtype=np.int64)
+    trials_per_chunk = max(1, _WALK_CHUNK // targets.size)
+    remaining = n_trials
+    while remaining > 0:
+        trials = min(trials_per_chunk, remaining)
+        remaining -= trials
+        starts = np.tile(targets, trials)
+        walk_owner = np.tile(owner_index, trials)
+        for batch in stepper.walk(starts, l_max, seed=rng):
+            owners = walk_owner[batch.walk_ids]
+            for row in range(num_sources):
+                contributions = matrices[row, batch.step, batch.positions]
+                totals[row] += np.bincount(
+                    owners,
+                    weights=contributions,
+                    minlength=targets.size,
+                )
+    return totals
+
+
+def _map_shards(
+    executor: Optional[ParallelExecutor],
+    workers: Optional[int],
+    graph: DiGraph,
+    matrix: np.ndarray,
+    targets: np.ndarray,
+    shards: Sequence[int],
+    seeds: Sequence[np.random.SeedSequence],
+    *,
+    c: float,
+    l_max: int,
+    multi: bool,
+) -> List[np.ndarray]:
+    """Run every shard, serially or through the pool, in shard order."""
+    own_executor = executor is None
+    if own_executor:
+        executor = ParallelExecutor(workers)
+    try:
+        if executor.serial:
+            accumulate = _accumulate_multi if multi else accumulate_crash_totals
+            return [
+                accumulate(
+                    graph,
+                    matrix,
+                    targets,
+                    trials,
+                    c=c,
+                    l_max=l_max,
+                    rng=np.random.default_rng(seed),
+                )
+                for trials, seed in zip(shards, seeds)
+            ]
+        with SharedGraph(graph) as shared_graph, SharedArray(
+            matrix
+        ) as shared_matrix, SharedArray(targets) as shared_targets:
+            tasks = [
+                _ShardTask(
+                    graph=shared_graph.spec(),
+                    matrix=shared_matrix.spec,
+                    targets=shared_targets.spec,
+                    trials=trials,
+                    c=c,
+                    l_max=l_max,
+                    seed=seed,
+                )
+                for trials, seed in zip(shards, seeds)
+            ]
+            worker = _run_shard_multi if multi else _run_shard
+            return executor.map(worker, tasks)
+    finally:
+        if own_executor:
+            executor.close()
+
+
+def parallel_crashsim(
+    graph: DiGraph,
+    source: int,
+    *,
+    candidates: Optional[Iterable[int]] = None,
+    params: Optional[CrashSimParams] = None,
+    tree_variant: str = "corrected",
+    seed: RngLike = None,
+    workers: Optional[int] = None,
+    executor: Optional[ParallelExecutor] = None,
+    shards: int = DEFAULT_SHARDS,
+) -> CrashSimResult:
+    """Single-source CrashSim with the ``n_r`` trials sharded over processes.
+
+    Parameters mirror :func:`repro.core.crashsim.crashsim`, plus:
+
+    workers:
+        Process count (``None`` → CPU count, ``1`` → serial in-process).
+    executor:
+        Reuse an existing :class:`ParallelExecutor` across queries to
+        amortise pool start-up; the caller keeps ownership.
+    shards:
+        Trial-shard count.  Results depend on ``shards`` (it defines the
+        RNG stream layout) but **not** on ``workers`` — the determinism
+        contract is: same master seed + same shards ⇒ identical scores at
+        any worker count.
+
+    The estimator is exactly Algorithm 1's; only the trial execution order
+    across RNG streams differs from the serial :func:`crashsim`, so the
+    Theorem-1 ``(ε, δ)`` guarantee carries over unchanged.
+    """
+    params = params or CrashSimParams()
+    if not 0 <= int(source) < graph.num_nodes:
+        raise ParameterError(
+            f"source {source} outside the graph's node range [0, {graph.num_nodes})"
+        )
+    source = int(source)
+    seed_seq = as_seed_sequence(seed)
+    candidate_array = resolve_candidates(graph, source, candidates)
+    l_max = params.l_max
+    n_r = params.n_r(max(graph.num_nodes, 2))
+
+    tree = revreach_levels(graph, source, l_max, params.c, variant=tree_variant)
+
+    walk_targets = candidate_array[candidate_array != source]
+    walk_targets = walk_targets[graph.in_degrees()[walk_targets] > 0]
+
+    totals = np.zeros(walk_targets.size, dtype=np.float64)
+    if walk_targets.size:
+        shard_plan = shard_sizes(n_r, shards)
+        seeds = seed_seq.spawn(len(shard_plan))
+        shard_totals = _map_shards(
+            executor,
+            workers,
+            graph,
+            tree.matrix,
+            walk_targets,
+            shard_plan,
+            seeds,
+            c=params.c,
+            l_max=l_max,
+            multi=False,
+        )
+        # Sum in shard order: float addition order is part of the
+        # worker-count-independence contract.
+        for shard_total in shard_totals:
+            totals += shard_total
+
+    scores = np.zeros(candidate_array.size, dtype=np.float64)
+    walk_positions = np.searchsorted(candidate_array, walk_targets)
+    scores[walk_positions] = totals / n_r
+    scores[candidate_array == source] = 1.0
+    scores = np.clip(scores, 0.0, 1.0)
+    return CrashSimResult(
+        source=source,
+        candidates=candidate_array,
+        scores=scores,
+        n_r=n_r,
+        params=params,
+        tree=tree,
+    )
+
+
+def parallel_crashsim_multi_source(
+    graph: DiGraph,
+    sources: Sequence[int],
+    *,
+    candidates: Optional[Iterable[int]] = None,
+    params: Optional[CrashSimParams] = None,
+    tree_variant: str = "corrected",
+    seed: RngLike = None,
+    workers: Optional[int] = None,
+    executor: Optional[ParallelExecutor] = None,
+    shards: int = DEFAULT_SHARDS,
+) -> List[CrashSimResult]:
+    """Multi-source CrashSim with trial shards fanned out over processes.
+
+    Keeps :func:`~repro.core.multi_source.crashsim_multi_source`'s
+    amortisation — each sampled walk is scored against every source's tree —
+    while splitting the trials exactly like :func:`parallel_crashsim`.
+    Returns one :class:`CrashSimResult` per source, in input order.
+    """
+    params = params or CrashSimParams()
+    source_list = [int(s) for s in sources]
+    if not source_list:
+        return []
+    for source in source_list:
+        if not 0 <= source < graph.num_nodes:
+            raise ParameterError(
+                f"source {source} outside the node range [0, {graph.num_nodes})"
+            )
+    seed_seq = as_seed_sequence(seed)
+    l_max = params.l_max
+    n_r = params.n_r(max(graph.num_nodes, 2))
+
+    if candidates is None:
+        candidate_array = np.arange(graph.num_nodes, dtype=np.int64)
+    else:
+        candidate_array = np.unique(np.asarray(list(candidates), dtype=np.int64))
+        if candidate_array.size and (
+            candidate_array.min() < 0 or candidate_array.max() >= graph.num_nodes
+        ):
+            raise ParameterError("candidate node outside the graph's node range")
+
+    trees = [
+        revreach_levels(graph, source, l_max, params.c, variant=tree_variant)
+        for source in source_list
+    ]
+    stacked = np.stack([tree.matrix for tree in trees])
+
+    walk_targets = candidate_array[graph.in_degrees()[candidate_array] > 0]
+    totals = np.zeros((len(source_list), walk_targets.size), dtype=np.float64)
+    if walk_targets.size:
+        shard_plan = shard_sizes(n_r, shards)
+        seeds = seed_seq.spawn(len(shard_plan))
+        shard_totals = _map_shards(
+            executor,
+            workers,
+            graph,
+            stacked,
+            walk_targets,
+            shard_plan,
+            seeds,
+            c=params.c,
+            l_max=l_max,
+            multi=True,
+        )
+        for shard_total in shard_totals:
+            totals += shard_total
+
+    results: List[CrashSimResult] = []
+    walk_positions = np.searchsorted(candidate_array, walk_targets)
+    for row, (source, tree) in enumerate(zip(source_list, trees)):
+        per_source = candidate_array[candidate_array != source]
+        scores = np.zeros(candidate_array.size, dtype=np.float64)
+        scores[walk_positions] = totals[row] / n_r
+        scores[candidate_array == source] = 1.0
+        keep = candidate_array != source
+        results.append(
+            CrashSimResult(
+                source=source,
+                candidates=per_source,
+                scores=np.clip(scores[keep], 0.0, 1.0),
+                n_r=n_r,
+                params=params,
+                tree=tree,
+            )
+        )
+    return results

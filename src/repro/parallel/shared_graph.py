@@ -1,0 +1,317 @@
+"""Zero-copy graph publication over ``multiprocessing.shared_memory``.
+
+Shipping a 50k-node graph to a process pool by pickling it per task costs
+more than the task itself: the CSR arrays are megabytes and every worker
+re-deserialises them.  :class:`SharedGraph` instead copies the in-CSR arrays
+(**once**) into named shared-memory segments; workers attach by name and map
+the same physical pages, so per-task transfer shrinks to a few strings.
+
+Two layers:
+
+* :class:`SharedArray` — one NumPy array in one shared-memory segment, with
+  a picklable :class:`ArraySpec` handle that any process can
+  :func:`attach_array` to.
+* :class:`SharedGraph` — the walk-facing arrays of a :class:`DiGraph`
+  (``in_indptr``, ``in_indices``, and ``in_weights`` when present)
+  published together; :func:`attach_graph` reconstructs a
+  :class:`CsrGraphView` that quacks like a ``DiGraph`` for everything the
+  walk engine and revReach touch.
+
+Lifetime rules (see docs/internals.md):
+
+* the **creator** owns the segments — ``close()`` (or the context manager)
+  unlinks them; nothing is cleaned up implicitly while workers may still be
+  attached, so close only after the pool has drained;
+* **attachers** must keep their handle alive while NumPy views exist
+  (:class:`CsrGraphView` holds them) and ``close()`` without unlinking;
+* pool workers share the parent's resource tracker (multiprocessing passes
+  the tracker fd down), so the attach-side registration CPython performs on
+  POSIX is idempotent here and the creator's ``unlink()`` settles the
+  books.  Attaching from a *foreign* process tree (not one of this
+  process's workers) is outside the contract — its own tracker would
+  unlink the segment when that process exits (CPython issue bpo-38119).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "ArraySpec",
+    "SharedArray",
+    "SharedGraphSpec",
+    "SharedGraph",
+    "CsrGraphView",
+    "attach_array",
+    "attach_graph",
+]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Picklable handle for one shared array: segment name, dtype, shape."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape)))
+
+
+class SharedArray:
+    """A NumPy array copied once into a named shared-memory segment.
+
+    Created by the publishing process; ``spec`` travels to workers (it is a
+    tiny picklable dataclass) and :func:`attach_array` maps the same pages.
+    """
+
+    def __init__(self, array: np.ndarray, *, name: Optional[str] = None):
+        array = np.ascontiguousarray(array)
+        if array.nbytes == 0:
+            # shared_memory rejects zero-byte segments; keep a one-byte
+            # placeholder so empty graphs round-trip uniformly.
+            nbytes = 1
+        else:
+            nbytes = array.nbytes
+        name = name or f"repro-{secrets.token_hex(8)}"
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes, name=name)
+        self.spec = ArraySpec(
+            name=self._shm.name, dtype=array.dtype.str, shape=tuple(array.shape)
+        )
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=self._shm.buf)
+        view[...] = array
+        self._closed = False
+
+    def array(self) -> np.ndarray:
+        """The creator-side view of the shared buffer."""
+        if self._closed:
+            raise GraphError("shared array already closed")
+        return np.ndarray(
+            self.spec.shape, dtype=np.dtype(self.spec.dtype), buffer=self._shm.buf
+        )
+
+    def close(self) -> None:
+        """Release and unlink the segment (creator side, idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def attach_array(spec: ArraySpec) -> Tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Map a published array; returns ``(view, handle)``.
+
+    The caller must keep ``handle`` alive while ``view`` is used and call
+    ``handle.close()`` afterwards (never ``unlink`` — the creator owns the
+    segment).
+    """
+    handle = shared_memory.SharedMemory(name=spec.name)
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=handle.buf)
+    return view, handle
+
+
+@dataclass(frozen=True)
+class SharedGraphSpec:
+    """Everything a worker needs to reattach a published graph."""
+
+    num_nodes: int
+    in_indptr: ArraySpec
+    in_indices: ArraySpec
+    in_weights: Optional[ArraySpec]
+
+
+class CsrGraphView:
+    """Walk-facing stand-in for :class:`DiGraph` over attached CSR arrays.
+
+    Implements exactly the protocol the batch walk engine, revReach, and
+    the crash accumulator consume: ``num_nodes``, ``in_indptr``,
+    ``in_indices``, ``in_degrees()``, ``is_weighted`` / ``in_weights``, and
+    ``in_weight_totals()``.  Out-adjacency is deliberately absent — no
+    Monte-Carlo path reads it, and publishing it would double the shared
+    footprint for nothing.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        in_indptr: np.ndarray,
+        in_indices: np.ndarray,
+        in_weights: Optional[np.ndarray] = None,
+        handles: Tuple[shared_memory.SharedMemory, ...] = (),
+    ):
+        self.num_nodes = int(num_nodes)
+        self._in_indptr = in_indptr
+        self._in_indices = in_indices
+        self._in_weights = in_weights
+        self._handles = tuple(handles)
+        self._closed = False
+
+    @property
+    def in_indptr(self) -> np.ndarray:
+        return self._in_indptr
+
+    @property
+    def in_indices(self) -> np.ndarray:
+        return self._in_indices
+
+    @property
+    def is_weighted(self) -> bool:
+        return self._in_weights is not None
+
+    @property
+    def in_weights(self) -> np.ndarray:
+        if self._in_weights is None:
+            raise GraphError("graph is unweighted; check is_weighted first")
+        return self._in_weights
+
+    def in_degrees(self) -> np.ndarray:
+        return np.diff(self._in_indptr)
+
+    def in_degree(self, node: int) -> int:
+        return int(self._in_indptr[node + 1] - self._in_indptr[node])
+
+    def in_neighbors(self, node: int) -> np.ndarray:
+        return self._in_indices[self._in_indptr[node] : self._in_indptr[node + 1]]
+
+    def in_weight_totals(self) -> np.ndarray:
+        # Mirrors DiGraph.in_weight_totals operation-for-operation so the
+        # floating-point results are bit-identical to the original graph's —
+        # the parallel determinism guarantee depends on it.
+        if self._in_weights is None:
+            return self.in_degrees().astype(np.float64)
+        totals = np.zeros(self.num_nodes, dtype=np.float64)
+        np.add.at(
+            totals,
+            np.repeat(np.arange(self.num_nodes), np.diff(self._in_indptr)),
+            self._in_weights,
+        )
+        return totals
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def close(self) -> None:
+        """Detach from the shared segments (attacher side, idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            try:
+                handle.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    def __enter__(self) -> "CsrGraphView":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SharedGraph:
+    """Publish a :class:`DiGraph`'s in-CSR arrays for worker processes.
+
+    Usage::
+
+        with SharedGraph(graph) as shared:
+            tasks = [make_task(shared.spec(), ...) for ...]
+            results = executor.map(worker, tasks)   # workers attach_graph()
+        # segments unlinked here, after the pool drained
+    """
+
+    def __init__(self, graph: DiGraph):
+        self.num_nodes = graph.num_nodes
+        self._arrays: List[SharedArray] = []
+        try:
+            indptr = SharedArray(graph.in_indptr)
+            self._arrays.append(indptr)
+            indices = SharedArray(graph.in_indices)
+            self._arrays.append(indices)
+            weights: Optional[SharedArray] = None
+            if graph.is_weighted:
+                weights = SharedArray(graph.in_weights)
+                self._arrays.append(weights)
+        except Exception:
+            self.close()
+            raise
+        self._spec = SharedGraphSpec(
+            num_nodes=graph.num_nodes,
+            in_indptr=indptr.spec,
+            in_indices=indices.spec,
+            in_weights=weights.spec if weights is not None else None,
+        )
+
+    def spec(self) -> SharedGraphSpec:
+        """The picklable attach handle to ship with each task."""
+        return self._spec
+
+    def view(self) -> CsrGraphView:
+        """A creator-side view over the published arrays (no extra handles)."""
+        weights = None
+        if self._spec.in_weights is not None:
+            weights = self._arrays[2].array()
+        return CsrGraphView(
+            self.num_nodes,
+            self._arrays[0].array(),
+            self._arrays[1].array(),
+            weights,
+        )
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent).  Call after workers finish."""
+        for array in self._arrays:
+            array.close()
+
+    def __enter__(self) -> "SharedGraph":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def attach_graph(spec: SharedGraphSpec) -> CsrGraphView:
+    """Attach to a published graph; the view owns (and closes) the handles."""
+    views = []
+    handles = []
+    try:
+        for array_spec in (spec.in_indptr, spec.in_indices):
+            view, handle = attach_array(array_spec)
+            views.append(view)
+            handles.append(handle)
+        weights = None
+        if spec.in_weights is not None:
+            weights, handle = attach_array(spec.in_weights)
+            handles.append(handle)
+    except Exception:
+        for handle in handles:
+            handle.close()
+        raise
+    return CsrGraphView(
+        spec.num_nodes, views[0], views[1], weights, handles=tuple(handles)
+    )

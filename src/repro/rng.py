@@ -13,7 +13,7 @@ from typing import Iterator, Union
 
 import numpy as np
 
-__all__ = ["RngLike", "ensure_rng", "spawn", "stream"]
+__all__ = ["RngLike", "ensure_rng", "as_seed_sequence", "spawn", "stream"]
 
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
@@ -32,6 +32,26 @@ def ensure_rng(seed: RngLike = None) -> np.random.Generator:
         return np.random.default_rng(seed)
     if seed is None or isinstance(seed, (int, np.integer)):
         return np.random.default_rng(seed)
+    raise TypeError(
+        f"expected None, int, SeedSequence, or Generator, got {type(seed).__name__}"
+    )
+
+
+def as_seed_sequence(seed: RngLike = None) -> np.random.SeedSequence:
+    """Normalise any accepted seed form into a :class:`~numpy.random.SeedSequence`.
+
+    The parallel executor derives per-shard child sequences with
+    ``seq.spawn(count)``; normalising here means a plain integer master seed,
+    an existing sequence, or a generator all produce the same spawning
+    protocol.  Passing a generator reuses (and advances) its own sequence's
+    spawn counter, so repeated calls keep yielding fresh children.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return seed.bit_generator.seed_seq
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.SeedSequence(seed)
     raise TypeError(
         f"expected None, int, SeedSequence, or Generator, got {type(seed).__name__}"
     )

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.baselines.power_method import power_method_all_pairs
-from repro.core.crashsim import crashsim
+from repro.core.crashsim import CrashSimResult, crashsim
 from repro.core.params import CrashSimParams
 from repro.core.revreach import revreach_levels
 from repro.errors import ParameterError
@@ -207,6 +207,66 @@ class TestResultInterface:
         )
         with pytest.raises(ParameterError):
             result.score(5)
+
+
+def synthetic_result(candidates, scores):
+    """Hand-built result for exercising the ranking logic in isolation."""
+    return CrashSimResult(
+        source=0,
+        candidates=np.asarray(candidates, dtype=np.int64),
+        scores=np.asarray(scores, dtype=np.float64),
+        n_r=10,
+        params=CrashSimParams(n_r_override=10),
+        tree=None,
+    )
+
+
+class TestTopKTieBreaking:
+    def test_ties_break_by_ascending_id(self):
+        result = synthetic_result([3, 7, 12, 20], [0.5, 0.9, 0.5, 0.5])
+        assert result.top_k(4) == [(7, 0.9), (3, 0.5), (12, 0.5), (20, 0.5)]
+
+    def test_tie_at_the_cut(self):
+        # Two candidates tie for the last slot; the smaller id wins it.
+        result = synthetic_result([4, 9, 15], [0.8, 0.3, 0.3])
+        assert result.top_k(2) == [(4, 0.8), (9, 0.3)]
+
+    def test_all_scores_equal_yields_id_order(self):
+        result = synthetic_result([30, 2, 11], [0.25, 0.25, 0.25])
+        # candidates arrive sorted from crashsim; keep the fixture honest.
+        result.candidates.sort()
+        assert [node for node, _ in result.top_k(3)] == [2, 11, 30]
+
+    def test_k_larger_than_candidate_set_returns_all(self):
+        result = synthetic_result([1, 2], [0.1, 0.2])
+        assert result.top_k(50) == [(2, 0.2), (1, 0.1)]
+
+
+class TestEmptyCandidateSet:
+    def test_top_k_on_empty_result(self, paper_graph):
+        result = crashsim(
+            paper_graph,
+            0,
+            candidates=[],
+            params=CrashSimParams(n_r_override=10),
+            seed=0,
+        )
+        assert result.top_k(0) == []
+        assert result.top_k(5) == []
+        with pytest.raises(ParameterError):
+            result.top_k(-1)
+
+    def test_score_on_empty_result(self, paper_graph):
+        result = crashsim(
+            paper_graph,
+            0,
+            candidates=[],
+            params=CrashSimParams(n_r_override=10),
+            seed=0,
+        )
+        assert result.as_dict() == {}
+        with pytest.raises(ParameterError):
+            result.score(0)
 
 
 class TestValidation:

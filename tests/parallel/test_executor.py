@@ -1,0 +1,79 @@
+"""ParallelExecutor: serial fallback, ordering, lifecycle."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.parallel import ParallelExecutor, resolve_workers, shard_sizes
+
+
+def _square(x):
+    # Module-level so it pickles under every start method.
+    return x * x
+
+
+class TestResolveWorkers:
+    def test_none_uses_cpu_count(self):
+        assert resolve_workers(None) >= 1
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(3) == 3
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ParameterError):
+            resolve_workers(0)
+        with pytest.raises(ParameterError):
+            resolve_workers(-2)
+
+
+class TestShardSizes:
+    def test_sums_to_total_and_positive(self):
+        for n_trials in (1, 5, 16, 17, 100, 12345):
+            plan = shard_sizes(n_trials)
+            assert sum(plan) == n_trials
+            assert all(size > 0 for size in plan)
+            assert len(plan) <= 16
+
+    def test_fewer_trials_than_shards(self):
+        assert shard_sizes(3, shards=16) == [1, 1, 1]
+
+    def test_zero_trials(self):
+        assert shard_sizes(0) == []
+
+    def test_near_equal_split(self):
+        plan = shard_sizes(100, shards=16)
+        assert max(plan) - min(plan) <= 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ParameterError):
+            shard_sizes(-1)
+        with pytest.raises(ParameterError):
+            shard_sizes(10, shards=0)
+
+
+class TestSerialFallback:
+    def test_workers_one_is_serial(self):
+        with ParallelExecutor(1) as executor:
+            assert executor.serial
+            assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_map_preserves_order(self):
+        with ParallelExecutor(1) as executor:
+            assert executor.map(_square, range(20)) == [i * i for i in range(20)]
+
+
+class TestProcessPool:
+    def test_pool_map_ordered(self):
+        with ParallelExecutor(2) as executor:
+            assert not executor.serial
+            assert executor.map(_square, range(10)) == [i * i for i in range(10)]
+
+    def test_close_turns_serial(self):
+        executor = ParallelExecutor(2)
+        executor.close()
+        assert executor.serial
+        assert executor.map(_square, [4]) == [16]
+        executor.close()  # idempotent
+
+    def test_repr_names_mode(self):
+        with ParallelExecutor(1) as executor:
+            assert "serial" in repr(executor)

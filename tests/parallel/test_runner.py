@@ -1,0 +1,152 @@
+"""Seed-split determinism and correctness of the parallel CrashSim drivers."""
+
+import numpy as np
+import pytest
+
+from repro.api import single_source
+from repro.baselines.power_method import power_method_all_pairs
+from repro.core.multi_source import crashsim_multi_source
+from repro.core.params import CrashSimParams
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi
+from repro.parallel import (
+    ParallelExecutor,
+    parallel_crashsim,
+    parallel_crashsim_multi_source,
+)
+
+PARAMS = CrashSimParams(n_r_override=300)
+
+
+@pytest.fixture(scope="module")
+def random_graph():
+    return erdos_renyi(120, 600, seed=5)
+
+
+@pytest.fixture(scope="module")
+def weighted_random_graph():
+    rng = np.random.default_rng(8)
+    base = erdos_renyi(60, 240, seed=8)
+    edges = [(int(s), int(t)) for s, t in base.edges()]
+    weights = rng.uniform(0.1, 5.0, size=len(edges))
+    return DiGraph.from_edges(60, edges, weights=weights)
+
+
+class TestDeterminism:
+    """Same master seed ⇒ byte-identical scores at every worker count."""
+
+    def test_workers_1_vs_4_identical(self, random_graph):
+        reference = parallel_crashsim(
+            random_graph, 3, params=PARAMS, seed=42, workers=1
+        )
+        for workers in (2, 4):
+            other = parallel_crashsim(
+                random_graph, 3, params=PARAMS, seed=42, workers=workers
+            )
+            assert np.array_equal(reference.scores, other.scores)
+            assert np.array_equal(reference.candidates, other.candidates)
+            assert reference.n_r == other.n_r
+
+    def test_weighted_graph_identical(self, weighted_random_graph):
+        reference = parallel_crashsim(
+            weighted_random_graph, 1, params=PARAMS, seed=9, workers=1
+        )
+        other = parallel_crashsim(
+            weighted_random_graph, 1, params=PARAMS, seed=9, workers=2
+        )
+        assert np.array_equal(reference.scores, other.scores)
+
+    def test_different_seeds_differ(self, random_graph):
+        one = parallel_crashsim(random_graph, 3, params=PARAMS, seed=1, workers=1)
+        two = parallel_crashsim(random_graph, 3, params=PARAMS, seed=2, workers=1)
+        assert not np.array_equal(one.scores, two.scores)
+
+    def test_repeat_with_same_int_seed_identical(self, random_graph):
+        one = parallel_crashsim(random_graph, 0, params=PARAMS, seed=11, workers=2)
+        two = parallel_crashsim(random_graph, 0, params=PARAMS, seed=11, workers=2)
+        assert np.array_equal(one.scores, two.scores)
+
+    def test_multi_source_identical_across_worker_counts(self, random_graph):
+        sources = [0, 7, 19]
+        reference = parallel_crashsim_multi_source(
+            random_graph, sources, params=PARAMS, seed=33, workers=1
+        )
+        other = parallel_crashsim_multi_source(
+            random_graph, sources, params=PARAMS, seed=33, workers=3
+        )
+        for left, right in zip(reference, other):
+            assert left.source == right.source
+            assert np.array_equal(left.scores, right.scores)
+
+
+class TestCorrectness:
+    def test_close_to_ground_truth(self, random_graph):
+        truth = power_method_all_pairs(random_graph, 0.6)
+        params = CrashSimParams(n_r_override=1500)
+        result = parallel_crashsim(random_graph, 4, params=params, seed=0, workers=2)
+        errors = np.abs(truth[4][result.candidates] - result.scores)
+        assert errors.max() < 0.06
+
+    def test_multi_source_close_to_serial_estimator(self, random_graph):
+        """Parallel multi-source agrees with the serial amortised estimator
+        up to Monte-Carlo noise (different RNG stream layout)."""
+        sources = [2, 5]
+        params = CrashSimParams(n_r_override=2000)
+        serial = crashsim_multi_source(random_graph, sources, params=params, seed=1)
+        par = parallel_crashsim_multi_source(
+            random_graph, sources, params=params, seed=1, workers=2
+        )
+        for left, right in zip(serial, par):
+            assert np.array_equal(left.candidates, right.candidates)
+            assert np.abs(left.scores - right.scores).max() < 0.05
+
+    def test_candidate_subset(self, random_graph):
+        candidates = [1, 2, 3, 50]
+        result = parallel_crashsim(
+            random_graph, 0, candidates=candidates, params=PARAMS, seed=4, workers=2
+        )
+        assert list(result.candidates) == candidates
+
+    def test_source_included_in_candidates_scores_one(self, random_graph):
+        result = parallel_crashsim(
+            random_graph, 2, candidates=[1, 2, 3], params=PARAMS, seed=4, workers=1
+        )
+        assert result.score(2) == 1.0
+
+    def test_invalid_source_rejected(self, random_graph):
+        with pytest.raises(ParameterError):
+            parallel_crashsim(random_graph, 9999, params=PARAMS, workers=1)
+
+    def test_empty_sources_list(self, random_graph):
+        assert parallel_crashsim_multi_source(random_graph, [], workers=1) == []
+
+
+class TestExecutorReuse:
+    def test_shared_executor_across_queries(self, random_graph):
+        with ParallelExecutor(2) as executor:
+            one = parallel_crashsim(
+                random_graph, 0, params=PARAMS, seed=5, executor=executor
+            )
+            two = parallel_crashsim(
+                random_graph, 1, params=PARAMS, seed=5, executor=executor
+            )
+        solo = parallel_crashsim(random_graph, 0, params=PARAMS, seed=5, workers=1)
+        assert np.array_equal(one.scores, solo.scores)
+        assert two.source == 1
+
+
+class TestApiWiring:
+    def test_single_source_workers_identical(self, random_graph):
+        serial = single_source(
+            random_graph, 6, n_r=300, seed=21, workers=1
+        )
+        pooled = single_source(
+            random_graph, 6, n_r=300, seed=21, workers=2
+        )
+        assert np.array_equal(serial, pooled)
+        assert serial[6] == 1.0
+
+    def test_workers_rejected_for_other_methods(self, random_graph):
+        with pytest.raises(ParameterError):
+            single_source(random_graph, 0, method="probesim", workers=2)

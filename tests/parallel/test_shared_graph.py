@@ -1,0 +1,127 @@
+"""SharedGraph / SharedArray round-trips, views, and cleanup."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.parallel import SharedArray, SharedGraph, attach_array, attach_graph
+from repro.walks.engine import BatchWalkStepper
+
+
+def weighted_graph() -> DiGraph:
+    edges = [(0, 1), (2, 1), (1, 3), (3, 0), (2, 3)]
+    weights = [0.5, 2.0, 1.0, 4.0, 0.25]
+    return DiGraph.from_edges(4, edges, weights=weights)
+
+
+class TestSharedArray:
+    def test_round_trip(self):
+        original = np.arange(12, dtype=np.float64).reshape(3, 4)
+        with SharedArray(original) as shared:
+            view, handle = attach_array(shared.spec)
+            assert np.array_equal(view, original)
+            assert view.dtype == original.dtype
+            handle.close()
+
+    def test_empty_array_round_trips(self):
+        original = np.empty(0, dtype=np.int64)
+        with SharedArray(original) as shared:
+            view, handle = attach_array(shared.spec)
+            assert view.shape == (0,)
+            assert view.dtype == np.int64
+            handle.close()
+
+    def test_creator_view_after_close_raises(self):
+        shared = SharedArray(np.ones(3))
+        shared.close()
+        with pytest.raises(GraphError):
+            shared.array()
+
+    def test_close_is_idempotent(self):
+        shared = SharedArray(np.ones(3))
+        shared.close()
+        shared.close()  # no error
+
+    def test_unlinked_after_close(self):
+        shared = SharedArray(np.ones(3))
+        spec = shared.spec
+        shared.close()
+        with pytest.raises(FileNotFoundError):
+            attach_array(spec)
+
+
+class TestSharedGraphRoundTrip:
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_csr_arrays_identical(self, paper_graph, weighted):
+        graph = weighted_graph() if weighted else paper_graph
+        with SharedGraph(graph) as shared:
+            view = attach_graph(shared.spec())
+            assert view.num_nodes == graph.num_nodes
+            assert np.array_equal(view.in_indptr, graph.in_indptr)
+            assert np.array_equal(view.in_indices, graph.in_indices)
+            assert np.array_equal(view.in_degrees(), graph.in_degrees())
+            assert view.is_weighted == graph.is_weighted
+            if weighted:
+                assert np.array_equal(view.in_weights, graph.in_weights)
+            # Bit-identical totals: the determinism contract depends on it.
+            assert np.array_equal(view.in_weight_totals(), graph.in_weight_totals())
+            view.close()
+
+    def test_unweighted_view_rejects_weights_access(self, paper_graph):
+        with SharedGraph(paper_graph) as shared:
+            with attach_graph(shared.spec()) as view:
+                with pytest.raises(GraphError):
+                    view.in_weights
+
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_walks_identical_through_view(self, paper_graph, weighted):
+        """The walk engine produces the same trajectories from the shared
+        view as from the original graph — the strongest round-trip check."""
+        graph = weighted_graph() if weighted else paper_graph
+        starts = np.arange(graph.num_nodes, dtype=np.int64)
+        direct = BatchWalkStepper(graph, 0.6).sample_paths(starts, 8, seed=123)
+        with SharedGraph(graph) as shared:
+            with attach_graph(shared.spec()) as view:
+                attached = BatchWalkStepper(view, 0.6).sample_paths(
+                    starts, 8, seed=123
+                )
+        assert np.array_equal(direct, attached)
+
+    def test_creator_side_view(self, paper_graph):
+        with SharedGraph(paper_graph) as shared:
+            view = shared.view()
+            assert np.array_equal(view.in_indptr, paper_graph.in_indptr)
+            assert np.array_equal(view.in_indices, paper_graph.in_indices)
+
+
+class TestCleanup:
+    def test_segments_unlinked_on_close(self, paper_graph):
+        shared = SharedGraph(paper_graph)
+        spec = shared.spec()
+        shared.close()
+        with pytest.raises(FileNotFoundError):
+            attach_graph(spec)
+
+    def test_close_is_idempotent(self, paper_graph):
+        shared = SharedGraph(paper_graph)
+        shared.close()
+        shared.close()
+
+    def test_context_manager_cleans_up_weighted(self):
+        graph = weighted_graph()
+        with SharedGraph(graph) as shared:
+            spec = shared.spec()
+            view = attach_graph(spec)
+            view.close()
+        with pytest.raises(FileNotFoundError):
+            attach_graph(spec)
+
+    def test_view_close_does_not_unlink(self, paper_graph):
+        with SharedGraph(paper_graph) as shared:
+            spec = shared.spec()
+            view = attach_graph(spec)
+            view.close()
+            view.close()  # idempotent
+            second = attach_graph(spec)  # segment still there
+            second.close()

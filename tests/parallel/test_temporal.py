@@ -1,0 +1,97 @@
+"""Parallel snapshot driver: determinism and Ω-shrinking semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import CrashSimParams
+from repro.core.queries import ThresholdQuery, TrendQuery
+from repro.errors import ParameterError, QueryError
+from repro.parallel import parallel_crashsim_t
+
+PARAMS = CrashSimParams(n_r_override=300)
+
+
+class TestDeterminism:
+    def test_identical_across_worker_counts(self, paper_temporal):
+        query = ThresholdQuery(0.005)
+        reference = parallel_crashsim_t(
+            paper_temporal, 0, query, params=PARAMS, seed=17, workers=1
+        )
+        for workers in (2, 3):
+            other = parallel_crashsim_t(
+                paper_temporal, 0, query, params=PARAMS, seed=17, workers=workers
+            )
+            assert other.survivors == reference.survivors
+            assert other.history == reference.history
+            assert other.stats.as_dict() == reference.stats.as_dict()
+
+    def test_repeat_run_identical(self, paper_temporal):
+        query = TrendQuery("increasing")
+        one = parallel_crashsim_t(
+            paper_temporal, 1, query, params=PARAMS, seed=3, workers=2
+        )
+        two = parallel_crashsim_t(
+            paper_temporal, 1, query, params=PARAMS, seed=3, workers=2
+        )
+        assert one.history == two.history
+
+
+class TestSemantics:
+    def test_omega_only_shrinks(self, paper_temporal):
+        query = ThresholdQuery(0.005)
+        result = parallel_crashsim_t(
+            paper_temporal, 0, query, params=PARAMS, seed=1, workers=1
+        )
+        alive = [set(snapshot.keys()) for snapshot in result.history]
+        # history[0] holds all candidates; Ω entering later snapshots only
+        # ever loses members.
+        for earlier, later in zip(alive[1:], alive[2:]):
+            assert later <= earlier
+        assert set(result.survivors) <= alive[-1]
+
+    def test_history_first_snapshot_covers_all_candidates(self, paper_temporal):
+        query = ThresholdQuery(0.0)
+        result = parallel_crashsim_t(
+            paper_temporal, 0, query, params=PARAMS, seed=1, workers=1
+        )
+        assert len(result.history[0]) == paper_temporal.num_nodes - 1
+
+    def test_interval_subrange(self, paper_temporal):
+        query = ThresholdQuery(0.0)
+        result = parallel_crashsim_t(
+            paper_temporal,
+            0,
+            query,
+            interval=(1, 3),
+            params=PARAMS,
+            seed=1,
+            workers=1,
+        )
+        assert result.interval == (1, 3)
+        assert result.stats.snapshots_processed <= 2
+
+    def test_invalid_interval_rejected(self, paper_temporal):
+        with pytest.raises(QueryError):
+            parallel_crashsim_t(
+                paper_temporal,
+                0,
+                ThresholdQuery(0.0),
+                interval=(2, 1),
+                params=PARAMS,
+                workers=1,
+            )
+
+    def test_invalid_source_rejected(self, paper_temporal):
+        with pytest.raises(ParameterError):
+            parallel_crashsim_t(
+                paper_temporal, 999, ThresholdQuery(0.0), params=PARAMS, workers=1
+            )
+
+    def test_threshold_query_filters(self, paper_temporal):
+        strict = parallel_crashsim_t(
+            paper_temporal, 0, ThresholdQuery(0.9), params=PARAMS, seed=2, workers=1
+        )
+        lax = parallel_crashsim_t(
+            paper_temporal, 0, ThresholdQuery(0.0), params=PARAMS, seed=2, workers=1
+        )
+        assert len(strict.survivors) <= len(lax.survivors)

@@ -1,0 +1,115 @@
+"""Statistical-guarantee tests: a direct check of Theorem 1.
+
+Theorem 1 (via Lemma 3's Chernoff argument) promises that with the
+theoretical trial count ``n_r`` the CrashSim estimate concentrates within
+``ε`` of its expectation with probability ``≥ 1 − δ`` per pair.  The
+estimator's exact expectation is computable in closed form: a candidate
+walk's step-``l`` occupancy is its own corrected revReach level, so
+
+    E[s(u, v)] = Σ_l ⟨U_u[l, ·], U_v[l, ·]⟩
+
+— the truncated meeting-probability series.  ``TestTheorem1Concentration``
+checks the estimate against that quantity on the paper's Fig. 2 graph at
+the *theoretical* ``n_r``; the margins are calibrated so that cutting
+``n_r`` to 10% of the Lemma-3 value makes the test fail (both the max-error
+and the ≥ 99%-of-pairs assertions), i.e. the suite is genuinely sensitive
+to the trial count, not vacuously green.
+
+``TestEndToEndGuarantee`` checks the full pipeline against
+``power_method_all_pairs`` ground truth on a seeded Erdős–Rényi graph,
+where the literal estimator's multi-meeting bias is negligible.  On the
+tiny cyclic Fig. 2 graph that bias is *not* negligible — walks that meet
+keep re-meeting in the 3-cycle — which ``test_fig2_literal_bias_is_real``
+pins explicitly: it is why the concentration check above compares against
+the estimator's expectation rather than plain SimRank (DESIGN.md §2.2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.power_method import power_method_all_pairs
+from repro.core.crashsim import crashsim
+from repro.core.params import CrashSimParams
+from repro.core.revreach import revreach_levels
+from repro.datasets.example_graph import example_graph
+from repro.graph.generators import erdos_renyi
+
+SEED = 2024
+
+
+def crash_expectation(graph, params):
+    """Exact expectation of the literal estimator for every (u, v) pair."""
+    trees = [
+        revreach_levels(graph, source, params.l_max, params.c).matrix
+        for source in range(graph.num_nodes)
+    ]
+    stacked = np.stack(trees)  # (n, l_max + 1, n)
+    return np.einsum("ulk,vlk->uv", stacked, stacked)
+
+
+def error_sweep(graph, params, sources, truth, seed):
+    """|estimate − truth| over every (source, candidate) pair, in order."""
+    rng = np.random.default_rng(seed)
+    errors = []
+    for source in sources:
+        result = crashsim(graph, source, params=params, seed=rng)
+        errors.append(np.abs(truth[source][result.candidates] - result.scores))
+    return np.concatenate(errors)
+
+
+class TestTheorem1Concentration:
+    """Estimate vs. exact expectation at the theoretical ``n_r`` (Fig. 2)."""
+
+    def test_within_epsilon_at_theoretical_n_r(self):
+        graph = example_graph()
+        params = CrashSimParams()  # paper defaults: c=0.6, ε=0.025, δ=0.01
+        # No override/cap: crashsim runs the exact Lemma-3 trial count.
+        assert params.n_r(graph.num_nodes) == params.n_r_theoretical(graph.num_nodes)
+        truth = crash_expectation(graph, params)
+        errors = error_sweep(graph, params, range(graph.num_nodes), truth, SEED)
+        # Calibrated sensitivity: at 10% of the theoretical n_r the max
+        # error exceeds ε AND the within-ε fraction drops below 99%.
+        assert errors.max() <= params.epsilon, errors.max()
+        assert np.mean(errors <= params.epsilon) >= 0.99
+
+    def test_sensitive_to_trial_count(self):
+        """The margin the previous test relies on: 10% n_r is visibly worse.
+
+        Not an xfail of the guarantee — a positive check that the noise
+        floor scales with the trial count, so cutting n_r cannot slip
+        through the assertions above.
+        """
+        graph = example_graph()
+        full = CrashSimParams()
+        n_r_cut = max(1, full.n_r_theoretical(graph.num_nodes) // 10)
+        cut = CrashSimParams(n_r_override=n_r_cut)
+        truth = crash_expectation(graph, full)
+        errors = error_sweep(graph, cut, range(graph.num_nodes), truth, SEED)
+        assert errors.max() > full.epsilon or np.mean(errors <= full.epsilon) < 0.99
+
+
+class TestEndToEndGuarantee:
+    """Estimate vs. Power-Method SimRank on a seeded Erdős–Rényi graph."""
+
+    def test_within_epsilon_of_ground_truth(self):
+        graph = erdos_renyi(60, 300, seed=7)
+        params = CrashSimParams(epsilon=0.05)
+        assert params.n_r(graph.num_nodes) == params.n_r_theoretical(graph.num_nodes)
+        truth = power_method_all_pairs(graph, params.c)
+        errors = error_sweep(graph, params, (0, 17, 42), truth, SEED)
+        assert np.mean(errors <= params.epsilon) >= 0.99
+        assert errors.max() <= params.epsilon, errors.max()
+
+
+def test_fig2_literal_bias_is_real():
+    """Why the concentration check uses the expectation, not plain SimRank:
+    the literal estimator re-counts walk pairs that meet repeatedly in the
+    Fig. 2 cycles, displacing it from SimRank by far more than ε."""
+    graph = example_graph()
+    params = CrashSimParams()
+    truth = power_method_all_pairs(graph, params.c)
+    expectation = crash_expectation(graph, params)
+    np.fill_diagonal(truth, 0.0)
+    np.fill_diagonal(expectation, 0.0)
+    bias = np.abs(expectation - truth).max()
+    assert bias > params.epsilon  # ≈ 0.27: the guarantee targets E[s], not sim

@@ -1,0 +1,158 @@
+"""Property-based tests for :class:`BatchWalkStepper` (Hypothesis).
+
+Three invariants the vectorised walk engine must never violate, on any
+graph, weighting, or seed:
+
+1. **adjacency** — every step moves a walk to an in-neighbour of its
+   previous position (and once a walk dies it stays dead);
+2. **monotone survival** — the set of live walks only ever shrinks, so
+   per-step survivor counts are non-increasing and walk ids stay a subset;
+3. **CSR-block containment** — the weighted inverse-CDF neighbour choice
+   resolves inside the current node's CSR block even when floating-point
+   rounding lands the searchsorted target exactly on a block boundary
+   (stressed with weights spanning twelve orders of magnitude).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.walks.engine import BatchWalkStepper
+
+MAX_STEPS = 8
+
+settings.register_profile("engine", max_examples=30, deadline=None)
+settings.load_profile("engine")
+
+
+@st.composite
+def graph_and_seed(draw, weighted=False):
+    num_nodes = draw(st.integers(min_value=2, max_value=12))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1), st.integers(0, num_nodes - 1)
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    edges = [(s, t) for s, t in pairs if s != t]
+    if not edges:
+        edges = [(0, 1)]
+    weights = None
+    if weighted:
+        # Extreme magnitudes stress the cumulative-weight inverse CDF at
+        # block boundaries far harder than benign weights do.
+        weights = draw(
+            st.lists(
+                st.floats(min_value=1e-6, max_value=1e6),
+                min_size=len(edges),
+                max_size=len(edges),
+            )
+        )
+    graph = DiGraph.from_edges(num_nodes, edges, weights=weights)
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    c = draw(st.sampled_from([0.25, 0.6, 0.8]))
+    return graph, seed, c
+
+
+def in_neighbor_sets(graph):
+    return [set(graph.in_neighbors(node).tolist()) for node in range(graph.num_nodes)]
+
+
+@given(graph_and_seed())
+def test_steps_follow_in_adjacency(case):
+    graph, seed, c = case
+    neighbors = in_neighbor_sets(graph)
+    starts = np.arange(graph.num_nodes, dtype=np.int64)
+    paths = BatchWalkStepper(graph, c).sample_paths(starts, MAX_STEPS, seed=seed)
+    for row in paths:
+        for step in range(MAX_STEPS):
+            here, there = int(row[step]), int(row[step + 1])
+            if here < 0:
+                assert there < 0  # dead walks never resurrect
+            elif there >= 0:
+                assert there in neighbors[here]
+
+
+@given(graph_and_seed(weighted=True))
+def test_weighted_steps_follow_in_adjacency(case):
+    graph, seed, c = case
+    neighbors = in_neighbor_sets(graph)
+    starts = np.arange(graph.num_nodes, dtype=np.int64)
+    paths = BatchWalkStepper(graph, c).sample_paths(starts, MAX_STEPS, seed=seed)
+    for row in paths:
+        for step in range(MAX_STEPS):
+            here, there = int(row[step]), int(row[step + 1])
+            if here >= 0 and there >= 0:
+                # Weighted inverse-CDF never escapes the node's CSR block:
+                # landing outside it would pick a non-neighbour.
+                assert there in neighbors[here]
+
+
+@given(graph_and_seed(), st.sampled_from(["coin", "always"]))
+def test_survivors_monotone_non_increasing(case, survival):
+    graph, seed, c = case
+    starts = np.arange(graph.num_nodes, dtype=np.int64)
+    stepper = BatchWalkStepper(graph, c)
+    previous_alive = starts.size
+    previous_ids = set(range(starts.size))
+    for batch in stepper.walk(starts, MAX_STEPS, seed=seed, survival=survival):
+        assert batch.num_alive <= previous_alive
+        ids = set(batch.walk_ids.tolist())
+        assert ids <= previous_ids
+        assert np.all(np.diff(batch.walk_ids) > 0)  # strictly increasing
+        previous_alive = batch.num_alive
+        previous_ids = ids
+
+
+@given(graph_and_seed(weighted=True))
+def test_weighted_and_block_bounds_direct(case):
+    """Drive the inverse-CDF arithmetic directly: for every live position
+    the resolved flat index must sit inside ``[indptr[u], indptr[u+1])``
+    even when the searchsorted target equals the block's cumulative top."""
+    graph, seed, c = case
+    stepper = BatchWalkStepper(graph, c)
+    rng = np.random.default_rng(seed)
+    positions = np.arange(graph.num_nodes, dtype=np.int64)
+    degrees = graph.in_degrees()
+    movable = positions[degrees[positions] > 0]
+    if movable.size == 0:
+        return
+    # Worst-case draws: exactly 0 and as close to 1 as float64 allows.
+    for draw_value in (0.0, np.nextafter(1.0, 0.0), float(rng.random())):
+        draws = np.full(movable.size, draw_value)
+        targets = (
+            stepper._weight_base[movable]
+            + draws * stepper._weight_totals[movable]
+        )
+        flat = np.searchsorted(stepper._cumulative, targets, side="right")
+        np.clip(
+            flat,
+            stepper._indptr[movable],
+            stepper._indptr[movable + 1] - 1,
+            out=flat,
+        )
+        assert np.all(flat >= stepper._indptr[movable])
+        assert np.all(flat < stepper._indptr[movable + 1])
+
+
+def test_boundary_weights_never_escape_block():
+    """Deterministic adversarial case: adjacent CSR blocks whose cumulative
+    weights differ by 12 orders of magnitude — rounding at the block edge
+    must still select a true in-neighbour."""
+    edges = [(1, 0), (2, 0), (0, 1), (2, 1), (0, 2)]
+    weights = [1e-12, 1e12, 1e12, 1e-12, 1.0]
+    graph = DiGraph.from_edges(3, edges, weights=weights)
+    neighbors = in_neighbor_sets(graph)
+    stepper = BatchWalkStepper(graph, 0.6)
+    starts = np.zeros(2000, dtype=np.int64)
+    for start in range(3):
+        starts[:] = start
+        paths = stepper.sample_paths(starts, 4, seed=99)
+        for row in paths:
+            for step in range(4):
+                here, there = int(row[step]), int(row[step + 1])
+                if here >= 0 and there >= 0:
+                    assert there in neighbors[here]
