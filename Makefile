@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-parallel bench selftest experiments report examples clean
+.PHONY: install test test-parallel bench bench-tree perf-smoke selftest experiments report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -18,6 +18,15 @@ test-parallel:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Sparse-vs-dense tree sweep; writes benchmarks/BENCH_tree.json and fails
+# if the sparse representation misses its speedup targets.
+bench-tree:
+	$(PYTHON) benchmarks/bench_tree.py
+
+# CI timing gate: generous multiple of benchmarks/baselines/tree_smoke.json.
+perf-smoke:
+	cd benchmarks && $(PYTHON) perf_smoke.py
 
 selftest:
 	$(PYTHON) -m repro selftest

@@ -16,7 +16,9 @@ assertion is skipped below 4 CPUs.
 
 from __future__ import annotations
 
+import json
 import os
+import pathlib
 import time
 from typing import Dict, List, Sequence
 
@@ -33,6 +35,7 @@ BENCH_EDGES = 150_000
 BENCH_N_R = 512
 BENCH_SEED = 0
 WORKER_COUNTS = (1, 2, 4)
+OUTPUT = pathlib.Path(__file__).with_name("BENCH_parallel.json")
 
 
 def make_bench_graph(
@@ -138,6 +141,19 @@ def main() -> int:
             f"{row['workers']:>8} {row['seconds']:>10} "
             f"{row['speedup']:>9} {str(row['identical_to_w1']):>10}"
         )
+    payload = {
+        "graph": {
+            "generator": "erdos_renyi",
+            "num_nodes": BENCH_NODES,
+            "num_edges": BENCH_EDGES,
+            "seed": BENCH_SEED,
+        },
+        "n_r": BENCH_N_R,
+        "cpus": os.cpu_count(),
+        "rows": rows,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
     if not all(row["identical_to_w1"] for row in rows):
         print("FAIL: scores drifted across worker counts")
         return 1

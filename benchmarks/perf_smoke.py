@@ -1,0 +1,82 @@
+"""CI perf-smoke: catch order-of-magnitude tree regressions cheaply.
+
+Runs the bench_tree sweep on a CI-sized graph and compares wall-clock
+against the recorded baseline in ``benchmarks/baselines/tree_smoke.json``.
+The gate is deliberately generous — a timing fails only past
+``PERF_SMOKE_MULTIPLIER`` (default 10×) of its recorded value — so shared
+runners' jitter never breaks the build, while a representation regression
+that reintroduces O(n)-per-level work (100×+ on these sizes) still trips
+it.  The structural ratios (sparse-vs-dense speedup, pruning no slower)
+are asserted directly: they are machine-independent.
+
+Usage:
+    python benchmarks/perf_smoke.py            # gate against the baseline
+    python benchmarks/perf_smoke.py --record   # re-record the baseline
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+
+from bench_tree import run_all
+
+BASELINE = pathlib.Path(__file__).parent / "baselines" / "tree_smoke.json"
+SMOKE_NODES = 30_000
+SMOKE_SOURCES = 32
+GATED_TIMINGS = (
+    "sparse_build_seconds",
+    "sparse_same_as_cold_seconds",
+)
+MIN_COMBINED_SPEEDUP = 3.0  # headroom below the 5x full-size target
+MIN_PRUNING_SPEEDUP = 0.8
+
+
+def main(argv) -> int:
+    payload = run_all(num_nodes=SMOKE_NODES, num_sources=SMOKE_SOURCES)
+    tree = payload["tree"]
+    pruning = payload["difference_pruning"]
+
+    if "--record" in argv:
+        BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        record = {key: tree[key] for key in GATED_TIMINGS}
+        record["nodes"] = SMOKE_NODES
+        record["sources"] = SMOKE_SOURCES
+        BASELINE.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+        print(f"recorded baseline: {BASELINE}")
+        return 0
+
+    baseline = json.loads(BASELINE.read_text())
+    multiplier = float(os.environ.get("PERF_SMOKE_MULTIPLIER", "10"))
+    failures = []
+    for key in GATED_TIMINGS:
+        allowed = baseline[key] * multiplier
+        print(
+            f"{key}: {tree[key]}s (baseline {baseline[key]}s, "
+            f"allowed {allowed:.4f}s)"
+        )
+        if tree[key] > allowed:
+            failures.append(f"{key} {tree[key]}s > {allowed:.4f}s allowed")
+    print(f"combined_speedup: {tree['combined_speedup']}x")
+    if tree["combined_speedup"] < MIN_COMBINED_SPEEDUP:
+        failures.append(
+            f"combined sparse speedup {tree['combined_speedup']}x "
+            f"< {MIN_COMBINED_SPEEDUP}x floor"
+        )
+    print(f"difference pruning sweep: {pruning['speedup']}x")
+    if pruning["speedup"] < MIN_PRUNING_SPEEDUP:
+        failures.append(
+            f"difference pruning sweep {pruning['speedup']}x "
+            f"< {MIN_PRUNING_SPEEDUP}x floor"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("perf-smoke ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -254,11 +254,13 @@ class SlingStoredIndex:
                 graph, node, self.depth, c, prune_below=self.threshold
             )
             entries = []
-            steps, positions = np.nonzero(tree.matrix)
-            for t, x in zip(steps.tolist(), positions.tolist()):
-                h = float(tree.matrix[t, x])
-                entries.append((t, x, h))
-                self.inverted.setdefault((t, x), []).append((node, h))
+            # Iterate the sparse levels directly (same (t, x) order a dense
+            # np.nonzero would give) — no length-n row is ever allocated.
+            for t in range(tree.l_max + 1):
+                level_nodes, level_probs = tree.level_arrays(t)
+                for x, h in zip(level_nodes.tolist(), level_probs.tolist()):
+                    entries.append((t, x, h))
+                    self.inverted.setdefault((t, x), []).append((node, h))
             self.hit_lists.append(entries)
 
     @property

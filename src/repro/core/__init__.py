@@ -20,6 +20,7 @@ from repro.core.crashsim_t import CrashSimTStats, TemporalQueryResult, crashsim_
 from repro.core.multi_source import crashsim_multi_source
 from repro.core.params import CrashSimParams
 from repro.core.pruning import (
+    CandidateTreeCache,
     affected_area,
     edge_subgraph,
     tree_unaffected_by_delta,
@@ -33,6 +34,7 @@ from repro.core.queries import (
 )
 from repro.core.revreach import (
     ReverseReachableTree,
+    SparseReverseTree,
     revreach_levels,
     revreach_queue,
     revreach_update,
@@ -47,6 +49,7 @@ __all__ = [
     "crashsim",
     "crashsim_multi_source",
     "ReverseReachableTree",
+    "SparseReverseTree",
     "revreach_levels",
     "revreach_queue",
     "TemporalQuery",
@@ -62,6 +65,7 @@ __all__ = [
     "tree_unchanged",
     "tree_unaffected_by_delta",
     "edge_subgraph",
+    "CandidateTreeCache",
     "crashsim_topk",
     "TopKResult",
     "durable_topk",

@@ -226,7 +226,7 @@ _WALK_CHUNK = 1 << 20  # max simultaneous walks per batched pass
 
 def accumulate_crash_totals(
     graph: DiGraph,
-    matrix: np.ndarray,
+    tree,
     targets: np.ndarray,
     n_trials: int,
     *,
@@ -242,6 +242,13 @@ def accumulate_crash_totals(
     stepper in one pass, reducing the whole Monte-Carlo loop to ``O(l_max)``
     NumPy operations per chunk.
 
+    ``tree`` is anything with a ``gather(step, positions)`` read — a
+    :class:`~repro.core.revreach.SparseReverseTree` (default; per-level
+    binary search or cached dense rows past the density threshold), a dense
+    :class:`~repro.core.revreach.ReverseReachableTree`, or a raw 2-D
+    ``(l_max + 1, n)`` matrix.  The gathered values are identical floats in
+    every case, so scores are byte-identical across representations.
+
     ``graph`` only needs the walk-facing protocol (in-CSR arrays, degrees,
     weight totals), so a :class:`repro.parallel.CsrGraphView` attached to
     shared memory works as well as a full :class:`DiGraph` — this is the
@@ -251,6 +258,11 @@ def accumulate_crash_totals(
     totals = np.zeros(targets.size, dtype=np.float64)
     if targets.size == 0 or n_trials <= 0:
         return totals
+    if isinstance(tree, np.ndarray):
+        matrix = tree
+        gather = lambda step, positions: matrix[step, positions]  # noqa: E731
+    else:
+        gather = tree.gather
     stepper = BatchWalkStepper(graph, c)
     trials_per_chunk = max(1, walk_chunk // targets.size)
     candidate_index = np.arange(targets.size, dtype=np.int64)
@@ -261,7 +273,7 @@ def accumulate_crash_totals(
         starts = np.tile(targets, trials)
         walk_owner = np.tile(candidate_index, trials)
         for batch in stepper.walk(starts, l_max, seed=rng):
-            contributions = matrix[batch.step, batch.positions]
+            contributions = gather(batch.step, batch.positions)
             totals += np.bincount(
                 walk_owner[batch.walk_ids],
                 weights=contributions,
@@ -280,7 +292,7 @@ def _accumulate_crashes(
 ) -> np.ndarray:
     return accumulate_crash_totals(
         graph,
-        tree.matrix,
+        tree,
         targets,
         n_r,
         c=params.c,

@@ -12,7 +12,12 @@ scores.  Per transition it:
 3. and **difference pruning** when ``|E(Ω)| < n_r`` — candidates whose own
    reverse reachable tree is unchanged keep their previous estimate (the
    trees are compared on the full snapshots, not the paper's Ω-induced
-   subgraph, which is unsound — DESIGN.md §2.6);
+   subgraph, which is unsound — DESIGN.md §2.6).  Candidate trees come out
+   of a :class:`~repro.core.pruning.CandidateTreeCache`: the previous
+   snapshot's tree is reused (never rebuilt) when the candidate was already
+   compared last transition, the current tree is advanced incrementally via
+   :func:`~repro.core.revreach.revreach_update`, and equality fast-rejects
+   through level fingerprints before touching any array;
 4. runs CrashSim only on the residual set ``Ω'``, merges carried and fresh
    scores, and filters ``Ω`` through the query predicate.
 
@@ -30,7 +35,11 @@ import numpy as np
 
 from repro.core.crashsim import crashsim
 from repro.core.params import CrashSimParams
-from repro.core.pruning import affected_area, count_candidate_edges
+from repro.core.pruning import (
+    CandidateTreeCache,
+    affected_area,
+    count_candidate_edges,
+)
 from repro.core.queries import TemporalQuery
 from repro.core.revreach import revreach_levels, revreach_update
 from repro.errors import ParameterError, QueryError
@@ -51,6 +60,9 @@ class CrashSimTStats:
     difference_pruning_applied: int = 0
     candidates_carried: int = 0
     candidates_recomputed: int = 0
+    candidate_trees_built: int = 0
+    candidate_trees_cached: int = 0
+    candidate_trees_advanced: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -61,6 +73,9 @@ class CrashSimTStats:
             "difference_pruning_applied": self.difference_pruning_applied,
             "candidates_carried": self.candidates_carried,
             "candidates_recomputed": self.candidates_recomputed,
+            "candidate_trees_built": self.candidate_trees_built,
+            "candidate_trees_cached": self.candidate_trees_cached,
+            "candidate_trees_advanced": self.candidate_trees_advanced,
         }
 
 
@@ -166,6 +181,7 @@ def crashsim_t(
     tree_prev = result.tree
 
     n_r = params.n_r(max(temporal.num_nodes, 2))
+    candidate_trees = CandidateTreeCache()
 
     for index in range(start + 1, stop):
         if not omega:
@@ -227,15 +243,32 @@ def crashsim_t(
                 # unsound when a candidate's reverse ball leaves Ω (its
                 # estimate can change while the restricted tree does not),
                 # so we compare on the full snapshots — same trigger
-                # condition, sound carry (DESIGN.md §2.6).
+                # condition, sound carry (DESIGN.md §2.6).  The cache keeps
+                # each candidate's latest tree, so the previous-snapshot
+                # side is never rebuilt once seen and the current side is
+                # an incremental advance over the delta.
                 for node in sorted(residual):
-                    prev_tree = revreach_levels(
-                        graph_prev, node, l_max, params.c, variant=tree_variant
+                    prev_candidate_tree = candidate_trees.tree_for(
+                        node,
+                        index - 1,
+                        graph_prev,
+                        l_max,
+                        params.c,
+                        variant=tree_variant,
                     )
-                    cur_tree = revreach_levels(
-                        graph_cur, node, l_max, params.c, variant=tree_variant
+                    cur_candidate_tree = candidate_trees.advance(
+                        node,
+                        prev_candidate_tree,
+                        index,
+                        graph_cur,
+                        delta_cur.added,
+                        delta_cur.removed,
+                        directed=temporal.directed,
                     )
-                    if cur_tree.same_as(prev_tree):
+                    if (
+                        cur_candidate_tree is prev_candidate_tree
+                        or cur_candidate_tree.same_as(prev_candidate_tree)
+                    ):
                         carried.add(node)
                         residual.discard(node)
 
@@ -261,11 +294,15 @@ def crashsim_t(
         cur_vector = np.array([scores_cur[int(v)] for v in ordered])
         keep = query.step_mask(prev_vector, cur_vector)
         omega = [int(v) for v in ordered[keep]]
+        candidate_trees.retain(omega)
 
         scores_prev = scores_cur
         graph_prev = graph_cur
         tree_prev = tree_cur
 
+    stats.candidate_trees_built = candidate_trees.builds
+    stats.candidate_trees_cached = candidate_trees.hits
+    stats.candidate_trees_advanced = candidate_trees.advances
     return TemporalQueryResult(
         source=source,
         interval=(start, stop),

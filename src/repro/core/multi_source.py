@@ -77,7 +77,6 @@ def crashsim_multi_source(
         revreach_levels(graph, source, l_max, params.c, variant=tree_variant)
         for source in source_list
     ]
-    matrices = [tree.matrix for tree in trees]
 
     # Walk once for every candidate that can walk at all.
     walk_targets = candidate_array[graph.in_degrees()[candidate_array] > 0]
@@ -94,8 +93,8 @@ def crashsim_multi_source(
             walk_owner = np.tile(owner_index, trials)
             for batch in stepper.walk(starts, l_max, seed=rng):
                 owners = walk_owner[batch.walk_ids]
-                for row, matrix in enumerate(matrices):
-                    contributions = matrix[batch.step, batch.positions]
+                for row, tree in enumerate(trees):
+                    contributions = tree.gather(batch.step, batch.positions)
                     totals[row] += np.bincount(
                         owners,
                         weights=contributions,

@@ -21,15 +21,21 @@ select the same nodes when fed identical walk randomness.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Sequence, Set, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.core.revreach import revreach_levels
+from repro.core.revreach import (
+    SparseReverseTree,
+    _changed_heads,
+    revreach_levels,
+    revreach_update,
+)
 from repro.errors import ParameterError
 from repro.graph.digraph import DiGraph
 
 __all__ = [
+    "CandidateTreeCache",
     "affected_area",
     "edge_subgraph",
     "tree_unchanged",
@@ -137,14 +143,13 @@ def tree_unaffected_by_delta(
     For undirected graphs each edge is two arcs, so both endpoints are
     checked.
     """
-    occupancy = tree.matrix[: tree.l_max].sum(axis=0)
-    for collection in (added, removed):
-        for x, y in collection:
-            if occupancy[int(y)] > 0.0:
-                return False
-            if not directed and occupancy[int(x)] > 0.0:
-                return False
-    return True
+    heads = _changed_heads(added, removed, directed)
+    if heads.size == 0:
+        return True
+    if isinstance(tree, SparseReverseTree):
+        return tree.first_level_containing(heads, limit=tree.l_max) is None
+    occupancy = tree.matrix[: tree.l_max][:, heads]
+    return not bool(np.any(occupancy > 0.0))
 
 
 def tree_unchanged(
@@ -166,3 +171,102 @@ def tree_unchanged(
     previous_tree = revreach_levels(previous_graph, node, l_max, c, variant=variant)
     current_tree = revreach_levels(current_graph, node, l_max, c, variant=variant)
     return previous_tree.same_as(current_tree, tol=tol)
+
+
+class CandidateTreeCache:
+    """Per-candidate reverse-tree cache across snapshot transitions.
+
+    Difference pruning (Property 2) compares each residual candidate's
+    reverse reachable tree between adjacent snapshots.  Rebuilding *both*
+    trees from scratch per candidate per transition — as Algorithm 3
+    literally prescribes — costs ``O(|Ω| · l_max · m)`` per snapshot.  This
+    cache keeps each candidate's most recent tree stamped with the snapshot
+    index it is valid for, so a transition ``t → t+1`` needs at most one
+    fresh build per candidate (the first time it is compared) and afterwards
+    only an :func:`~repro.core.revreach.revreach_update` advance, whose cost
+    is proportional to the delta's reach into the tree.
+
+    Entries are exact: a cached tree is bit-identical to a fresh
+    ``revreach_levels`` on its stamped snapshot (``revreach_update`` is
+    bit-exact — pinned by tests), so pruning decisions are unchanged.
+
+    Attributes
+    ----------
+    hits, builds, advances:
+        Running counters, mirrored into ``CrashSimTStats``.
+    """
+
+    def __init__(self):
+        self._entries: Dict[int, Tuple[int, object]] = {}
+        self.hits = 0
+        self.builds = 0
+        self.advances = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def tree_for(
+        self,
+        node: int,
+        stamp: int,
+        graph: DiGraph,
+        l_max: int,
+        c: float,
+        *,
+        variant: str = "corrected",
+    ):
+        """The candidate's tree on the snapshot stamped ``stamp``.
+
+        Returns the cached tree when its stamp matches; otherwise builds
+        fresh on ``graph`` (which must be that snapshot) and records it.
+        """
+        entry = self._entries.get(int(node))
+        if entry is not None and entry[0] == stamp:
+            self.hits += 1
+            return entry[1]
+        tree = revreach_levels(graph, int(node), l_max, c, variant=variant)
+        self.builds += 1
+        self._entries[int(node)] = (stamp, tree)
+        return tree
+
+    def advance(
+        self,
+        node: int,
+        prev_tree,
+        new_stamp: int,
+        new_graph: DiGraph,
+        added: Iterable[Edge],
+        removed: Iterable[Edge],
+        *,
+        directed: bool = True,
+    ):
+        """Advance ``prev_tree`` one transition and cache it at ``new_stamp``.
+
+        Corrected-variant trees are rebased incrementally; the literal
+        "paper" variant (whose transition depends on the child's in-degree)
+        is rebuilt in full.
+        """
+        if prev_tree.variant == "corrected":
+            tree = revreach_update(
+                prev_tree, new_graph, added, removed, directed=directed
+            )
+            if tree is not prev_tree:
+                self.advances += 1
+        else:
+            tree = revreach_levels(
+                new_graph,
+                int(node),
+                prev_tree.l_max,
+                prev_tree.c,
+                variant=prev_tree.variant,
+            )
+            self.builds += 1
+        self._entries[int(node)] = (new_stamp, tree)
+        return tree
+
+    def retain(self, nodes: Iterable[int]) -> None:
+        """Drop entries for candidates no longer alive (Ω only shrinks)."""
+        alive = {int(node) for node in nodes}
+        for node in list(self._entries):
+            if node not in alive:
+                del self._entries[node]

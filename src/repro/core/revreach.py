@@ -1,8 +1,8 @@
 """revReach (paper Algorithm 2): the reverse reachable tree of a source.
 
-The output is a matrix ``U`` whose entry ``U[step, x]`` describes the
-source's √c-walk ``W(u)`` at distance ``step``.  Two transition variants are
-supported (DESIGN.md §2.1):
+The tree ``U`` describes the source's √c-walk ``W(u)``: ``U[step, x]`` is
+the occupancy mass of node ``x`` at distance ``step``.  Two transition
+variants are supported (DESIGN.md §2.1):
 
 * ``"corrected"`` (default) — ``U[step+1, v] += √c / |I(tu)| · U[step, tu]``
   for ``v ∈ I(tu)``: the exact occupancy distribution of ``W(u)``, which
@@ -10,10 +10,34 @@ supported (DESIGN.md §2.1):
 * ``"paper"`` — ``U[step+1, v] += √c / |I(v)| · U[step, tu]``: the literal
   Algorithm 2 / Example 2 arithmetic.
 
-Two traversal strategies compute the same per-variant matrix:
+Representations
+---------------
 
-* :func:`revreach_levels` — level-synchronous sparse propagation with NumPy
-  scatter-adds, ``O(l_max · m)`` worst case (default everywhere);
+√c-walk occupancy is geometrically sparse — level ``step`` carries total
+mass ``(√c)^step`` spread over at most ``min(m, Δ^step)`` nodes — so the
+default representation is :class:`SparseReverseTree`: per-level sorted
+``(nodes, probs)`` arrays packed CSR-style, built in ``O(touched)`` by
+frontier propagation.  Construction never allocates anything of size
+``O(n)``; equality tests (:meth:`SparseReverseTree.same_as`) fast-reject
+through per-level content fingerprints; and the crash-accumulation gather
+(:meth:`SparseReverseTree.gather`) binary-searches each level's support,
+falling back to a lazily materialised dense row only for levels whose
+support exceeds :data:`DENSITY_THRESHOLD` of ``n``.
+
+The legacy dense matrix form lives on as :class:`ReverseReachableTree`
+(``revreach_levels(..., dense=True)``, and :func:`revreach_queue` output);
+both classes expose ``.matrix`` / ``probability()`` / ``same_as`` so every
+consumer works with either.  Sparse and dense construction are bit-for-bit
+identical (property-tested): the sparse aggregation replays exactly the
+accumulation order of the dense scatter-add.
+
+Traversals
+----------
+
+* :func:`revreach_levels` — level-synchronous frontier propagation,
+  ``O(l_max · m)`` worst case but ``O(touched)`` in practice (default);
+* :func:`revreach_update` — incremental rebase onto a changed graph,
+  re-propagating only below the shallowest occupied head of a changed arc;
 * :func:`revreach_queue` — the literal queue/BFS of Algorithm 2, including
   its parent-exclusion rule, kept for fidelity tests (the parent exclusion
   drops some cyclic mass, so its ``U`` can differ on graphs with 2-cycles —
@@ -22,10 +46,11 @@ Two traversal strategies compute the same per-variant matrix:
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Literal
+from typing import Dict, Iterable, List, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +58,9 @@ from repro.errors import ParameterError
 from repro.graph.digraph import DiGraph
 
 __all__ = [
+    "DENSITY_THRESHOLD",
     "ReverseReachableTree",
+    "SparseReverseTree",
     "revreach_levels",
     "revreach_queue",
     "revreach_update",
@@ -41,10 +68,294 @@ __all__ = [
 
 TreeVariant = Literal["corrected", "paper"]
 
+#: Fraction of ``n`` above which a level's support is considered dense:
+#: :meth:`SparseReverseTree.gather` materialises (and caches) a full
+#: length-``n`` row for such levels instead of binary-searching, because a
+#: direct index costs ``O(walks)`` while searchsorted costs
+#: ``O(walks · log support)`` without saving meaningful memory.
+DENSITY_THRESHOLD = 0.25
+
+_FINGERPRINT_BYTES = 16
+
+
+def _level_fingerprint(nodes: np.ndarray, probs: np.ndarray) -> bytes:
+    """Content hash of one level — the ``same_as`` fast-reject token."""
+    digest = hashlib.blake2b(digest_size=_FINGERPRINT_BYTES)
+    digest.update(nodes.tobytes())
+    digest.update(probs.tobytes())
+    return digest.digest()
+
+
+class SparseReverseTree:
+    """Sparse per-level reverse reachable tree (the default representation).
+
+    Levels are packed CSR-style: ``nodes[level_indptr[s]:level_indptr[s+1]]``
+    holds the sorted node ids occupied at step ``s`` and ``probs`` the
+    aligned occupancy masses (strictly positive — zero entries are never
+    stored).  All arrays are read-only so trees can be shared safely.
+
+    Attributes
+    ----------
+    source, c, l_max, variant:
+        Provenance, as for :class:`ReverseReachableTree`.
+    num_nodes:
+        ``n`` of the graph the tree was built on (needed to densify).
+    level_indptr:
+        ``int64 (l_max + 2,)`` — level boundaries into ``nodes``/``probs``.
+    nodes:
+        ``int64 (nnz,)`` — occupied node ids, sorted within each level.
+    probs:
+        ``float64 (nnz,)`` — occupancy masses aligned with ``nodes``.
+    """
+
+    def __init__(
+        self,
+        source: int,
+        c: float,
+        l_max: int,
+        variant: str,
+        num_nodes: int,
+        level_indptr: np.ndarray,
+        nodes: np.ndarray,
+        probs: np.ndarray,
+    ):
+        self.source = int(source)
+        self.c = float(c)
+        self.l_max = int(l_max)
+        self.variant = str(variant)
+        self.num_nodes = int(num_nodes)
+        self.level_indptr = np.ascontiguousarray(level_indptr, dtype=np.int64)
+        self.nodes = np.ascontiguousarray(nodes, dtype=np.int64)
+        self.probs = np.ascontiguousarray(probs, dtype=np.float64)
+        if self.level_indptr.shape != (self.l_max + 2,):
+            raise ParameterError(
+                f"level_indptr must have shape ({self.l_max + 2},), "
+                f"got {self.level_indptr.shape}"
+            )
+        if self.nodes.shape != self.probs.shape:
+            raise ParameterError("nodes and probs must be aligned")
+        for array in (self.level_indptr, self.nodes, self.probs):
+            array.setflags(write=False)
+        self._fingerprints: Optional[Tuple[bytes, ...]] = None
+        self._dense: Optional[np.ndarray] = None
+        self._dense_rows: Dict[int, np.ndarray] = {}
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_levels(
+        cls,
+        source: int,
+        c: float,
+        l_max: int,
+        variant: str,
+        num_nodes: int,
+        levels: Sequence[Tuple[np.ndarray, np.ndarray]],
+    ) -> "SparseReverseTree":
+        """Pack per-level ``(nodes, probs)`` pairs; missing levels are empty."""
+        level_indptr = np.zeros(l_max + 2, dtype=np.int64)
+        for step, (nodes, _) in enumerate(levels):
+            level_indptr[step + 1] = level_indptr[step] + nodes.size
+        level_indptr[len(levels) + 1 :] = level_indptr[len(levels)]
+        if levels:
+            nodes = np.concatenate([nodes for nodes, _ in levels])
+            probs = np.concatenate([probs for _, probs in levels])
+        else:
+            nodes = np.empty(0, dtype=np.int64)
+            probs = np.empty(0, dtype=np.float64)
+        return cls(source, c, l_max, variant, num_nodes, level_indptr, nodes, probs)
+
+    @classmethod
+    def from_dense(cls, tree: "ReverseReachableTree", num_nodes: Optional[int] = None) -> "SparseReverseTree":
+        """Sparsify a dense tree (exact: keeps every non-zero entry)."""
+        matrix = tree.matrix
+        levels = []
+        for step in range(tree.l_max + 1):
+            row = matrix[step]
+            nodes = np.nonzero(row)[0].astype(np.int64)
+            levels.append((nodes, row[nodes].astype(np.float64)))
+        return cls.from_levels(
+            tree.source,
+            tree.c,
+            tree.l_max,
+            tree.variant,
+            num_nodes if num_nodes is not None else matrix.shape[1],
+            levels,
+        )
+
+    # -- level access ---------------------------------------------------
+
+    def level_arrays(self, step: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(nodes, probs)`` of one level — zero-copy slices."""
+        if not 0 <= step <= self.l_max:
+            raise ParameterError(f"step {step} outside [0, {self.l_max}]")
+        lo, hi = int(self.level_indptr[step]), int(self.level_indptr[step + 1])
+        return self.nodes[lo:hi], self.probs[lo:hi]
+
+    def level_size(self, step: int) -> int:
+        """Support size of one level."""
+        if not 0 <= step <= self.l_max:
+            raise ParameterError(f"step {step} outside [0, {self.l_max}]")
+        return int(self.level_indptr[step + 1] - self.level_indptr[step])
+
+    @property
+    def nnz(self) -> int:
+        """Total stored entries across all levels."""
+        return int(self.nodes.size)
+
+    def probability(self, step: int, node: int) -> float:
+        """``U[step, node]`` with bounds checking."""
+        nodes, probs = self.level_arrays(step)
+        index = int(np.searchsorted(nodes, node))
+        if index < nodes.size and nodes[index] == node:
+            return float(probs[index])
+        return 0.0
+
+    def level(self, step: int) -> Dict[int, float]:
+        """Sparse view of one level as ``{node: probability}``."""
+        nodes, probs = self.level_arrays(step)
+        return {
+            int(node): float(prob)
+            for node, prob in zip(nodes.tolist(), probs.tolist())
+        }
+
+    def support(self) -> np.ndarray:
+        """Nodes with non-zero probability at any level (sorted ids)."""
+        return np.unique(self.nodes)
+
+    def total_mass(self, step: int) -> float:
+        """Σ_x U[step, x] — equals ``(√c)^step`` for the corrected variant
+        on graphs with no dangling nodes."""
+        _, probs = self.level_arrays(step)
+        return float(probs.sum())
+
+    # -- dense compatibility surface ------------------------------------
+
+    def to_dense(self) -> "ReverseReachableTree":
+        """The equivalent dense :class:`ReverseReachableTree`."""
+        return ReverseReachableTree(
+            source=self.source,
+            c=self.c,
+            l_max=self.l_max,
+            variant=self.variant,
+            matrix=self.matrix,
+        )
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Dense ``(l_max + 1, n)`` view, materialised lazily and cached.
+
+        Compatibility surface only — hot paths (crash accumulation, tree
+        comparison, incremental update) never touch it.
+        """
+        if self._dense is None:
+            dense = np.zeros((self.l_max + 1, self.num_nodes), dtype=np.float64)
+            for step in range(self.l_max + 1):
+                nodes, probs = self.level_arrays(step)
+                dense[step, nodes] = probs
+            dense.setflags(write=False)
+            self._dense = dense
+        return self._dense
+
+    # -- hot-path operations --------------------------------------------
+
+    def gather(self, step: int, positions: np.ndarray) -> np.ndarray:
+        """``U[step, positions]`` — the crash-accumulation read.
+
+        Binary-searches the level's sorted support (``O(log support)`` per
+        walk); levels denser than :data:`DENSITY_THRESHOLD` · ``n`` are
+        materialised once into a cached dense row and indexed directly.
+        """
+        nodes, probs = self.level_arrays(step)
+        if nodes.size == 0:
+            return np.zeros(np.shape(positions), dtype=np.float64)
+        if nodes.size >= DENSITY_THRESHOLD * self.num_nodes:
+            row = self._dense_rows.get(step)
+            if row is None:
+                row = np.zeros(self.num_nodes, dtype=np.float64)
+                row[nodes] = probs
+                self._dense_rows[step] = row
+            return row[positions]
+        index = np.searchsorted(nodes, positions)
+        np.minimum(index, nodes.size - 1, out=index)
+        return np.where(nodes[index] == positions, probs[index], 0.0)
+
+    def first_level_containing(
+        self, heads: np.ndarray, *, limit: Optional[int] = None
+    ) -> Optional[int]:
+        """Shallowest level ``< limit`` occupying any of ``heads`` (or None).
+
+        One vectorised membership pass over the packed ``nodes`` array —
+        the head-occupancy scan of :func:`revreach_update` and the
+        ``tree_unaffected_by_delta`` gate.
+        """
+        limit = self.l_max if limit is None else min(int(limit), self.l_max + 1)
+        heads = np.asarray(heads, dtype=np.int64)
+        end = int(self.level_indptr[max(limit, 0)])
+        if end == 0 or heads.size == 0:
+            return None
+        hits = np.nonzero(np.isin(self.nodes[:end], heads))[0]
+        if hits.size == 0:
+            return None
+        return int(np.searchsorted(self.level_indptr, hits[0], side="right") - 1)
+
+    # -- equality -------------------------------------------------------
+
+    def fingerprints(self) -> Tuple[bytes, ...]:
+        """Per-level content hashes, computed once and cached."""
+        if self._fingerprints is None:
+            self._fingerprints = tuple(
+                _level_fingerprint(*self.level_arrays(step))
+                for step in range(self.l_max + 1)
+            )
+        return self._fingerprints
+
+    def same_as(self, other, *, tol: float = 0.0) -> bool:
+        """Whether two trees are (numerically) identical — the comparison
+        both pruning gates of Algorithm 3 perform.
+
+        Sparse-vs-sparse exact comparison fast-rejects through level sizes
+        and fingerprints before touching the payload arrays; a full array
+        comparison confirms fingerprint agreement, so the answer never
+        depends on hash collisions.
+        """
+        if self is other:
+            return True
+        if (
+            self.source != getattr(other, "source", None)
+            or self.l_max != getattr(other, "l_max", None)
+            or self.variant != getattr(other, "variant", None)
+        ):
+            return False
+        if isinstance(other, SparseReverseTree) and tol == 0.0:
+            if self.num_nodes != other.num_nodes:
+                return False
+            if not np.array_equal(self.level_indptr, other.level_indptr):
+                return False
+            if self.fingerprints() != other.fingerprints():
+                return False
+            return bool(
+                np.array_equal(self.nodes, other.nodes)
+                and np.array_equal(self.probs, other.probs)
+            )
+        # Cross-representation or tolerant comparison: fall back to the
+        # dense surface (cold path — ablation/test tooling only).
+        if self.matrix.shape != other.matrix.shape:
+            return False
+        if tol == 0.0:
+            return bool(np.array_equal(self.matrix, other.matrix))
+        return bool(np.allclose(self.matrix, other.matrix, atol=tol, rtol=0.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"SparseReverseTree(source={self.source}, l_max={self.l_max}, "
+            f"variant={self.variant!r}, nnz={self.nnz}, n={self.num_nodes})"
+        )
+
 
 @dataclass(frozen=True)
 class ReverseReachableTree:
-    """The ``U`` matrix of Algorithm 2 plus its provenance.
+    """Dense ``U`` matrix of Algorithm 2 plus its provenance (legacy form).
 
     Attributes
     ----------
@@ -88,13 +399,21 @@ class ReverseReachableTree:
         on graphs with no dangling nodes."""
         return float(self.matrix[step].sum())
 
-    def same_as(self, other: "ReverseReachableTree", *, tol: float = 0.0) -> bool:
+    def gather(self, step: int, positions: np.ndarray) -> np.ndarray:
+        """``U[step, positions]`` — dense fancy-indexing read."""
+        return self.matrix[step, positions]
+
+    def to_sparse(self) -> SparseReverseTree:
+        """The equivalent :class:`SparseReverseTree`."""
+        return SparseReverseTree.from_dense(self)
+
+    def same_as(self, other, *, tol: float = 0.0) -> bool:
         """Whether two trees are (numerically) identical — the comparison
         both pruning gates of Algorithm 3 perform."""
         if (
-            self.source != other.source
-            or self.l_max != other.l_max
-            or self.variant != other.variant
+            self.source != getattr(other, "source", None)
+            or self.l_max != getattr(other, "l_max", None)
+            or self.variant != getattr(other, "variant", None)
             or self.matrix.shape != other.matrix.shape
         ):
             return False
@@ -122,12 +441,15 @@ def revreach_levels(
     *,
     variant: TreeVariant = "corrected",
     prune_below: float = 0.0,
-) -> ReverseReachableTree:
-    """Level-synchronous revReach: exact ``U`` in ``O(l_max · m)``.
+    dense: bool = False,
+):
+    """Level-synchronous revReach: exact ``U`` in ``O(touched)``.
 
-    ``prune_below`` optionally drops per-level entries smaller than the
-    given mass before propagating — a speed knob for huge graphs; 0 keeps
-    the computation exact.
+    Returns a :class:`SparseReverseTree` by default; ``dense=True`` keeps
+    the legacy :class:`ReverseReachableTree` (same values bit-for-bit —
+    property-tested).  ``prune_below`` optionally drops per-level entries
+    smaller than the given mass before propagating — a speed knob for huge
+    graphs; 0 keeps the computation exact.
     """
     _validate(graph, source, l_max, c)
     if variant not in ("corrected", "paper"):
@@ -137,49 +459,60 @@ def revreach_levels(
             "the literal Algorithm-2 variant is defined for unweighted "
             "graphs only; use variant='corrected'"
         )
-    n = graph.num_nodes
-    matrix = np.zeros((l_max + 1, n), dtype=np.float64)
-    matrix[0, source] = 1.0
-    _propagate_levels(
-        graph, matrix, 0, l_max, math.sqrt(c), variant, prune_below
+    root_nodes = np.array([source], dtype=np.int64)
+    root_probs = np.array([1.0], dtype=np.float64)
+    levels = [(root_nodes, root_probs)]
+    levels.extend(
+        _propagate_sparse(
+            graph, root_nodes, root_probs, l_max, math.sqrt(c), variant, prune_below
+        )
     )
-    matrix.setflags(write=False)
-    return ReverseReachableTree(
-        source=int(source), c=float(c), l_max=int(l_max), variant=variant, matrix=matrix
+    tree = SparseReverseTree.from_levels(
+        int(source), float(c), int(l_max), variant, graph.num_nodes, levels
     )
+    return tree.to_dense() if dense else tree
 
 
-def _propagate_levels(
+def _propagate_sparse(
     graph: DiGraph,
-    matrix: np.ndarray,
-    start_step: int,
-    l_max: int,
+    frontier_nodes: np.ndarray,
+    frontier_probs: np.ndarray,
+    steps: int,
     sqrt_c: float,
     variant: str,
     prune_below: float = 0.0,
-) -> None:
-    """Fill ``matrix[start_step+1 .. l_max]`` by propagating level by level
-    from ``matrix[start_step]`` over ``graph``'s in-adjacency (in place)."""
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Propagate ``steps`` levels from a frontier; returns one
+    ``(nodes, probs)`` pair per level (possibly empty).
+
+    The duplicate-child aggregation (``unique`` + ``bincount`` over the
+    inverse index) replays the accumulation order of a dense
+    ``bincount(children, weights, minlength=n)`` scatter-add exactly, so
+    sparse and dense construction agree bit-for-bit.
+    """
     n = graph.num_nodes
-    in_degrees = graph.in_degrees().astype(np.float64)
     indptr = graph.in_indptr
     indices = graph.in_indices
+    in_degrees = graph.in_degrees().astype(np.float64) if variant == "paper" else None
     weight_totals = graph.in_weight_totals() if graph.is_weighted else None
 
-    frontier_nodes = np.nonzero(matrix[start_step])[0].astype(np.int64)
-    frontier_probs = matrix[start_step, frontier_nodes]
-    for step in range(start_step, l_max):
+    empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+    levels: List[Tuple[np.ndarray, np.ndarray]] = []
+    for _ in range(steps):
         if frontier_nodes.size == 0:
-            matrix[step + 1 :] = 0.0
-            return
-        counts = (indptr[frontier_nodes + 1] - indptr[frontier_nodes]).astype(np.int64)
+            levels.append(empty)
+            continue
+        counts = (
+            indptr[frontier_nodes + 1] - indptr[frontier_nodes]
+        ).astype(np.int64)
         keep = counts > 0
         nodes = frontier_nodes[keep]
         probs = frontier_probs[keep]
         counts = counts[keep]
         if nodes.size == 0:
-            matrix[step + 1 :] = 0.0
-            return
+            frontier_nodes, frontier_probs = empty
+            levels.append(empty)
+            continue
         total = int(counts.sum())
         # Flatten every frontier node's in-neighbour CSR block.
         starts = indptr[nodes]
@@ -205,22 +538,41 @@ def _propagate_levels(
                     sqrt_c * np.repeat(probs, counts) / child_degrees,
                     0.0,
                 )
-        level = np.bincount(children, weights=weights, minlength=n)
+        level_nodes, inverse = np.unique(children, return_inverse=True)
+        level_probs = np.bincount(
+            inverse, weights=weights, minlength=level_nodes.size
+        )
+        occupied = level_probs != 0.0
         if prune_below > 0.0:
-            level[level < prune_below] = 0.0
-        matrix[step + 1] = level
-        frontier_nodes = np.nonzero(level)[0]
-        frontier_probs = level[frontier_nodes]
+            occupied &= level_probs >= prune_below
+        if not occupied.all():
+            level_nodes = level_nodes[occupied]
+            level_probs = level_probs[occupied]
+        frontier_nodes = level_nodes
+        frontier_probs = level_probs
+        levels.append((level_nodes, level_probs))
+    return levels
+
+
+def _changed_heads(added, removed, directed: bool) -> np.ndarray:
+    """Sorted unique heads (and tails when undirected) of a delta."""
+    heads = set()
+    for collection in (added, removed):
+        for x, y in collection:
+            heads.add(int(y))
+            if not directed:
+                heads.add(int(x))
+    return np.fromiter(sorted(heads), dtype=np.int64, count=len(heads))
 
 
 def revreach_update(
-    tree: ReverseReachableTree,
+    tree,
     new_graph: DiGraph,
     added,
     removed,
     *,
     directed: bool = True,
-) -> ReverseReachableTree:
+):
     """Incrementally rebase a reverse reachable tree onto a changed graph.
 
     A changed arc ``x → y`` first takes effect at the *shallowest* step
@@ -230,6 +582,7 @@ def revreach_update(
     at all, the old tree object is returned untouched (the
     :func:`~repro.core.pruning.tree_unaffected_by_delta` case).
 
+    Accepts either representation and returns the same kind it was given.
     The result is bit-identical to a full :func:`revreach_levels` on
     ``new_graph`` (tests pin this); the saving grows with how deep the
     change sits relative to the source.
@@ -242,30 +595,53 @@ def revreach_update(
         raise ParameterError(
             "revreach_update supports the corrected variant only"
         )
-    heads = set()
-    for collection in (added, removed):
-        for x, y in collection:
-            heads.add(int(y))
-            if not directed:
-                heads.add(int(x))
-    first_affected = None
-    for step in range(tree.l_max):
-        row = tree.matrix[step]
-        if any(row[head] > 0.0 for head in heads):
-            first_affected = step
-            break
-    if first_affected is None:
+    heads = _changed_heads(added, removed, directed)
+    if heads.size == 0:
         return tree
-    matrix = tree.matrix.copy()
-    matrix.setflags(write=True)
-    _propagate_levels(
+
+    if isinstance(tree, SparseReverseTree):
+        first_affected = tree.first_level_containing(heads, limit=tree.l_max)
+        if first_affected is None:
+            return tree
+        levels = [tree.level_arrays(step) for step in range(first_affected + 1)]
+        frontier_nodes, frontier_probs = levels[-1]
+        levels.extend(
+            _propagate_sparse(
+                new_graph,
+                frontier_nodes,
+                frontier_probs,
+                tree.l_max - first_affected,
+                math.sqrt(tree.c),
+                tree.variant,
+            )
+        )
+        return SparseReverseTree.from_levels(
+            tree.source, tree.c, tree.l_max, tree.variant, tree.num_nodes, levels
+        )
+
+    # Dense tree: one vectorised reduction over the heads' columns finds
+    # the shallowest occupied head (no per-step Python loop).
+    occupied = tree.matrix[: tree.l_max][:, heads] > 0.0
+    affected_rows = np.nonzero(occupied.any(axis=1))[0]
+    if affected_rows.size == 0:
+        return tree
+    first_affected = int(affected_rows[0])
+    frontier = tree.matrix[first_affected]
+    frontier_nodes = np.nonzero(frontier)[0].astype(np.int64)
+    levels = _propagate_sparse(
         new_graph,
-        matrix,
-        first_affected,
-        tree.l_max,
+        frontier_nodes,
+        frontier[frontier_nodes],
+        tree.l_max - first_affected,
         math.sqrt(tree.c),
         tree.variant,
     )
+    matrix = tree.matrix.copy()
+    matrix.setflags(write=True)
+    for offset, (nodes, probs) in enumerate(levels):
+        row = matrix[first_affected + 1 + offset]
+        row[:] = 0.0
+        row[nodes] = probs
     matrix.setflags(write=False)
     return ReverseReachableTree(
         source=tree.source,

@@ -24,9 +24,13 @@ import numpy as np
 
 from repro.core.crashsim import crashsim
 from repro.core.params import CrashSimParams
-from repro.core.pruning import affected_area, count_candidate_edges
+from repro.core.pruning import (
+    CandidateTreeCache,
+    affected_area,
+    count_candidate_edges,
+)
 from repro.core.queries import TemporalQuery
-from repro.core.revreach import revreach_levels, revreach_update
+from repro.core.revreach import revreach_update
 from repro.errors import ParameterError, TemporalError
 from repro.graph.builder import GraphBuilder
 from repro.graph.digraph import DiGraph
@@ -76,6 +80,7 @@ class TemporalQuerySession:
         self._tree = None
         self._scores: Dict[int, float] = {}
         self._omega: List[int] = []
+        self._candidate_trees = CandidateTreeCache()
         self.snapshots_seen = 0
 
     # ------------------------------------------------------------------
@@ -189,15 +194,27 @@ class TemporalQuerySession:
                 residual = set()
             if self.use_difference_pruning and residual and edge_count < n_r:
                 # Full-graph tree comparison; the paper's E_Ω restriction
-                # is unsound (see crashsim_t / DESIGN.md §2.6).
+                # is unsound (see crashsim_t / DESIGN.md §2.6).  Candidate
+                # trees come from the cache: reused across pushes, advanced
+                # incrementally over the delta.
                 for node in sorted(residual):
-                    prev_tree = revreach_levels(
-                        self._graph, node, self.params.l_max, self.params.c
+                    prev_tree = self._candidate_trees.tree_for(
+                        node,
+                        self.snapshots_seen - 1,
+                        self._graph,
+                        self.params.l_max,
+                        self.params.c,
                     )
-                    cur_tree = revreach_levels(
-                        graph, node, self.params.l_max, self.params.c
+                    cur_tree = self._candidate_trees.advance(
+                        node,
+                        prev_tree,
+                        self.snapshots_seen,
+                        graph,
+                        delta.added,
+                        delta.removed,
+                        directed=graph.directed,
                     )
-                    if cur_tree.same_as(prev_tree):
+                    if cur_tree is prev_tree or cur_tree.same_as(prev_tree):
                         carried.add(node)
                         residual.discard(node)
 
@@ -220,6 +237,7 @@ class TemporalQuerySession:
         cur_vector = np.array([scores_cur[int(v)] for v in ordered])
         keep = self.query.step_mask(prev_vector, cur_vector)
         self._omega = [int(v) for v in ordered[keep]]
+        self._candidate_trees.retain(self._omega)
         self._scores = scores_cur
         self._graph = graph
         self._tree = tree_cur

@@ -27,8 +27,11 @@ from repro.parallel.shared_graph import (
     SharedArray,
     SharedGraph,
     SharedGraphSpec,
+    SharedTree,
+    SharedTreeSpec,
     attach_array,
     attach_graph,
+    attach_tree,
 )
 from repro.parallel.temporal import parallel_crashsim_t
 
@@ -45,6 +48,9 @@ __all__ = [
     "SharedGraph",
     "SharedGraphSpec",
     "CsrGraphView",
+    "SharedTree",
+    "SharedTreeSpec",
     "attach_array",
     "attach_graph",
+    "attach_tree",
 ]

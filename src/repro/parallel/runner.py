@@ -10,9 +10,12 @@ them, **any** worker count — including the serial ``workers=1`` fallback —
 produces byte-identical scores for the same master seed.
 
 Workers receive a :class:`_ShardTask` carrying only shared-memory specs
-(graph CSR, reverse-reachable-tree matrix, walk targets) plus a trial count
-and a seed — a few hundred bytes per task; the megabyte-scale arrays are
-attached zero-copy via :mod:`repro.parallel.shared_graph`.
+(graph CSR, the source tree's sparse level arrays, walk targets) plus a
+trial count and a seed — a few hundred bytes per task; the megabyte-scale
+arrays are attached zero-copy via :mod:`repro.parallel.shared_graph`.  The
+single-source path publishes the :class:`~repro.core.revreach.SparseReverseTree`
+as its three packed arrays (``O(touched)`` bytes) rather than the dense
+``(l_max + 1, n)`` matrix it replaced.
 
 :func:`parallel_crashsim_multi_source` shards the same way but keeps the
 multi-source walk-sharing amortisation: every shard scores its walks against
@@ -42,8 +45,11 @@ from repro.parallel.shared_graph import (
     SharedArray,
     SharedGraph,
     SharedGraphSpec,
+    SharedTree,
+    SharedTreeSpec,
     attach_array,
     attach_graph,
+    attach_tree,
 )
 from repro.rng import RngLike, as_seed_sequence
 
@@ -80,26 +86,31 @@ def shard_sizes(n_trials: int, shards: int = DEFAULT_SHARDS) -> List[int]:
 
 @dataclass(frozen=True)
 class _ShardTask:
-    """One worker's slice of a run: attach specs + trial count + seed."""
+    """One worker's slice of a run: attach specs + trial count + seed.
+
+    ``tree`` is set for single-source shards (sparse tree arrays); ``matrix``
+    for multi-source shards (the stacked dense ``(q, l_max + 1, n)`` array).
+    """
 
     graph: SharedGraphSpec
-    matrix: ArraySpec
     targets: ArraySpec
     trials: int
     c: float
     l_max: int
     seed: np.random.SeedSequence
+    tree: Optional[SharedTreeSpec] = None
+    matrix: Optional[ArraySpec] = None
 
 
 def _run_shard(task: _ShardTask) -> np.ndarray:
-    """Worker entry point: one trial shard against one tree matrix."""
+    """Worker entry point: one trial shard against one sparse tree."""
     view = attach_graph(task.graph)
-    matrix, matrix_handle = attach_array(task.matrix)
+    tree, tree_handles = attach_tree(task.tree)
     targets, targets_handle = attach_array(task.targets)
     try:
         return accumulate_crash_totals(
             view,
-            matrix,
+            tree,
             targets,
             task.trials,
             c=task.c,
@@ -108,7 +119,8 @@ def _run_shard(task: _ShardTask) -> np.ndarray:
         )
     finally:
         view.close()
-        matrix_handle.close()
+        for handle in tree_handles:
+            handle.close()
         targets_handle.close()
 
 
@@ -183,7 +195,7 @@ def _map_shards(
     executor: Optional[ParallelExecutor],
     workers: Optional[int],
     graph: DiGraph,
-    matrix: np.ndarray,
+    tree,
     targets: np.ndarray,
     shards: Sequence[int],
     seeds: Sequence[np.random.SeedSequence],
@@ -192,7 +204,12 @@ def _map_shards(
     l_max: int,
     multi: bool,
 ) -> List[np.ndarray]:
-    """Run every shard, serially or through the pool, in shard order."""
+    """Run every shard, serially or through the pool, in shard order.
+
+    ``tree`` is a :class:`~repro.core.revreach.SparseReverseTree` for the
+    single-source path (shipped as its packed sparse arrays) or the stacked
+    dense matrices for the multi-source path (shipped as one 3-D array).
+    """
     own_executor = executor is None
     if own_executor:
         executor = ParallelExecutor(workers)
@@ -202,7 +219,7 @@ def _map_shards(
             return [
                 accumulate(
                     graph,
-                    matrix,
+                    tree,
                     targets,
                     trials,
                     c=c,
@@ -211,13 +228,15 @@ def _map_shards(
                 )
                 for trials, seed in zip(shards, seeds)
             ]
-        with SharedGraph(graph) as shared_graph, SharedArray(
-            matrix
-        ) as shared_matrix, SharedArray(targets) as shared_targets:
+        shared_tree = SharedArray(tree) if multi else SharedTree(tree)
+        with SharedGraph(graph) as shared_graph, shared_tree, SharedArray(
+            targets
+        ) as shared_targets:
             tasks = [
                 _ShardTask(
                     graph=shared_graph.spec(),
-                    matrix=shared_matrix.spec,
+                    matrix=shared_tree.spec if multi else None,
+                    tree=None if multi else shared_tree.spec(),
                     targets=shared_targets.spec,
                     trials=trials,
                     c=c,
@@ -288,7 +307,7 @@ def parallel_crashsim(
             executor,
             workers,
             graph,
-            tree.matrix,
+            tree,
             walk_targets,
             shard_plan,
             seeds,

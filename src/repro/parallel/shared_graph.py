@@ -16,6 +16,12 @@ Two layers:
   published together; :func:`attach_graph` reconstructs a
   :class:`CsrGraphView` that quacks like a ``DiGraph`` for everything the
   walk engine and revReach touch.
+* :class:`SharedTree` — the three packed arrays of a
+  :class:`~repro.core.revreach.SparseReverseTree` (``level_indptr``,
+  ``nodes``, ``probs``) published the same way; :func:`attach_tree`
+  reconstructs a real ``SparseReverseTree`` over the shared pages, so a
+  trial shard ships ``O(touched)`` bytes instead of the dense
+  ``O(l_max · n)`` matrix.
 
 Lifetime rules (see docs/internals.md):
 
@@ -41,6 +47,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.revreach import SparseReverseTree
 from repro.errors import GraphError
 from repro.graph.digraph import DiGraph
 
@@ -49,9 +56,12 @@ __all__ = [
     "SharedArray",
     "SharedGraphSpec",
     "SharedGraph",
+    "SharedTreeSpec",
+    "SharedTree",
     "CsrGraphView",
     "attach_array",
     "attach_graph",
+    "attach_tree",
 ]
 
 
@@ -293,6 +303,98 @@ class SharedGraph:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+@dataclass(frozen=True)
+class SharedTreeSpec:
+    """Everything a worker needs to reattach a published sparse tree."""
+
+    source: int
+    c: float
+    l_max: int
+    variant: str
+    num_nodes: int
+    level_indptr: ArraySpec
+    nodes: ArraySpec
+    probs: ArraySpec
+
+
+class SharedTree:
+    """Publish a :class:`SparseReverseTree`'s packed arrays for workers.
+
+    Same lifetime rules as :class:`SharedGraph`: the creator owns the
+    segments and must ``close()`` only after the pool has drained; workers
+    :func:`attach_tree` and close their view when done.
+    """
+
+    def __init__(self, tree: SparseReverseTree):
+        self._meta = (tree.source, tree.c, tree.l_max, tree.variant, tree.num_nodes)
+        self._arrays: List[SharedArray] = []
+        try:
+            for array in (tree.level_indptr, tree.nodes, tree.probs):
+                self._arrays.append(SharedArray(array))
+        except Exception:
+            self.close()
+            raise
+        self._spec = SharedTreeSpec(
+            source=tree.source,
+            c=tree.c,
+            l_max=tree.l_max,
+            variant=tree.variant,
+            num_nodes=tree.num_nodes,
+            level_indptr=self._arrays[0].spec,
+            nodes=self._arrays[1].spec,
+            probs=self._arrays[2].spec,
+        )
+
+    def spec(self) -> SharedTreeSpec:
+        """The picklable attach handle to ship with each task."""
+        return self._spec
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent).  Call after workers finish."""
+        for array in self._arrays:
+            array.close()
+
+    def __enter__(self) -> "SharedTree":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def attach_tree(
+    spec: SharedTreeSpec,
+) -> Tuple[SparseReverseTree, Tuple[shared_memory.SharedMemory, ...]]:
+    """Attach to a published tree; returns ``(tree, handles)``.
+
+    The caller must keep ``handles`` alive while the tree is used and close
+    them afterwards (never ``unlink`` — the creator owns the segments).
+    The reconstructed tree's fingerprints and dense caches start empty;
+    shard workers only ever call ``gather``, which touches neither.
+    """
+    views = []
+    handles = []
+    try:
+        for array_spec in (spec.level_indptr, spec.nodes, spec.probs):
+            view, handle = attach_array(array_spec)
+            views.append(view)
+            handles.append(handle)
+    except Exception:
+        for handle in handles:
+            handle.close()
+        raise
+    tree = SparseReverseTree(
+        source=spec.source,
+        c=spec.c,
+        l_max=spec.l_max,
+        variant=spec.variant,
+        num_nodes=spec.num_nodes,
+        level_indptr=views[0],
+        nodes=views[1],
+        probs=views[2],
+    )
+    return tree, tuple(handles)
 
 
 def attach_graph(spec: SharedGraphSpec) -> CsrGraphView:

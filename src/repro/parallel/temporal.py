@@ -21,6 +21,12 @@ when snapshots mostly differ (pruning rarely fires) or when cores are
 plentiful.  Snapshots after the point where ``Ω`` empties are computed
 speculatively — the wall-clock cost of that waste is hidden by the
 parallelism that made it possible.
+
+Unlike :func:`parallel_crashsim` — which builds the source tree once and
+ships it to shard workers via :class:`~repro.parallel.shared_graph.SharedTree`
+— each snapshot worker here builds its own :class:`SparseReverseTree`
+in-process: every snapshot is a different graph, so there is nothing to
+share, and the sparse build is ``O(support)`` (docs/internals.md §8).
 """
 
 from __future__ import annotations

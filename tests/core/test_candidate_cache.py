@@ -1,0 +1,161 @@
+"""Candidate-tree cache: each candidate's reverse tree is built at most
+once per snapshot transition, and cached/advanced trees are bit-exact."""
+
+import numpy as np
+import pytest
+
+from repro.core.crashsim_t import crashsim_t
+from repro.core.params import CrashSimParams
+from repro.core.pruning import CandidateTreeCache
+from repro.core.queries import ThresholdQuery
+from repro.core.revreach import revreach_levels
+from repro.graph.digraph import DiGraph
+from repro.graph.temporal import TemporalGraphBuilder
+
+PARAMS = CrashSimParams(c=0.6, epsilon=0.1, n_r_override=600)
+
+
+class TestCacheUnit:
+    def test_tree_for_builds_then_hits(self):
+        graph = DiGraph.from_edges(4, [(1, 0), (2, 1), (3, 2)])
+        cache = CandidateTreeCache()
+        first = cache.tree_for(0, 0, graph, 3, 0.6)
+        assert (cache.builds, cache.hits) == (1, 0)
+        again = cache.tree_for(0, 0, graph, 3, 0.6)
+        assert again is first
+        assert (cache.builds, cache.hits) == (1, 1)
+
+    def test_stale_stamp_rebuilds(self):
+        graph = DiGraph.from_edges(4, [(1, 0), (2, 1), (3, 2)])
+        cache = CandidateTreeCache()
+        cache.tree_for(0, 0, graph, 3, 0.6)
+        # Stamp 2 ≠ cached stamp 0: the entry is stale (a pruned-away
+        # transition happened in between) and must not be served.
+        rebuilt = cache.tree_for(0, 2, graph, 3, 0.6)
+        assert cache.builds == 2
+        assert cache.hits == 0
+        assert rebuilt.same_as(revreach_levels(graph, 0, 3, 0.6))
+
+    def test_advance_is_bit_exact_and_recached(self):
+        old = DiGraph.from_edges(5, [(1, 0), (2, 1), (3, 2)])
+        new = DiGraph.from_edges(5, [(1, 0), (2, 1), (3, 2), (4, 2)])
+        cache = CandidateTreeCache()
+        prev = cache.tree_for(0, 0, old, 4, 0.6)
+        cur = cache.advance(0, prev, 1, new, [(4, 2)], [])
+        assert cache.advances == 1
+        fresh = revreach_levels(new, 0, 4, 0.6)
+        assert cur.same_as(fresh)
+        assert np.array_equal(cur.matrix, fresh.matrix)
+        # The advanced tree is now the stamped entry for snapshot 1.
+        assert cache.tree_for(0, 1, new, 4, 0.6) is cur
+        assert cache.builds == 1
+
+    def test_retain_drops_evicted_candidates(self):
+        graph = DiGraph.from_edges(4, [(1, 0), (2, 1), (3, 2)])
+        cache = CandidateTreeCache()
+        for node in range(4):
+            cache.tree_for(node, 0, graph, 3, 0.6)
+        cache.retain([1, 3])
+        assert len(cache) == 2
+        cache.tree_for(0, 0, graph, 3, 0.6)
+        assert cache.builds == 5  # evicted entry had to be rebuilt
+
+
+class TestCrashSimTCounters:
+    def test_identical_snapshots_build_once_then_cache(self):
+        # Delta pruning off keeps the full residual every transition, so
+        # difference pruning compares every candidate's trees each time.
+        builder = TemporalGraphBuilder(3, directed=True)
+        for _ in range(4):
+            builder.push_snapshot([(2, 0), (2, 1)])
+        temporal = builder.build()
+        result = crashsim_t(
+            temporal,
+            0,
+            ThresholdQuery(theta=0.3),
+            params=PARAMS,
+            seed=2,
+            use_delta_pruning=False,
+        )
+        stats = result.stats
+        assert result.survivors == (1,)
+        assert stats.difference_pruning_applied == 3  # every transition
+        # Candidate 1's tree: one fresh build on the first comparison,
+        # cache hits on the remaining two transitions, never rebuilt.
+        assert stats.candidate_trees_built == 1
+        assert stats.candidate_trees_cached == 2
+        assert stats.candidate_trees_advanced == 0  # empty deltas
+
+    def test_churn_near_candidate_advances_cached_tree(self):
+        # Source 0's reverse ball is 0 ← 2 (stable in every snapshot);
+        # candidate 1's ball also contains 5, whose in-edge (6, 5)
+        # toggles — so difference pruning fires (source tree stable) and
+        # the candidate tree must be advanced, not rebuilt.
+        builder = TemporalGraphBuilder(7, directed=True)
+        base = [(2, 0), (2, 1), (5, 1)]
+        builder.push_snapshot(base)
+        builder.push_snapshot(base + [(6, 5)])
+        builder.push_snapshot(base)
+        temporal = builder.build()
+        result = crashsim_t(
+            temporal,
+            0,
+            ThresholdQuery(theta=0.1),
+            params=PARAMS,
+            seed=4,
+            use_delta_pruning=False,
+        )
+        stats = result.stats
+        assert stats.source_tree_stable == 2
+        assert stats.difference_pruning_applied == 2
+        assert stats.candidate_trees_built == 1
+        assert stats.candidate_trees_cached == 1
+        assert stats.candidate_trees_advanced == 2
+        # The tree genuinely changed both times, so nothing was carried
+        # by difference pruning and the candidate was re-estimated.
+        assert stats.candidates_carried == 0
+
+    @pytest.mark.parametrize("use_delta", [True, False])
+    def test_cache_leaves_scores_byte_identical(self, use_delta):
+        builder = TemporalGraphBuilder(7, directed=True)
+        base = [(2, 0), (2, 1), (5, 1), (3, 2)]
+        builder.push_snapshot(base)
+        builder.push_snapshot(base + [(6, 5)])
+        builder.push_snapshot(base)
+        builder.push_snapshot(base + [(4, 3)])
+        temporal = builder.build()
+        kwargs = dict(params=PARAMS, seed=11, use_delta_pruning=use_delta)
+        with_pruning = crashsim_t(
+            temporal, 0, ThresholdQuery(theta=0.05), **kwargs
+        )
+        without = crashsim_t(
+            temporal,
+            0,
+            ThresholdQuery(theta=0.05),
+            use_difference_pruning=False,
+            **kwargs,
+        )
+        assert with_pruning.survivors == without.survivors
+        assert len(with_pruning.history) == len(without.history)
+        for left, right in zip(with_pruning.history, without.history):
+            assert left.keys() == right.keys()
+            for node in left:
+                assert left[node] == right[node]
+
+    def test_stats_dict_exposes_cache_counters(self):
+        builder = TemporalGraphBuilder(3, directed=True)
+        for _ in range(2):
+            builder.push_snapshot([(2, 0), (2, 1)])
+        temporal = builder.build()
+        result = crashsim_t(
+            temporal,
+            0,
+            ThresholdQuery(theta=0.3),
+            params=PARAMS,
+            seed=2,
+            use_delta_pruning=False,
+        )
+        stats = result.stats.as_dict()
+        assert "candidate_trees_built" in stats
+        assert "candidate_trees_cached" in stats
+        assert "candidate_trees_advanced" in stats

@@ -1,0 +1,75 @@
+"""Regenerate tests/fixtures/seed_behaviour.json.
+
+Run from the repo root (PYTHONPATH=src python tests/fixtures/make_seed_behaviour.py).
+The fixture pins the exact float bit patterns produced by fixed-seed
+CrashSim / CrashSim-T / parallel runs so representation refactors
+(dense -> sparse trees) can prove byte-identical behaviour.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.crashsim import crashsim
+from repro.core.crashsim_t import crashsim_t
+from repro.core.params import CrashSimParams
+from repro.core.queries import ThresholdQuery
+from repro.graph.generators import evolve_snapshots, preferential_attachment
+from repro.parallel import parallel_crashsim
+
+
+def f2h(values):
+    """Floats -> hex bit patterns (lossless, diff-friendly)."""
+    return [float.hex(float(v)) for v in values]
+
+
+def main() -> None:
+    out = {}
+    params = CrashSimParams(n_r_override=64)
+    graph = preferential_attachment(120, 3, directed=True, seed=5)
+
+    static = crashsim(graph, 0, params=params, seed=123)
+    out["static"] = {
+        "candidates": static.candidates.tolist(),
+        "scores": f2h(static.scores),
+        "n_r": static.n_r,
+    }
+
+    par = parallel_crashsim(graph, 0, params=params, seed=123, workers=1)
+    out["parallel_w1"] = {
+        "candidates": par.candidates.tolist(),
+        "scores": f2h(par.scores),
+    }
+
+    temporal = evolve_snapshots(graph, 6, churn_rate=0.01, seed=9)
+    runs = {}
+    for label, kwargs in {
+        "pruned": dict(use_delta_pruning=True, use_difference_pruning=True),
+        "diff_only": dict(use_delta_pruning=False, use_difference_pruning=True),
+        "unpruned": dict(use_delta_pruning=False, use_difference_pruning=False),
+    }.items():
+        res = crashsim_t(
+            temporal,
+            0,
+            ThresholdQuery(theta=0.001),
+            params=params,
+            seed=77,
+            **kwargs,
+        )
+        runs[label] = {
+            "survivors": list(res.survivors),
+            "history": [
+                {str(node): float.hex(float(score)) for node, score in snap.items()}
+                for snap in res.history
+            ],
+        }
+    out["crashsim_t"] = runs
+
+    path = pathlib.Path(__file__).with_name("seed_behaviour.json")
+    path.write_text(json.dumps(out, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -125,3 +125,59 @@ class TestCleanup:
             view.close()  # idempotent
             second = attach_graph(spec)  # segment still there
             second.close()
+
+
+class TestSharedTree:
+    def _tree(self):
+        from repro.core.revreach import revreach_levels
+        from repro.graph.generators import preferential_attachment
+
+        graph = preferential_attachment(60, 3, directed=True, seed=7)
+        return revreach_levels(graph, 0, 5, 0.6)
+
+    def test_round_trip_is_bit_exact(self):
+        from repro.parallel import SharedTree, attach_tree
+
+        tree = self._tree()
+        with SharedTree(tree) as shared:
+            attached, handles = attach_tree(shared.spec())
+            try:
+                assert attached.source == tree.source
+                assert attached.c == tree.c
+                assert attached.l_max == tree.l_max
+                assert attached.variant == tree.variant
+                assert attached.num_nodes == tree.num_nodes
+                assert np.array_equal(attached.level_indptr, tree.level_indptr)
+                assert np.array_equal(attached.nodes, tree.nodes)
+                assert np.array_equal(attached.probs, tree.probs)
+                assert attached.same_as(tree)
+            finally:
+                for handle in handles:
+                    handle.close()
+
+    def test_attached_gather_matches_creator(self):
+        from repro.parallel import SharedTree, attach_tree
+
+        tree = self._tree()
+        positions = np.arange(tree.num_nodes, dtype=np.int64)
+        with SharedTree(tree) as shared:
+            attached, handles = attach_tree(shared.spec())
+            try:
+                for step in range(tree.l_max + 1):
+                    assert np.array_equal(
+                        attached.gather(step, positions),
+                        tree.gather(step, positions),
+                    )
+            finally:
+                for handle in handles:
+                    handle.close()
+
+    def test_segments_unlinked_on_close(self):
+        from repro.parallel import SharedTree, attach_tree
+
+        shared = SharedTree(self._tree())
+        spec = shared.spec()
+        shared.close()
+        shared.close()  # idempotent
+        with pytest.raises(FileNotFoundError):
+            attach_tree(spec)

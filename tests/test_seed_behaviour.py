@@ -1,0 +1,91 @@
+"""Byte-identity against the pinned seed-behaviour fixture.
+
+``tests/fixtures/seed_behaviour.json`` captures the exact float bit
+patterns (``float.hex``) that fixed-seed CrashSim / CrashSim-T / parallel
+runs produced *before* the sparse-tree refactor.  These tests replay the
+same runs and demand bit-equality, so any representation change that
+perturbs a single ULP — or touches the RNG stream — fails loudly.
+
+Regenerate (only when behaviour is *intended* to change) with:
+``PYTHONPATH=src python tests/fixtures/make_seed_behaviour.py``.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core.crashsim import crashsim
+from repro.core.crashsim_t import crashsim_t
+from repro.core.params import CrashSimParams
+from repro.core.queries import ThresholdQuery
+from repro.core.revreach import revreach_levels
+from repro.graph.generators import evolve_snapshots, preferential_attachment
+from repro.parallel import parallel_crashsim
+
+FIXTURE = pathlib.Path(__file__).parent / "fixtures" / "seed_behaviour.json"
+PARAMS = CrashSimParams(n_r_override=64)
+
+
+@pytest.fixture(scope="module")
+def pinned():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return preferential_attachment(120, 3, directed=True, seed=5)
+
+
+def to_hex(values):
+    return [float.hex(float(v)) for v in values]
+
+
+class TestStatic:
+    def test_crashsim_scores_bit_exact(self, pinned, graph):
+        result = crashsim(graph, 0, params=PARAMS, seed=123)
+        assert result.candidates.tolist() == pinned["static"]["candidates"]
+        assert result.n_r == pinned["static"]["n_r"]
+        assert to_hex(result.scores) == pinned["static"]["scores"]
+
+    def test_crashsim_scores_bit_exact_with_dense_tree(self, pinned, graph):
+        # Feeding the legacy dense representation through the same run must
+        # reproduce the very same bits — sparse is a pure re-encoding.
+        tree = revreach_levels(graph, 0, PARAMS.l_max, PARAMS.c, dense=True)
+        result = crashsim(graph, 0, params=PARAMS, tree=tree, seed=123)
+        assert to_hex(result.scores) == pinned["static"]["scores"]
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_parallel_matches_pinned_bits(self, pinned, graph, workers):
+        # Seed-sharded execution is worker-count invariant, so every
+        # worker count must reproduce the pinned workers=1 bits.
+        result = parallel_crashsim(
+            graph, 0, params=PARAMS, seed=123, workers=workers
+        )
+        assert result.candidates.tolist() == pinned["parallel_w1"]["candidates"]
+        assert to_hex(result.scores) == pinned["parallel_w1"]["scores"]
+
+
+class TestTemporal:
+    @pytest.mark.parametrize("label,kwargs", [
+        ("pruned", dict(use_delta_pruning=True, use_difference_pruning=True)),
+        ("diff_only", dict(use_delta_pruning=False, use_difference_pruning=True)),
+        ("unpruned", dict(use_delta_pruning=False, use_difference_pruning=False)),
+    ])
+    def test_crashsim_t_bit_exact(self, pinned, graph, label, kwargs):
+        temporal = evolve_snapshots(graph, 6, churn_rate=0.01, seed=9)
+        result = crashsim_t(
+            temporal,
+            0,
+            ThresholdQuery(theta=0.001),
+            params=PARAMS,
+            seed=77,
+            **kwargs,
+        )
+        expected = pinned["crashsim_t"][label]
+        assert list(result.survivors) == expected["survivors"]
+        assert len(result.history) == len(expected["history"])
+        for snap, pinned_snap in zip(result.history, expected["history"]):
+            got = {str(node): float.hex(float(s)) for node, s in snap.items()}
+            assert got == pinned_snap
