@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-parallel bench bench-tree perf-smoke selftest experiments report examples clean
+.PHONY: install test test-parallel test-chaos bench bench-tree perf-smoke selftest experiments report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,11 @@ test:
 # the multiprocessing start method the pool tests use.
 test-parallel:
 	$(PYTHON) -m pytest tests/parallel/ tests/test_guarantee.py
+
+# Chaos suite: injected worker kills, stalled shards, deadlines, mid-push
+# failures (see docs/internals.md §9).  Honours REPRO_START_METHOD too.
+test-chaos:
+	$(PYTHON) -m pytest tests/test_failure_injection.py tests/parallel/test_executor.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -36,7 +36,7 @@ from repro.baselines import (
     power_method_single_source,
     probesim,
 )
-from repro.api import single_pair, single_source
+from repro.api import ScoreVector, single_pair, single_source
 from repro.core import (
     CompositeQuery,
     CrashSimParams,
@@ -55,7 +55,11 @@ from repro.core import (
     revreach_levels,
     revreach_queue,
 )
-from repro.errors import ReproError
+from repro.errors import (
+    DeadlineExceededError,
+    DegradedResultWarning,
+    ReproError,
+)
 from repro.graph import (
     DiGraph,
     EdgeDelta,
@@ -94,6 +98,7 @@ __all__ = [
     # facade
     "single_source",
     "single_pair",
+    "ScoreVector",
     # baselines
     "power_method_all_pairs",
     "power_method_single_source",
@@ -103,4 +108,6 @@ __all__ = [
     "ReadsIndex",
     # errors
     "ReproError",
+    "DeadlineExceededError",
+    "DegradedResultWarning",
 ]

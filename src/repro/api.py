@@ -6,6 +6,12 @@ the surface a downstream user (or the experiment harness) programs against
 without learning five call signatures.  :func:`single_pair` answers the
 classic single-pair query ``sim(u, v)`` with a vectorised Monte-Carlo
 estimator or the exact oracle.
+
+The ``crashsim`` method returns a :class:`ScoreVector` — an ``ndarray``
+subclass that behaves exactly like the dense vector it always returned,
+plus resilience metadata (``degraded``, ``trials_completed``,
+``achieved_epsilon``) so callers using ``deadline=`` can tell a full-quality
+answer from a gracefully degraded one without a second channel.
 """
 
 from __future__ import annotations
@@ -25,7 +31,48 @@ from repro.errors import ParameterError
 from repro.graph.digraph import DiGraph
 from repro.rng import RngLike, ensure_rng
 
-__all__ = ["SINGLE_SOURCE_METHODS", "single_source", "single_pair"]
+__all__ = ["SINGLE_SOURCE_METHODS", "ScoreVector", "single_source", "single_pair"]
+
+
+class ScoreVector(np.ndarray):
+    """A dense score vector carrying query-resilience metadata.
+
+    Behaves exactly like the plain ``ndarray`` it subclasses (same values,
+    same operations); the extra attributes travel through views and copies:
+
+    * ``degraded`` — whether the estimate averages fewer trials than
+      planned (deadline hit, shards lost);
+    * ``trials_completed`` — Monte-Carlo trials actually averaged
+      (``None`` for non-Monte-Carlo methods);
+    * ``achieved_epsilon`` — the honest Lemma-3 bound at that trial count
+      (``None`` when not computed, e.g. the exact oracle).
+    """
+
+    degraded: bool
+    trials_completed: Optional[int]
+    achieved_epsilon: Optional[float]
+
+    @classmethod
+    def wrap(
+        cls,
+        scores: np.ndarray,
+        *,
+        degraded: bool = False,
+        trials_completed: Optional[int] = None,
+        achieved_epsilon: Optional[float] = None,
+    ) -> "ScoreVector":
+        vector = np.asarray(scores).view(cls)
+        vector.degraded = degraded
+        vector.trials_completed = trials_completed
+        vector.achieved_epsilon = achieved_epsilon
+        return vector
+
+    def __array_finalize__(self, source):
+        if source is None:
+            return
+        self.degraded = getattr(source, "degraded", False)
+        self.trials_completed = getattr(source, "trials_completed", None)
+        self.achieved_epsilon = getattr(source, "achieved_epsilon", None)
 
 SINGLE_SOURCE_METHODS = (
     "crashsim",
@@ -48,6 +95,7 @@ def single_source(
     n_r: Optional[int] = None,
     seed: RngLike = None,
     workers: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> np.ndarray:
     """Single-source SimRank ``s(source, ·)`` by any implemented method.
 
@@ -72,33 +120,58 @@ def single_source(
         serial estimator; any explicit count — including 1 — routes through
         the deterministic seed-sharded scheme, whose scores are identical
         for the same seed at every worker count).
+    deadline:
+        ``crashsim`` only: wall-clock budget in seconds.  Routes through
+        the resilient parallel driver (all CPUs unless ``workers`` says
+        otherwise — so scores follow the seed-sharded scheme, not the
+        classic serial stream); on expiry the returned vector averages the
+        completed trial shards, with ``degraded=True`` and the honest
+        wider bound in ``achieved_epsilon``.  Raises
+        :class:`~repro.errors.DeadlineExceededError` only when nothing
+        completed in time.
 
     Returns
     -------
     numpy.ndarray
-        Dense vector of length ``n`` with ``result[source] == 1``.
+        Dense vector of length ``n`` with ``result[source] == 1``; for
+        ``method="crashsim"`` specifically a :class:`ScoreVector` with
+        resilience metadata attached.
     """
     rng = ensure_rng(seed)
     if workers is not None and method != "crashsim":
         raise ParameterError(
             f"workers= is only supported for method='crashsim', got {method!r}"
         )
+    if deadline is not None and method != "crashsim":
+        raise ParameterError(
+            f"deadline= is only supported for method='crashsim', got {method!r}"
+        )
     if method == "crashsim":
         params = CrashSimParams(
             c=c, epsilon=epsilon, delta=delta, n_r_override=n_r
         )
-        if workers is None:
+        if workers is None and deadline is None:
             result = crashsim(graph, source, params=params, seed=rng)
         else:
             from repro.parallel import parallel_crashsim
 
             result = parallel_crashsim(
-                graph, source, params=params, seed=rng, workers=workers
+                graph,
+                source,
+                params=params,
+                seed=rng,
+                workers=workers,
+                deadline=deadline,
             )
         scores = np.zeros(graph.num_nodes)
         scores[result.candidates] = result.scores
         scores[int(source)] = 1.0
-        return scores
+        return ScoreVector.wrap(
+            scores,
+            degraded=result.degraded,
+            trials_completed=result.trials_completed,
+            achieved_epsilon=result.achieved_epsilon,
+        )
     if method == "probesim":
         return probesim(
             graph, source, c=c, epsilon=epsilon, delta=delta, n_r=n_r, seed=rng

@@ -128,6 +128,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="number of top-scoring nodes 'query' prints (default: 10)",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds for 'query' (crashsim only); "
+        "on expiry the completed trial shards are averaged and the "
+        "degraded, wider-ε result is labelled as such",
+    )
     return parser
 
 
@@ -164,6 +172,7 @@ def _run_query(args, profile) -> int:
 
     from repro.api import single_source
     from repro.datasets.registry import load_static_dataset
+    from repro.errors import DeadlineExceededError
 
     name = (args.dataset or ["hepth"])[0]
     graph = load_static_dataset(name, scale=profile.scale, seed=profile.seed)
@@ -174,22 +183,35 @@ def _run_query(args, profile) -> int:
     if workers == 0:
         workers = None if args.method != "crashsim" else __import__("os").cpu_count()
     started = time.perf_counter()
-    scores = single_source(
-        graph,
-        source,
-        method=args.method,
-        c=profile.c,
-        delta=profile.delta,
-        n_r=profile.n_r_cap,
-        seed=profile.seed,
-        workers=workers,
-    )
+    try:
+        scores = single_source(
+            graph,
+            source,
+            method=args.method,
+            c=profile.c,
+            delta=profile.delta,
+            n_r=profile.n_r_cap,
+            seed=profile.seed,
+            workers=workers,
+            deadline=args.deadline,
+        )
+    except DeadlineExceededError as exc:
+        print(f"deadline exceeded with nothing to salvage: {exc}")
+        return 2
     elapsed = time.perf_counter() - started
     mode = f"workers={workers}" if workers is not None else "serial"
+    if args.deadline is not None:
+        mode += f", deadline={args.deadline}s"
     print(
         f"{args.method} on {name} (n={graph.num_nodes}, m={graph.num_edges}): "
         f"source {source}, {mode}, {elapsed:.3f}s"
     )
+    if getattr(scores, "degraded", False):
+        print(
+            f"  DEGRADED result: {scores.trials_completed} trials completed; "
+            f"achieved ε={scores.achieved_epsilon:.4g} (wider than the target "
+            "bound; scores remain unbiased)"
+        )
     order = np.lexsort((np.arange(scores.size), -scores))
     shown = 0
     for node in order:

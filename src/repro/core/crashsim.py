@@ -62,11 +62,22 @@ class CrashSimResult:
     scores:
         Estimated SimRank per candidate, aligned with ``candidates``.
     n_r:
-        Number of Monte-Carlo trials actually run.
+        Number of Monte-Carlo trials the run *planned*.
     params:
         The parameter object the run used.
     tree:
         The source's reverse reachable tree (reusable by CrashSim-T).
+    trials_completed:
+        Trials that actually finished; ``n_r`` unless shards were lost to
+        a deadline, worker death, or in-shard errors (resilient parallel
+        drivers only — the serial estimator always completes).
+    degraded:
+        Whether the estimate averages fewer than ``n_r`` trials.  Degraded
+        scores are still unbiased, just with the wider Lemma-3 bound below.
+    achieved_epsilon:
+        Lemma 3 inverted at ``trials_completed``
+        (:meth:`CrashSimParams.achieved_epsilon`); ``None`` when the driver
+        did not compute it (plain serial :func:`crashsim`).
     """
 
     source: int
@@ -75,6 +86,13 @@ class CrashSimResult:
     n_r: int
     params: CrashSimParams
     tree: ReverseReachableTree
+    trials_completed: Optional[int] = None
+    degraded: bool = False
+    achieved_epsilon: Optional[float] = None
+
+    def __post_init__(self):
+        if self.trials_completed is None:
+            object.__setattr__(self, "trials_completed", self.n_r)
 
     def score(self, node: int) -> float:
         """``s(u, node)``; raises if ``node`` was not a candidate."""

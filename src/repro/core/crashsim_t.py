@@ -96,6 +96,12 @@ class TemporalQueryResult:
         still alive *entering* that snapshot.
     stats:
         Pruning instrumentation.
+    degraded:
+        Whether the interval was cut short by a deadline or lost snapshot
+        evaluations (resilient parallel driver only): the survivors then
+        reflect a *prefix* of the requested interval — every processed
+        transition is exact, but later snapshots never filtered Ω.  The
+        batch driver always completes, so this stays ``False`` there.
     """
 
     source: int
@@ -103,6 +109,7 @@ class TemporalQueryResult:
     survivors: Tuple[int, ...]
     history: Tuple[Dict[int, float], ...]
     stats: CrashSimTStats
+    degraded: bool = False
 
     @property
     def survivor_set(self) -> Set[int]:

@@ -133,6 +133,33 @@ class CrashSimParams:
             return min(theoretical, self.n_r_cap)
         return theoretical
 
+    def achieved_epsilon(self, num_nodes: int, trials_completed: int) -> float:
+        """Lemma 3 inverted: the ε actually guaranteed by ``trials_completed``.
+
+        Solving ``n_r = 3c / (ε - p·ε_t)² · ln(n/δ)`` for ε at the
+        completed trial count gives
+
+        ``ε = √(3c · ln(n/δ) / n_completed) + p·ε_t``.
+
+        This is how a degraded (partially completed) run reports its honest
+        error bound: any prefix of trial shards is still an unbiased
+        estimator, just with a wider ε.  Clamped to 1.0 — SimRank lives in
+        ``[0, 1]`` so no absolute error can exceed 1.
+        """
+        if num_nodes < 1:
+            raise ParameterError(f"num_nodes must be positive, got {num_nodes}")
+        if trials_completed < 1:
+            raise ParameterError(
+                f"trials_completed must be positive, got {trials_completed}"
+            )
+        epsilon = (
+            math.sqrt(
+                3.0 * self.c * math.log(num_nodes / self.delta) / trials_completed
+            )
+            + self.truncation_slack
+        )
+        return min(1.0, epsilon)
+
     # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------

@@ -264,6 +264,21 @@ class CandidateTreeCache:
         self._entries[int(node)] = (new_stamp, tree)
         return tree
 
+    def clone(self) -> "CandidateTreeCache":
+        """A shallow copy safe to mutate speculatively.
+
+        Trees are immutable (``revreach_update`` returns new objects), so
+        copying the entry dict is enough.  The streaming session advances a
+        clone during each push and commits it only on success, keeping the
+        published cache consistent when a push fails mid-flight.
+        """
+        other = CandidateTreeCache()
+        other._entries = dict(self._entries)
+        other.hits = self.hits
+        other.builds = self.builds
+        other.advances = self.advances
+        return other
+
     def retain(self, nodes: Iterable[int]) -> None:
         """Drop entries for candidates no longer alive (Ω only shrinks)."""
         alive = {int(node) for node in nodes}

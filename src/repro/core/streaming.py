@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.core.crashsim import crashsim
 from repro.core.params import CrashSimParams
 from repro.core.pruning import (
@@ -158,11 +159,31 @@ class TemporalQuerySession:
         return self.survivors
 
     def _advance(self, graph: DiGraph, delta: EdgeDelta) -> Tuple[int, ...]:
+        """Process one transition **transactionally**.
+
+        Everything — the advanced source tree, pruning decisions, candidate
+        -tree cache mutations, Monte-Carlo scores, the new Ω — is computed
+        into locals (and a cloned cache) first; session state is assigned
+        only in the commit block at the end.  If anything raises mid-push
+        (a worker crash surfacing as an exception, a fault injection, a
+        keyboard interrupt), the session stays exactly in its pre-push
+        state — including the RNG, whose bit-generator state is restored so
+        a retried push reproduces the same trial bits.
+        """
         if graph.num_nodes != self._graph.num_nodes:
             raise TemporalError("snapshot streams share one node set")
-        self.snapshots_seen += 1
+        rng_state = self._rng.bit_generator.state
+        try:
+            return self._advance_or_raise(graph, delta)
+        except BaseException:
+            self._rng.bit_generator.state = rng_state
+            raise
+
+    def _advance_or_raise(self, graph: DiGraph, delta: EdgeDelta) -> Tuple[int, ...]:
+        next_seen = self.snapshots_seen + 1
         if not self._omega:
             self._graph = graph
+            self.snapshots_seen = next_seen
             return self.survivors
         tree_cur = revreach_update(
             self._tree,
@@ -173,6 +194,7 @@ class TemporalQuerySession:
         )
         n_r = self.params.n_r(max(graph.num_nodes, 2))
 
+        candidate_trees = self._candidate_trees.clone()
         residual: Set[int] = set(self._omega)
         carried: Set[int] = set()
         if tree_cur is self._tree or tree_cur.same_as(self._tree):
@@ -195,20 +217,20 @@ class TemporalQuerySession:
             if self.use_difference_pruning and residual and edge_count < n_r:
                 # Full-graph tree comparison; the paper's E_Ω restriction
                 # is unsound (see crashsim_t / DESIGN.md §2.6).  Candidate
-                # trees come from the cache: reused across pushes, advanced
-                # incrementally over the delta.
+                # trees come from the cloned cache: reused across pushes,
+                # advanced incrementally over the delta, committed below.
                 for node in sorted(residual):
-                    prev_tree = self._candidate_trees.tree_for(
+                    prev_tree = candidate_trees.tree_for(
                         node,
-                        self.snapshots_seen - 1,
+                        next_seen - 1,
                         self._graph,
                         self.params.l_max,
                         self.params.c,
                     )
-                    cur_tree = self._candidate_trees.advance(
+                    cur_tree = candidate_trees.advance(
                         node,
                         prev_tree,
-                        self.snapshots_seen,
+                        next_seen,
                         graph,
                         delta.added,
                         delta.removed,
@@ -218,6 +240,7 @@ class TemporalQuerySession:
                         carried.add(node)
                         residual.discard(node)
 
+        faults.inject("advance", next_seen)
         scores_cur: Dict[int, float] = {
             node: self._scores[node] for node in carried
         }
@@ -236,9 +259,14 @@ class TemporalQuerySession:
         prev_vector = np.array([self._scores[int(v)] for v in ordered])
         cur_vector = np.array([scores_cur[int(v)] for v in ordered])
         keep = self.query.step_mask(prev_vector, cur_vector)
-        self._omega = [int(v) for v in ordered[keep]]
-        self._candidate_trees.retain(self._omega)
+        omega = [int(v) for v in ordered[keep]]
+        candidate_trees.retain(omega)
+
+        # --- Commit: the push can no longer fail past this point.
+        self._omega = omega
+        self._candidate_trees = candidate_trees
         self._scores = scores_cur
         self._graph = graph
         self._tree = tree_cur
+        self.snapshots_seen = next_seen
         return self.survivors

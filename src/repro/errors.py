@@ -21,6 +21,8 @@ __all__ = [
     "QueryError",
     "DatasetError",
     "ExperimentError",
+    "DeadlineExceededError",
+    "DegradedResultWarning",
 ]
 
 
@@ -74,6 +76,32 @@ class ParameterError(ReproError, ValueError):
 
 class QueryError(ReproError):
     """A temporal SimRank query was malformed or unanswerable."""
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A query's deadline elapsed before *any* usable result existed.
+
+    Raised only when nothing can be salvaged — e.g. no trial shard (or no
+    leading snapshot) completed inside the budget.  When a prefix of the
+    Monte-Carlo work did complete, the query instead returns a degraded
+    result (``degraded=True``, wider ``achieved_epsilon``) and emits a
+    :class:`DegradedResultWarning`.
+    """
+
+    def __init__(self, message: str, *, deadline: float = None, elapsed: float = None):
+        super().__init__(message)
+        self.deadline = deadline
+        self.elapsed = elapsed
+
+
+class DegradedResultWarning(UserWarning):
+    """A query returned a valid but wider-ε estimate from partial trials.
+
+    Emitted when shards were lost to a deadline, worker death, or in-shard
+    errors and the survivors still form an unbiased estimator (Lemma 3 at
+    the completed trial count).  Carries no payload — the result object's
+    ``trials_completed`` / ``achieved_epsilon`` fields hold the numbers.
+    """
 
 
 class DatasetError(ReproError):

@@ -14,7 +14,7 @@ The subsystem has three layers (docs/internals.md §7):
   reproducible scores for the same master seed.
 """
 
-from repro.parallel.executor import ParallelExecutor, resolve_workers
+from repro.parallel.executor import MapOutcome, ParallelExecutor, resolve_workers
 from repro.parallel.runner import (
     DEFAULT_SHARDS,
     parallel_crashsim,
@@ -37,6 +37,7 @@ from repro.parallel.temporal import parallel_crashsim_t
 
 __all__ = [
     "ParallelExecutor",
+    "MapOutcome",
     "resolve_workers",
     "DEFAULT_SHARDS",
     "shard_sizes",

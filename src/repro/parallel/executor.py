@@ -1,4 +1,4 @@
-"""Process-pool execution with a serial in-process fallback.
+"""Fault-tolerant process-pool execution with a serial in-process fallback.
 
 :class:`ParallelExecutor` is the one place worker processes are created.
 Policy:
@@ -11,29 +11,57 @@ Policy:
   ``spawn``.  Worker functions must therefore be importable module-level
   callables with picklable arguments (shard tasks carry shared-memory specs,
   not graphs).
-* a pool that breaks mid-run (or cannot start workers at all) degrades to
-  the serial path rather than failing the query — parallelism here is an
-  optimisation, never a semantic switch.
 
-``map`` always returns results in task order; the deterministic seed-shard
-scheme in :mod:`repro.parallel.runner` relies on that ordering to sum shard
-totals identically regardless of scheduling.
+Two entry points share one future-based engine (:meth:`ParallelExecutor.run`):
+
+* :meth:`ParallelExecutor.map` — the strict, all-or-raise surface.  Task
+  exceptions propagate; a pool that breaks mid-run is **rebuilt and only the
+  lost tasks resubmitted** — results that already completed are never
+  discarded or recomputed — degrading to in-process execution of the
+  *remainder* only if no pool can be rebuilt.
+* :meth:`ParallelExecutor.run` — the resilient surface the query drivers
+  use.  It returns a :class:`MapOutcome` recording, per task, the result or
+  the failure; honours a wall-clock ``deadline`` (seconds); retries failed
+  tasks up to ``task_retries`` times; survives up to ``pool_rebuilds`` pool
+  breakages (worker death); and supports cooperative cancellation via
+  :meth:`ParallelExecutor.cancel`.  It never raises for a lost task — the
+  caller decides whether a partial outcome is acceptable (CrashSim's
+  Monte-Carlo structure makes any completed-shard prefix a valid, wider-ε
+  estimator; see docs/internals.md §9).
+
+``map``/``run`` always index results in task order; the deterministic
+seed-shard scheme in :mod:`repro.parallel.runner` relies on that ordering to
+sum shard totals identically regardless of scheduling, retries, or losses.
+
+Pools are released deterministically by ``close()`` / the context manager,
+and as a backstop by a ``weakref.finalize`` hook so abandoned executors do
+not leak worker processes.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import threading
+import time
+import weakref
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.errors import ParameterError
 
-__all__ = ["ParallelExecutor", "resolve_workers"]
+__all__ = ["ParallelExecutor", "MapOutcome", "resolve_workers"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Default number of times a single failed/lost task is resubmitted.
+DEFAULT_TASK_RETRIES = 2
+
+#: Default number of times a broken pool is rebuilt within one run.
+DEFAULT_POOL_REBUILDS = 2
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -50,13 +78,58 @@ def _preferred_context() -> Optional[multiprocessing.context.BaseContext]:
     # REPRO_START_METHOD forces a specific start method (CI runs the parallel
     # suite under both fork and spawn this way); otherwise prefer fork.
     forced = os.environ.get("REPRO_START_METHOD")
-    if forced:
-        return multiprocessing.get_context(forced)
     methods = multiprocessing.get_all_start_methods()
+    if forced:
+        if forced not in methods:
+            raise ParameterError(
+                f"REPRO_START_METHOD={forced!r} is not a valid multiprocessing "
+                f"start method on this platform; allowed: {', '.join(methods)}"
+            )
+        return multiprocessing.get_context(forced)
     for method in ("fork", "spawn", "forkserver"):
         if method in methods:
             return multiprocessing.get_context(method)
     return None  # pragma: no cover - every CPython platform has one
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    """GC-time backstop: release workers without blocking the collector."""
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+@dataclass
+class MapOutcome:
+    """Per-task accounting of one :meth:`ParallelExecutor.run` call.
+
+    ``results[i]`` is meaningful only where ``completed[i]`` is true;
+    ``errors[i]`` holds the final exception of a task that exhausted its
+    retries (``None`` for tasks that completed or were simply cut off by
+    the deadline / cancellation).
+    """
+
+    results: List[Any] = field(default_factory=list)
+    completed: List[bool] = field(default_factory=list)
+    errors: List[Optional[BaseException]] = field(default_factory=list)
+    deadline_hit: bool = False
+    cancelled: bool = False
+    pool_rebuilds: int = 0
+    task_retries: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def all_completed(self) -> bool:
+        return all(self.completed)
+
+    @property
+    def num_completed(self) -> int:
+        return sum(1 for done in self.completed if done)
+
+    def first_error(self) -> Optional[BaseException]:
+        """The lowest-indexed recorded task error (deterministic)."""
+        for error in self.errors:
+            if error is not None:
+                return error
+        return None
 
 
 class ParallelExecutor:
@@ -75,40 +148,321 @@ class ParallelExecutor:
 
     def __init__(self, workers: Optional[int] = None, *, start_method: Optional[str] = None):
         self.workers = resolve_workers(workers)
+        self._start_method = start_method
         self._pool: Optional[ProcessPoolExecutor] = None
-        if self.workers > 1:
-            try:
-                context = (
-                    multiprocessing.get_context(start_method)
-                    if start_method
-                    else _preferred_context()
-                )
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.workers, mp_context=context
-                )
-            except (OSError, ValueError, ImportError):  # pragma: no cover
-                self._pool = None  # sandboxed / esoteric platform: go serial
+        self._finalizer: Optional[weakref.finalize] = None
+        self._cancel_event = threading.Event()
+        self._pool_disabled = self.workers <= 1
+        if not self._pool_disabled:
+            # Context resolution validates REPRO_START_METHOD / start_method
+            # eagerly — a typo must surface as ParameterError, not silently
+            # degrade to serial execution.
+            self._context = (
+                multiprocessing.get_context(start_method)
+                if start_method
+                else _preferred_context()
+            )
+            self._build_pool()
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _build_pool(self) -> bool:
+        """(Re)create the process pool; returns whether one is available."""
+        if self._pool_disabled:
+            return False
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._context
+            )
+        except (OSError, ValueError, ImportError):  # pragma: no cover
+            self._pool_disabled = True  # sandboxed platform: go serial
+            self._pool = None
+            return False
+        self._pool = pool
+        # Backstop for callers that skip the context manager: release the
+        # workers when the executor is collected.  The callback must not
+        # reference ``self`` or the executor would never be collected.
+        self._finalizer = weakref.finalize(self, _shutdown_pool, pool)
+        return True
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        """The live pool, rebuilding a previously abandoned one if needed."""
+        if self._pool is None and not self._pool_disabled:
+            self._build_pool()
+        return self._pool
+
+    def _release_pool(self, wait_for_workers: bool) -> None:
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.shutdown(wait=wait_for_workers, cancel_futures=True)
+
+    def _abandon_pool(self) -> None:
+        """Drop a pool whose workers may still be running (deadline path).
+
+        ``shutdown(wait=False)`` signals the workers and returns
+        immediately; a shard that is mid-sleep keeps its doomed process
+        alive briefly but the query returns now.  The next ``run``/``map``
+        builds a fresh pool.
+        """
+        self._release_pool(wait_for_workers=False)
 
     @property
     def serial(self) -> bool:
-        """Whether tasks run in-process (no pool)."""
+        """Whether tasks currently run in-process (no pool)."""
         return self._pool is None
-
-    def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> List[R]:
-        """Apply ``fn`` to every task, returning results in task order."""
-        task_list: Sequence[T] = list(tasks)
-        if self._pool is not None:
-            try:
-                return list(self._pool.map(fn, task_list))
-            except BrokenProcessPool:  # pragma: no cover - resource limits
-                self.close()
-        return [fn(task) for task in task_list]
 
     def close(self) -> None:
         """Shut the pool down (idempotent); the executor turns serial."""
-        if self._pool is not None:
-            pool, self._pool = self._pool, None
-            pool.shutdown(wait=True, cancel_futures=True)
+        self._pool_disabled = True
+        self._release_pool(wait_for_workers=True)
+
+    def cancel(self) -> None:
+        """Cooperatively cancel the in-flight :meth:`run` (thread-safe).
+
+        The running call stops dispatching new work, abandons unfinished
+        shards, and returns a partial :class:`MapOutcome` with
+        ``cancelled=True``.  Completed task results are kept.
+        """
+        self._cancel_event.set()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> List[R]:
+        """Apply ``fn`` to every task, returning results in task order.
+
+        Strict surface: a task exception that survives the default retry
+        budget is re-raised.  A pool breakage triggers a rebuild and
+        resubmission of **only** the lost tasks; completed results are
+        never discarded or recomputed.  If no pool can be rebuilt, just
+        the unfinished remainder runs serially in-process.
+        """
+        task_list: Sequence[T] = list(tasks)
+        if self._ensure_pool() is None:
+            return [fn(task) for task in task_list]
+        outcome = self.run(fn, task_list)
+        error = outcome.first_error()
+        if error is not None and not isinstance(error, BrokenProcessPool):
+            raise error
+        if outcome.all_completed:
+            return outcome.results
+        # Pool irrecoverably broken: finish the remainder in-process.
+        results = list(outcome.results)
+        for index, done in enumerate(outcome.completed):
+            if not done:
+                results[index] = fn(task_list[index])
+        return results
+
+    def run(
+        self,
+        fn: Callable[[T], R],
+        tasks: Iterable[T],
+        *,
+        deadline: Optional[float] = None,
+        task_retries: int = DEFAULT_TASK_RETRIES,
+        pool_rebuilds: int = DEFAULT_POOL_REBUILDS,
+    ) -> MapOutcome:
+        """Resilient map: per-task futures, bounded retry, wall-clock budget.
+
+        Parameters
+        ----------
+        fn, tasks:
+            As :meth:`map`; ``fn`` must be a module-level callable with
+            picklable arguments when a pool is used.
+        deadline:
+            Wall-clock budget in seconds for the whole call.  When it
+            elapses, pending tasks are cancelled, running ones abandoned
+            (their pool is dropped and rebuilt lazily), and the outcome
+            reports ``deadline_hit=True`` with whatever completed.  The
+            serial path checks the clock *between* tasks (cooperative).
+        task_retries:
+            How many times one task is resubmitted after raising or being
+            lost to a broken pool, before its error is recorded.
+        pool_rebuilds:
+            How many pool breakages (worker death) one call survives.
+            Each breakage rebuilds the pool and resubmits only the tasks
+            that were in flight or queued; completed results are kept.
+
+        Never raises for task failures — inspect the returned
+        :class:`MapOutcome`.
+        """
+        if deadline is not None and deadline <= 0:
+            raise ParameterError(f"deadline must be positive, got {deadline}")
+        task_list: Sequence[T] = list(tasks)
+        n = len(task_list)
+        outcome = MapOutcome(
+            results=[None] * n, completed=[False] * n, errors=[None] * n
+        )
+        started = time.monotonic()
+        deadline_at = None if deadline is None else started + deadline
+        self._cancel_event.clear()
+
+        def out_of_time() -> bool:
+            return deadline_at is not None and time.monotonic() >= deadline_at
+
+        pool = self._ensure_pool()
+        if pool is None:
+            self._run_serial(fn, task_list, outcome, out_of_time, task_retries)
+        else:
+            self._run_pooled(
+                fn,
+                task_list,
+                outcome,
+                deadline_at,
+                out_of_time,
+                task_retries,
+                pool_rebuilds,
+            )
+        outcome.elapsed = time.monotonic() - started
+        return outcome
+
+    # -- serial engine --------------------------------------------------
+
+    def _run_serial(
+        self,
+        fn: Callable[[T], R],
+        task_list: Sequence[T],
+        outcome: MapOutcome,
+        out_of_time: Callable[[], bool],
+        task_retries: int,
+    ) -> None:
+        for index, task in enumerate(task_list):
+            if self._cancel_event.is_set():
+                outcome.cancelled = True
+                return
+            if out_of_time():
+                outcome.deadline_hit = True
+                return
+            attempts = 0
+            while True:
+                try:
+                    outcome.results[index] = fn(task)
+                    outcome.completed[index] = True
+                    break
+                except Exception as exc:
+                    attempts += 1
+                    if attempts > task_retries:
+                        outcome.errors[index] = exc
+                        break
+                    outcome.task_retries += 1
+
+    # -- pooled engine --------------------------------------------------
+
+    def _run_pooled(
+        self,
+        fn: Callable[[T], R],
+        task_list: Sequence[T],
+        outcome: MapOutcome,
+        deadline_at: Optional[float],
+        out_of_time: Callable[[], bool],
+        task_retries: int,
+        pool_rebuilds: int,
+    ) -> None:
+        attempts = [0] * len(task_list)
+        pending = {}  # future -> task index
+
+        def submit(index: int) -> bool:
+            pool = self._ensure_pool()
+            if pool is None:
+                return False
+            try:
+                pending[pool.submit(fn, task_list[index])] = index
+                return True
+            except (BrokenProcessPool, RuntimeError):
+                return False
+
+        for index in range(len(task_list)):
+            if not submit(index):
+                # Pool died before dispatch finished; the wait loop below
+                # will account for whatever made it in.
+                break
+        if len(pending) < len(task_list):
+            for index in range(len(pending), len(task_list)):
+                outcome.errors[index] = BrokenProcessPool(
+                    "process pool unavailable at submission"
+                )
+
+        while pending:
+            if self._cancel_event.is_set():
+                outcome.cancelled = True
+                break
+            timeout = (
+                None
+                if deadline_at is None
+                else max(0.0, deadline_at - time.monotonic())
+            )
+            done, _ = wait(set(pending), timeout=timeout, return_when=FIRST_COMPLETED)
+            if not done:
+                outcome.deadline_hit = True
+                break
+            broken = False
+            resubmit: List[int] = []
+            lost: List[int] = []
+            for future in done:
+                index = pending.pop(future)
+                try:
+                    outcome.results[index] = future.result()
+                    outcome.completed[index] = True
+                except BrokenProcessPool:
+                    broken = True
+                    lost.append(index)
+                except Exception as exc:
+                    attempts[index] += 1
+                    if attempts[index] > task_retries:
+                        outcome.errors[index] = exc
+                    else:
+                        outcome.task_retries += 1
+                        resubmit.append(index)
+            if broken:
+                # Every sibling future is doomed with the same pool; fold
+                # them into the lost set so one breakage is handled once.
+                lost.extend(pending.values())
+                pending.clear()
+                self._release_pool(wait_for_workers=False)
+                outcome.pool_rebuilds += 1
+                if outcome.pool_rebuilds > pool_rebuilds or not self._build_pool():
+                    for index in sorted(lost + resubmit):
+                        outcome.errors[index] = BrokenProcessPool(
+                            "process pool broke and the rebuild budget "
+                            f"({pool_rebuilds}) is exhausted"
+                        )
+                    break
+                # A lost task is charged an attempt: a shard that kills its
+                # worker every time must not break pools forever.
+                for index in sorted(lost):
+                    attempts[index] += 1
+                    if attempts[index] > task_retries:
+                        outcome.errors[index] = BrokenProcessPool(
+                            f"task {index} lost to {attempts[index]} pool breakages"
+                        )
+                    else:
+                        resubmit.append(index)
+            if (pending or resubmit) and out_of_time():
+                outcome.deadline_hit = True
+                break
+            for index in sorted(resubmit):
+                if not submit(index):
+                    outcome.errors[index] = BrokenProcessPool(
+                        "process pool unavailable for retry"
+                    )
+
+        if pending or outcome.deadline_hit or outcome.cancelled:
+            for future in pending:
+                future.cancel()
+            # Workers may still be executing abandoned shards; drop the
+            # pool without waiting so the caller gets its partial result
+            # inside the budget.  The next run() rebuilds lazily.
+            self._abandon_pool()
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
 
     def __enter__(self) -> "ParallelExecutor":
         return self

@@ -25,11 +25,14 @@ walk-generation cost is still paid once per trial, not once per source.
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.core.crashsim import (
     CrashSimResult,
     accumulate_crash_totals,
@@ -37,9 +40,13 @@ from repro.core.crashsim import (
 )
 from repro.core.params import CrashSimParams
 from repro.core.revreach import revreach_levels
-from repro.errors import ParameterError
+from repro.errors import (
+    DeadlineExceededError,
+    DegradedResultWarning,
+    ParameterError,
+)
 from repro.graph.digraph import DiGraph
-from repro.parallel.executor import ParallelExecutor
+from repro.parallel.executor import MapOutcome, ParallelExecutor
 from repro.parallel.shared_graph import (
     ArraySpec,
     SharedArray,
@@ -90,6 +97,8 @@ class _ShardTask:
 
     ``tree`` is set for single-source shards (sparse tree arrays); ``matrix``
     for multi-source shards (the stacked dense ``(q, l_max + 1, n)`` array).
+    ``shard_index`` identifies the shard to the fault-injection hooks (and
+    keeps retry accounting readable); it does not influence the estimate.
     """
 
     graph: SharedGraphSpec
@@ -100,10 +109,12 @@ class _ShardTask:
     seed: np.random.SeedSequence
     tree: Optional[SharedTreeSpec] = None
     matrix: Optional[ArraySpec] = None
+    shard_index: int = 0
 
 
 def _run_shard(task: _ShardTask) -> np.ndarray:
     """Worker entry point: one trial shard against one sparse tree."""
+    faults.inject("shard", task.shard_index)
     view = attach_graph(task.graph)
     tree, tree_handles = attach_tree(task.tree)
     targets, targets_handle = attach_array(task.targets)
@@ -126,6 +137,7 @@ def _run_shard(task: _ShardTask) -> np.ndarray:
 
 def _run_shard_multi(task: _ShardTask) -> np.ndarray:
     """Worker entry point for multi-source: score walks against every tree."""
+    faults.inject("shard", task.shard_index)
     view = attach_graph(task.graph)
     matrices, matrix_handle = attach_array(task.matrix)
     targets, targets_handle = attach_array(task.targets)
@@ -203,12 +215,18 @@ def _map_shards(
     c: float,
     l_max: int,
     multi: bool,
-) -> List[np.ndarray]:
+    deadline: Optional[float] = None,
+) -> Tuple[List[Optional[np.ndarray]], MapOutcome]:
     """Run every shard, serially or through the pool, in shard order.
 
     ``tree`` is a :class:`~repro.core.revreach.SparseReverseTree` for the
     single-source path (shipped as its packed sparse arrays) or the stacked
     dense matrices for the multi-source path (shipped as one 3-D array).
+
+    Returns the per-shard totals (``None`` where a shard was lost) plus the
+    executor's :class:`~repro.parallel.executor.MapOutcome`; the caller
+    decides whether a partial outcome is acceptable.  Lost or failed shards
+    were retried per the executor's policy before being given up on.
     """
     own_executor = executor is None
     if own_executor:
@@ -216,8 +234,11 @@ def _map_shards(
     try:
         if executor.serial:
             accumulate = _accumulate_multi if multi else accumulate_crash_totals
-            return [
-                accumulate(
+
+            def run_serial_shard(item):
+                index, trials, seed = item
+                faults.inject("shard", index)
+                return accumulate(
                     graph,
                     tree,
                     targets,
@@ -226,8 +247,10 @@ def _map_shards(
                     l_max=l_max,
                     rng=np.random.default_rng(seed),
                 )
-                for trials, seed in zip(shards, seeds)
-            ]
+
+            items = list(zip(range(len(shards)), shards, seeds))
+            outcome = executor.run(run_serial_shard, items, deadline=deadline)
+            return outcome.results, outcome
         shared_tree = SharedArray(tree) if multi else SharedTree(tree)
         with SharedGraph(graph) as shared_graph, shared_tree, SharedArray(
             targets
@@ -242,14 +265,90 @@ def _map_shards(
                     c=c,
                     l_max=l_max,
                     seed=seed,
+                    shard_index=index,
                 )
-                for trials, seed in zip(shards, seeds)
+                for index, (trials, seed) in enumerate(zip(shards, seeds))
             ]
             worker = _run_shard_multi if multi else _run_shard
-            return executor.map(worker, tasks)
+            outcome = executor.run(worker, tasks, deadline=deadline)
+            return outcome.results, outcome
     finally:
         if own_executor:
             executor.close()
+
+
+def _remaining_budget(deadline: Optional[float], started: float) -> Optional[float]:
+    """Deadline minus setup time already spent; raises once it is gone.
+
+    The tree build (and shared-memory publication) happen before any trial
+    shard runs; a deadline that cannot even cover setup has nothing partial
+    to return.
+    """
+    if deadline is None:
+        return None
+    remaining = deadline - (time.monotonic() - started)
+    if remaining <= 0:
+        raise DeadlineExceededError(
+            f"deadline of {deadline}s elapsed during query setup, before any "
+            "trial shard could run",
+            deadline=deadline,
+            elapsed=time.monotonic() - started,
+        )
+    return remaining
+
+
+def _settle_shards(
+    shard_plan: Sequence[int],
+    outcome: MapOutcome,
+    params: CrashSimParams,
+    num_nodes: int,
+    n_r: int,
+    deadline: Optional[float],
+) -> Tuple[int, bool, float]:
+    """Turn a shard outcome into ``(trials_completed, degraded, achieved_ε)``.
+
+    Raises :class:`DeadlineExceededError` (or the first shard error) when
+    *no* shard completed — with zero trials there is no estimator to
+    degrade to.  Emits a :class:`DegradedResultWarning` when the run is
+    partial, so silent quality loss cannot happen.
+    """
+    trials_completed = sum(
+        trials
+        for trials, done in zip(shard_plan, outcome.completed)
+        if done
+    )
+    if trials_completed == 0:
+        error = outcome.first_error()
+        if outcome.deadline_hit or outcome.cancelled or error is None:
+            reason = "cancelled" if outcome.cancelled else "deadline"
+            raise DeadlineExceededError(
+                f"no trial shard completed before the {reason} "
+                f"({outcome.elapsed:.3f}s elapsed, {len(shard_plan)} shards "
+                "planned); no estimate exists to degrade to",
+                deadline=deadline,
+                elapsed=outcome.elapsed,
+            )
+        raise error
+    degraded = trials_completed < n_r
+    achieved = params.achieved_epsilon(num_nodes, trials_completed)
+    if degraded:
+        lost = len(shard_plan) - outcome.num_completed
+        cause = (
+            "deadline"
+            if outcome.deadline_hit
+            else "cancellation"
+            if outcome.cancelled
+            else "shard failures"
+        )
+        warnings.warn(
+            f"degraded CrashSim estimate: {lost} of {len(shard_plan)} trial "
+            f"shards lost to {cause}; averaging {trials_completed}/{n_r} "
+            f"trials widens the Lemma-3 bound to ε={achieved:.4g} "
+            f"(target ε={params.epsilon})",
+            DegradedResultWarning,
+            stacklevel=3,
+        )
+    return trials_completed, degraded, achieved
 
 
 def parallel_crashsim(
@@ -263,6 +362,7 @@ def parallel_crashsim(
     workers: Optional[int] = None,
     executor: Optional[ParallelExecutor] = None,
     shards: int = DEFAULT_SHARDS,
+    deadline: Optional[float] = None,
 ) -> CrashSimResult:
     """Single-source CrashSim with the ``n_r`` trials sharded over processes.
 
@@ -278,32 +378,54 @@ def parallel_crashsim(
         RNG stream layout) but **not** on ``workers`` — the determinism
         contract is: same master seed + same shards ⇒ identical scores at
         any worker count.
+    deadline:
+        Wall-clock budget in seconds for the whole query (tree build
+        included).  On expiry the estimate averages whichever trial shards
+        completed — still unbiased, flagged ``degraded=True`` with the
+        honest wider bound in ``achieved_epsilon`` — and a
+        :class:`~repro.errors.DeadlineExceededError` is raised only if
+        *nothing* completed.  ``None`` (default) never times out.
+
+    Lost shards (worker death, in-shard exceptions) are retried with a
+    rebuilt pool before being given up on; a run in which every shard
+    eventually completed — retried or not — is byte-identical to an
+    undisturbed one, because shard totals are summed in shard order from
+    per-shard RNG streams that never depend on scheduling.
 
     The estimator is exactly Algorithm 1's; only the trial execution order
     across RNG streams differs from the serial :func:`crashsim`, so the
-    Theorem-1 ``(ε, δ)`` guarantee carries over unchanged.
+    Theorem-1 ``(ε, δ)`` guarantee carries over unchanged when all shards
+    complete, and degrades to the inverted Lemma-3 bound when they don't.
     """
     params = params or CrashSimParams()
+    started = time.monotonic()
     if not 0 <= int(source) < graph.num_nodes:
         raise ParameterError(
             f"source {source} outside the graph's node range [0, {graph.num_nodes})"
         )
+    if deadline is not None and deadline <= 0:
+        raise ParameterError(f"deadline must be positive, got {deadline}")
     source = int(source)
     seed_seq = as_seed_sequence(seed)
     candidate_array = resolve_candidates(graph, source, candidates)
     l_max = params.l_max
-    n_r = params.n_r(max(graph.num_nodes, 2))
+    num_nodes = max(graph.num_nodes, 2)
+    n_r = params.n_r(num_nodes)
 
     tree = revreach_levels(graph, source, l_max, params.c, variant=tree_variant)
 
     walk_targets = candidate_array[candidate_array != source]
     walk_targets = walk_targets[graph.in_degrees()[walk_targets] > 0]
 
+    trials_completed = n_r
+    degraded = False
+    achieved = params.achieved_epsilon(num_nodes, n_r)
     totals = np.zeros(walk_targets.size, dtype=np.float64)
     if walk_targets.size:
         shard_plan = shard_sizes(n_r, shards)
         seeds = seed_seq.spawn(len(shard_plan))
-        shard_totals = _map_shards(
+        remaining = _remaining_budget(deadline, started)
+        shard_totals, outcome = _map_shards(
             executor,
             workers,
             graph,
@@ -314,15 +436,21 @@ def parallel_crashsim(
             c=params.c,
             l_max=l_max,
             multi=False,
+            deadline=remaining,
+        )
+        trials_completed, degraded, achieved = _settle_shards(
+            shard_plan, outcome, params, num_nodes, n_r, deadline
         )
         # Sum in shard order: float addition order is part of the
-        # worker-count-independence contract.
-        for shard_total in shard_totals:
-            totals += shard_total
+        # worker-count-independence contract.  Lost shards are skipped,
+        # not zero-filled — the divisor below shrinks with them.
+        for shard_total, done in zip(shard_totals, outcome.completed):
+            if done:
+                totals += shard_total
 
     scores = np.zeros(candidate_array.size, dtype=np.float64)
     walk_positions = np.searchsorted(candidate_array, walk_targets)
-    scores[walk_positions] = totals / n_r
+    scores[walk_positions] = totals / trials_completed
     scores[candidate_array == source] = 1.0
     scores = np.clip(scores, 0.0, 1.0)
     return CrashSimResult(
@@ -332,6 +460,9 @@ def parallel_crashsim(
         n_r=n_r,
         params=params,
         tree=tree,
+        trials_completed=trials_completed,
+        degraded=degraded,
+        achieved_epsilon=achieved,
     )
 
 
@@ -346,15 +477,21 @@ def parallel_crashsim_multi_source(
     workers: Optional[int] = None,
     executor: Optional[ParallelExecutor] = None,
     shards: int = DEFAULT_SHARDS,
+    deadline: Optional[float] = None,
 ) -> List[CrashSimResult]:
     """Multi-source CrashSim with trial shards fanned out over processes.
 
     Keeps :func:`~repro.core.multi_source.crashsim_multi_source`'s
     amortisation — each sampled walk is scored against every source's tree —
-    while splitting the trials exactly like :func:`parallel_crashsim`.
+    while splitting the trials exactly like :func:`parallel_crashsim`,
+    including its ``deadline`` / graceful-degradation contract.  A shard
+    carries the same trials for every source, so a partial run degrades all
+    sources uniformly: every returned result shares one
+    ``trials_completed`` / ``achieved_epsilon``.
     Returns one :class:`CrashSimResult` per source, in input order.
     """
     params = params or CrashSimParams()
+    started = time.monotonic()
     source_list = [int(s) for s in sources]
     if not source_list:
         return []
@@ -363,9 +500,12 @@ def parallel_crashsim_multi_source(
             raise ParameterError(
                 f"source {source} outside the node range [0, {graph.num_nodes})"
             )
+    if deadline is not None and deadline <= 0:
+        raise ParameterError(f"deadline must be positive, got {deadline}")
     seed_seq = as_seed_sequence(seed)
     l_max = params.l_max
-    n_r = params.n_r(max(graph.num_nodes, 2))
+    num_nodes = max(graph.num_nodes, 2)
+    n_r = params.n_r(num_nodes)
 
     if candidates is None:
         candidate_array = np.arange(graph.num_nodes, dtype=np.int64)
@@ -383,11 +523,15 @@ def parallel_crashsim_multi_source(
     stacked = np.stack([tree.matrix for tree in trees])
 
     walk_targets = candidate_array[graph.in_degrees()[candidate_array] > 0]
+    trials_completed = n_r
+    degraded = False
+    achieved = params.achieved_epsilon(num_nodes, n_r)
     totals = np.zeros((len(source_list), walk_targets.size), dtype=np.float64)
     if walk_targets.size:
         shard_plan = shard_sizes(n_r, shards)
         seeds = seed_seq.spawn(len(shard_plan))
-        shard_totals = _map_shards(
+        remaining = _remaining_budget(deadline, started)
+        shard_totals, outcome = _map_shards(
             executor,
             workers,
             graph,
@@ -398,16 +542,21 @@ def parallel_crashsim_multi_source(
             c=params.c,
             l_max=l_max,
             multi=True,
+            deadline=remaining,
         )
-        for shard_total in shard_totals:
-            totals += shard_total
+        trials_completed, degraded, achieved = _settle_shards(
+            shard_plan, outcome, params, num_nodes, n_r, deadline
+        )
+        for shard_total, done in zip(shard_totals, outcome.completed):
+            if done:
+                totals += shard_total
 
     results: List[CrashSimResult] = []
     walk_positions = np.searchsorted(candidate_array, walk_targets)
     for row, (source, tree) in enumerate(zip(source_list, trees)):
         per_source = candidate_array[candidate_array != source]
         scores = np.zeros(candidate_array.size, dtype=np.float64)
-        scores[walk_positions] = totals[row] / n_r
+        scores[walk_positions] = totals[row] / trials_completed
         scores[candidate_array == source] = 1.0
         keep = candidate_array != source
         results.append(
@@ -418,6 +567,9 @@ def parallel_crashsim_multi_source(
                 n_r=n_r,
                 params=params,
                 tree=tree,
+                trials_completed=trials_completed,
+                degraded=degraded,
+                achieved_epsilon=achieved,
             )
         )
     return results

@@ -31,18 +31,27 @@ share, and the sparse build is ``O(support)`` (docs/internals.md §8).
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.core.crashsim import crashsim
 from repro.core.crashsim_t import CrashSimTStats, TemporalQueryResult
 from repro.core.params import CrashSimParams
 from repro.core.queries import TemporalQuery
-from repro.errors import ParameterError, QueryError
+from repro.errors import (
+    DeadlineExceededError,
+    DegradedResultWarning,
+    ParameterError,
+    QueryError,
+)
 from repro.graph.temporal import TemporalGraph
 from repro.parallel.executor import ParallelExecutor
+from repro.parallel.runner import _remaining_budget
 from repro.parallel.shared_graph import SharedGraph, SharedGraphSpec, attach_graph
 from repro.rng import RngLike, as_seed_sequence
 
@@ -58,10 +67,12 @@ class _SnapshotTask:
     params: CrashSimParams
     tree_variant: str
     seed: np.random.SeedSequence
+    snapshot_index: int = 0
 
 
 def _run_snapshot(task: _SnapshotTask) -> Tuple[np.ndarray, np.ndarray]:
     """Worker entry point: score one snapshot, return (candidates, scores)."""
+    faults.inject("snapshot", task.snapshot_index)
     view = attach_graph(task.graph)
     try:
         result = crashsim(
@@ -87,18 +98,28 @@ def parallel_crashsim_t(
     seed: RngLike = None,
     workers: Optional[int] = None,
     executor: Optional[ParallelExecutor] = None,
+    deadline: Optional[float] = None,
 ) -> TemporalQueryResult:
     """Temporal SimRank query with concurrently evaluated snapshots.
 
     Parameters mirror :func:`repro.core.crashsim_t.crashsim_t` minus the
     pruning switches (this driver recomputes every snapshot — see module
     docstring), plus ``workers`` / ``executor`` as in
-    :func:`repro.parallel.parallel_crashsim`.
+    :func:`repro.parallel.parallel_crashsim`, and ``deadline`` — a
+    wall-clock budget in seconds.  Snapshot evaluations lost to the
+    deadline (or to worker death surviving past the executor's retries)
+    truncate the query to the longest completed snapshot *prefix*: every
+    replayed transition is exact, the result is flagged ``degraded=True``
+    and a :class:`~repro.errors.DegradedResultWarning` is emitted.  If not
+    even the first snapshot completed, :class:`DeadlineExceededError` is
+    raised — there is no prefix to fall back to.
 
     Determinism: per-snapshot seeds are spawned from the master seed in
-    snapshot order, so the result is identical for any worker count.
+    snapshot order, so the result is identical for any worker count, and a
+    retried snapshot reproduces the bits its killed predecessor would have.
     """
     params = params or CrashSimParams()
+    started = time.monotonic()
     start, stop = interval if interval is not None else (0, temporal.num_snapshots)
     if not 0 <= start < stop <= temporal.num_snapshots:
         raise QueryError(
@@ -108,6 +129,8 @@ def parallel_crashsim_t(
         raise ParameterError(
             f"source {source} outside the node range [0, {temporal.num_nodes})"
         )
+    if deadline is not None and deadline <= 0:
+        raise ParameterError(f"deadline must be positive, got {deadline}")
     source = int(source)
     seed_seq = as_seed_sequence(seed)
     indices = list(range(start, stop))
@@ -118,8 +141,10 @@ def parallel_crashsim_t(
         executor = ParallelExecutor(workers)
     try:
         if executor.serial:
-            per_snapshot = []
-            for index, snapshot_seed in zip(indices, seeds):
+
+            def run_serial_snapshot(item):
+                index, snapshot_seed = item
+                faults.inject("snapshot", index)
                 result = crashsim(
                     temporal.snapshot(index),
                     source,
@@ -127,7 +152,13 @@ def parallel_crashsim_t(
                     tree_variant=tree_variant,
                     seed=np.random.default_rng(snapshot_seed),
                 )
-                per_snapshot.append((result.candidates, result.scores))
+                return result.candidates, result.scores
+
+            outcome = executor.run(
+                run_serial_snapshot,
+                list(zip(indices, seeds)),
+                deadline=_remaining_budget(deadline, started),
+            )
         else:
             shared: List[SharedGraph] = []
             try:
@@ -142,15 +173,38 @@ def parallel_crashsim_t(
                             params=params,
                             tree_variant=tree_variant,
                             seed=snapshot_seed,
+                            snapshot_index=index,
                         )
                     )
-                per_snapshot = executor.map(_run_snapshot, tasks)
+                outcome = executor.run(
+                    _run_snapshot, tasks, deadline=_remaining_budget(deadline, started)
+                )
             finally:
                 for shared_graph in shared:
                     shared_graph.close()
     finally:
         if own_executor:
             executor.close()
+
+    # The Ω replay consumes snapshots strictly in order, so only the
+    # longest completed prefix is usable; completions after a hole were
+    # speculative work the deadline wasted (exactly like the post-Ω-empty
+    # snapshots the module docstring already accepts wasting).
+    prefix = 0
+    while prefix < len(indices) and outcome.completed[prefix]:
+        prefix += 1
+    if prefix == 0:
+        error = outcome.first_error()
+        if outcome.deadline_hit or outcome.cancelled or error is None:
+            raise DeadlineExceededError(
+                f"no snapshot evaluation completed before the deadline "
+                f"({outcome.elapsed:.3f}s elapsed, {len(indices)} snapshots "
+                "requested)",
+                deadline=deadline,
+                elapsed=outcome.elapsed,
+            )
+        raise error
+    per_snapshot = outcome.results[:prefix]
 
     # --- Sequential Ω-shrinking replay over the precomputed scores.
     stats = CrashSimTStats()
@@ -180,10 +234,24 @@ def parallel_crashsim_t(
         omega = [int(v) for v in ordered[keep]]
         scores_prev = scores_cur
 
+    # Degraded only if the truncation could matter: candidates were still
+    # alive when the prefix ran out, so unprocessed snapshots would have
+    # kept filtering Ω.
+    degraded = bool(omega) and prefix < len(indices)
+    if degraded:
+        warnings.warn(
+            f"degraded CrashSim-T result: only the first {prefix} of "
+            f"{len(indices)} snapshots completed; survivors reflect the "
+            f"interval prefix [{start}, {start + prefix})",
+            DegradedResultWarning,
+            stacklevel=2,
+        )
+
     return TemporalQueryResult(
         source=source,
         interval=(start, stop),
         survivors=tuple(sorted(omega)),
         history=tuple(history),
         stats=stats,
+        degraded=degraded,
     )

@@ -1,7 +1,15 @@
-"""ParallelExecutor: serial fallback, ordering, lifecycle."""
+"""ParallelExecutor: serial fallback, ordering, lifecycle, resilience."""
+
+import gc
+import multiprocessing
+import os
+import threading
+import time
+import uuid
 
 import pytest
 
+from repro import faults
 from repro.errors import ParameterError
 from repro.parallel import ParallelExecutor, resolve_workers, shard_sizes
 
@@ -9,6 +17,41 @@ from repro.parallel import ParallelExecutor, resolve_workers, shard_sizes
 def _square(x):
     # Module-level so it pickles under every start method.
     return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+def _sleep_tenth(x):
+    time.sleep(0.1)
+    return x
+
+
+def _record_run(arg):
+    """Record this execution as a unique file, then hit the fault site.
+
+    The file name carries the executing pid, so a test can prove both how
+    many times each task ran and that nothing ran in the parent process.
+    """
+    index, directory = arg
+    path = os.path.join(
+        directory, f"ran-{index}-{os.getpid()}-{uuid.uuid4().hex}"
+    )
+    with open(path, "w"):
+        pass
+    faults.inject("exec", index)
+    return index
+
+
+def _executions(directory, index):
+    return [
+        name
+        for name in os.listdir(directory)
+        if name.startswith(f"ran-{index}-")
+    ]
 
 
 class TestResolveWorkers:
@@ -77,3 +120,121 @@ class TestProcessPool:
     def test_repr_names_mode(self):
         with ParallelExecutor(1) as executor:
             assert "serial" in repr(executor)
+
+
+@pytest.fixture
+def pool_executor():
+    executor = ParallelExecutor(2)
+    if executor.serial:
+        executor.close()
+        pytest.skip("process pools unavailable on this platform")
+    yield executor
+    executor.close()
+
+
+class TestStartMethodEnv:
+    def test_invalid_env_value_rejected_by_name(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "bogus")
+        with pytest.raises(ParameterError) as excinfo:
+            ParallelExecutor(2)
+        message = str(excinfo.value)
+        assert "REPRO_START_METHOD" in message
+        assert "bogus" in message
+        for method in multiprocessing.get_all_start_methods():
+            assert method in message
+
+    def test_serial_executor_ignores_env(self, monkeypatch):
+        # workers=1 never resolves a context, so a broken variable must
+        # not block the serial path.
+        monkeypatch.setenv("REPRO_START_METHOD", "bogus")
+        with ParallelExecutor(1) as executor:
+            assert executor.map(_square, [3]) == [9]
+
+
+class TestPoolRelease:
+    def test_finalizer_releases_pool_on_gc(self):
+        executor = ParallelExecutor(2)
+        if executor.serial:
+            executor.close()
+            pytest.skip("process pools unavailable on this platform")
+        pool = executor._pool
+        finalizer = executor._finalizer
+        assert finalizer.alive
+        del executor
+        gc.collect()
+        assert not finalizer.alive
+        assert pool._shutdown_thread  # shutdown() reached the pool
+
+    def test_close_detaches_finalizer(self, pool_executor):
+        finalizer = pool_executor._finalizer
+        pool_executor.close()
+        assert not finalizer.alive
+        assert pool_executor.serial
+
+
+class TestRunSemantics:
+    def test_records_error_after_retry_budget(self):
+        with ParallelExecutor(1) as executor:
+            outcome = executor.run(_fail_on_three, range(5), task_retries=1)
+        assert outcome.completed == [True, True, True, False, True]
+        assert isinstance(outcome.errors[3], ValueError)
+        assert outcome.task_retries == 1
+        assert outcome.first_error() is outcome.errors[3]
+        assert not outcome.all_completed
+        assert outcome.num_completed == 4
+
+    def test_deadline_must_be_positive(self):
+        with ParallelExecutor(1) as executor:
+            with pytest.raises(ParameterError):
+                executor.run(_square, [1], deadline=0)
+
+    def test_serial_deadline_keeps_completed_prefix(self):
+        with ParallelExecutor(1) as executor:
+            outcome = executor.run(_sleep_tenth, range(50), deadline=0.35)
+        assert outcome.deadline_hit
+        assert not outcome.all_completed
+        assert outcome.num_completed >= 1
+        done = outcome.num_completed
+        assert outcome.results[:done] == list(range(done))
+
+    def test_cancel_returns_partial_outcome(self):
+        with ParallelExecutor(1) as executor:
+            timer = threading.Timer(0.25, executor.cancel)
+            timer.start()
+            try:
+                outcome = executor.run(_sleep_tenth, range(100))
+            finally:
+                timer.cancel()
+        assert outcome.cancelled
+        assert not outcome.all_completed
+        assert outcome.num_completed >= 1
+
+
+class TestPoolBreakage:
+    def test_run_resubmits_only_lost_tasks(self, pool_executor):
+        # Task 0 kills its worker once.  The pool is rebuilt, the lost
+        # task retried exactly once, and every completed result is kept —
+        # proven by the per-execution files: task 0 ran twice, and no
+        # task ran in the parent process.
+        with faults.active({"exec": {"0": {"kind": "kill"}}}) as markers:
+            tasks = [(index, markers) for index in range(8)]
+            outcome = pool_executor.run(_record_run, tasks)
+            assert outcome.all_completed
+            assert outcome.results == list(range(8))
+            assert outcome.pool_rebuilds == 1
+            assert len(_executions(markers, 0)) == 2
+            parent = str(os.getpid())
+            for index in range(8):
+                for name in _executions(markers, index):
+                    assert name.split("-")[2] != parent
+
+    def test_map_keeps_completed_results_across_breakage(self, pool_executor):
+        with faults.active({"exec": {"2": {"kind": "kill"}}}) as markers:
+            tasks = [(index, markers) for index in range(8)]
+            results = pool_executor.map(_record_run, tasks)
+            assert results == list(range(8))
+            assert len(_executions(markers, 2)) == 2
+            parent = str(os.getpid())
+            for index in range(8):
+                for name in _executions(markers, index):
+                    assert name.split("-")[2] != parent
