@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-parallel test-chaos bench bench-tree perf-smoke selftest experiments report examples clean
+.PHONY: install test test-parallel test-chaos bench bench-tree bench-kernel perf-smoke selftest experiments report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -28,6 +28,11 @@ bench:
 # if the sparse representation misses its speedup targets.
 bench-tree:
 	$(PYTHON) benchmarks/bench_tree.py
+
+# Fused walk–crash kernel vs the generator accumulator; writes
+# benchmarks/BENCH_kernel.json and fails below the 2x / 1.5x targets.
+bench-kernel:
+	$(PYTHON) benchmarks/bench_kernel.py
 
 # CI timing gate: generous multiple of benchmarks/baselines/tree_smoke.json.
 perf-smoke:

@@ -1,17 +1,19 @@
-"""CI perf-smoke: catch order-of-magnitude tree regressions cheaply.
+"""CI perf-smoke: catch order-of-magnitude regressions cheaply.
 
-Runs the bench_tree sweep on a CI-sized graph and compares wall-clock
-against the recorded baseline in ``benchmarks/baselines/tree_smoke.json``.
-The gate is deliberately generous — a timing fails only past
-``PERF_SMOKE_MULTIPLIER`` (default 10×) of its recorded value — so shared
-runners' jitter never breaks the build, while a representation regression
-that reintroduces O(n)-per-level work (100×+ on these sizes) still trips
-it.  The structural ratios (sparse-vs-dense speedup, pruning no slower)
-are asserted directly: they are machine-independent.
+Runs the bench_tree and bench_kernel sweeps on CI-sized graphs and
+compares wall-clock against the recorded baselines in
+``benchmarks/baselines/``.  Wall-clock gates are deliberately generous —
+a timing fails only past ``PERF_SMOKE_MULTIPLIER`` (default 10×) of its
+recorded value — so shared runners' jitter never breaks the build, while
+a representation regression that reintroduces O(n)-per-level work still
+trips it.  The structural ratios are machine-independent and gated
+tightly: sparse-vs-dense and pruning keep their floors, and the fused
+kernel's speedup over the generator accumulator fails on a **>30%
+regression** from its recorded baseline ratio.
 
 Usage:
-    python benchmarks/perf_smoke.py            # gate against the baseline
-    python benchmarks/perf_smoke.py --record   # re-record the baseline
+    python benchmarks/perf_smoke.py            # gate against the baselines
+    python benchmarks/perf_smoke.py --record   # re-record the baselines
 """
 
 from __future__ import annotations
@@ -21,32 +23,36 @@ import os
 import pathlib
 import sys
 
+from bench_kernel import run_all as run_kernel
 from bench_tree import run_all
 
 BASELINE = pathlib.Path(__file__).parent / "baselines" / "tree_smoke.json"
+KERNEL_BASELINE = pathlib.Path(__file__).parent / "baselines" / "kernel_smoke.json"
 SMOKE_NODES = 30_000
 SMOKE_SOURCES = 32
+KERNEL_SMOKE_NODES = 20_000
+KERNEL_SMOKE_TRIALS = 32
 GATED_TIMINGS = (
     "sparse_build_seconds",
     "sparse_same_as_cold_seconds",
 )
+KERNEL_LEGS = ("unweighted", "weighted_alias")
 MIN_COMBINED_SPEEDUP = 3.0  # headroom below the 5x full-size target
 MIN_PRUNING_SPEEDUP = 0.8
+KERNEL_REGRESSION_FRACTION = 0.7  # fail below 70% of the recorded speedup
 
 
-def main(argv) -> int:
-    payload = run_all(num_nodes=SMOKE_NODES, num_sources=SMOKE_SOURCES)
+def gate_tree(payload, argv):
     tree = payload["tree"]
     pruning = payload["difference_pruning"]
 
     if "--record" in argv:
-        BASELINE.parent.mkdir(parents=True, exist_ok=True)
         record = {key: tree[key] for key in GATED_TIMINGS}
         record["nodes"] = SMOKE_NODES
         record["sources"] = SMOKE_SOURCES
         BASELINE.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
         print(f"recorded baseline: {BASELINE}")
-        return 0
+        return []
 
     baseline = json.loads(BASELINE.read_text())
     multiplier = float(os.environ.get("PERF_SMOKE_MULTIPLIER", "10"))
@@ -71,8 +77,65 @@ def main(argv) -> int:
             f"difference pruning sweep {pruning['speedup']}x "
             f"< {MIN_PRUNING_SPEEDUP}x floor"
         )
+    return failures
+
+
+def gate_kernel(payload, argv):
+    if "--record" in argv:
+        record = {
+            "nodes": KERNEL_SMOKE_NODES,
+            "trials": KERNEL_SMOKE_TRIALS,
+        }
+        for leg in KERNEL_LEGS:
+            record[leg] = {
+                "fused_seconds": payload[leg]["fused_seconds"],
+                "speedup": payload[leg]["speedup"],
+            }
+        KERNEL_BASELINE.write_text(
+            json.dumps(record, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"recorded baseline: {KERNEL_BASELINE}")
+        return []
+
+    baseline = json.loads(KERNEL_BASELINE.read_text())
+    multiplier = float(os.environ.get("PERF_SMOKE_MULTIPLIER", "10"))
+    failures = []
+    for leg in KERNEL_LEGS:
+        seconds = payload[leg]["fused_seconds"]
+        speedup = payload[leg]["speedup"]
+        allowed_seconds = baseline[leg]["fused_seconds"] * multiplier
+        # The speedup ratio is machine-independent: >30% below the
+        # recorded baseline means the fused path itself regressed.
+        floor = round(baseline[leg]["speedup"] * KERNEL_REGRESSION_FRACTION, 2)
+        print(
+            f"kernel {leg}: {seconds}s fused, {speedup}x vs generator "
+            f"(allowed {allowed_seconds:.4f}s, speedup floor {floor}x)"
+        )
+        if seconds > allowed_seconds:
+            failures.append(
+                f"kernel {leg} {seconds}s > {allowed_seconds:.4f}s allowed"
+            )
+        if speedup < floor:
+            failures.append(
+                f"kernel {leg} speedup {speedup}x regressed >30% below "
+                f"the recorded {baseline[leg]['speedup']}x"
+            )
+    return failures
+
+
+def main(argv) -> int:
+    BASELINE.parent.mkdir(parents=True, exist_ok=True)
+    failures = gate_tree(
+        run_all(num_nodes=SMOKE_NODES, num_sources=SMOKE_SOURCES), argv
+    )
+    failures += gate_kernel(
+        run_kernel(num_nodes=KERNEL_SMOKE_NODES, n_trials=KERNEL_SMOKE_TRIALS),
+        argv,
+    )
     for failure in failures:
         print(f"FAIL: {failure}")
+    if "--record" in argv:
+        return 0
     if not failures:
         print("perf-smoke ok")
     return 1 if failures else 0

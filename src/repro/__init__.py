@@ -67,6 +67,7 @@ from repro.graph import (
     TemporalGraph,
     TemporalGraphBuilder,
 )
+from repro.walks import WalkCrashKernel
 
 __version__ = "1.0.0"
 
@@ -95,6 +96,7 @@ __all__ = [
     "TemporalQuerySession",
     "revreach_levels",
     "revreach_queue",
+    "WalkCrashKernel",
     # facade
     "single_source",
     "single_pair",

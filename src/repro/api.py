@@ -96,6 +96,7 @@ def single_source(
     seed: RngLike = None,
     workers: Optional[int] = None,
     deadline: Optional[float] = None,
+    sampler: str = "cdf",
 ) -> np.ndarray:
     """Single-source SimRank ``s(source, ·)`` by any implemented method.
 
@@ -129,6 +130,11 @@ def single_source(
         wider bound in ``achieved_epsilon``.  Raises
         :class:`~repro.errors.DeadlineExceededError` only when nothing
         completed in time.
+    sampler:
+        ``crashsim`` only: weighted neighbour-sampling strategy.  The
+        default ``"cdf"`` keeps the classic RNG stream (bit-identical
+        scores for a given seed); ``"alias"`` opts into O(1) alias-method
+        sampling on weighted graphs (see docs/api.md).
 
     Returns
     -------
@@ -146,12 +152,18 @@ def single_source(
         raise ParameterError(
             f"deadline= is only supported for method='crashsim', got {method!r}"
         )
+    if sampler != "cdf" and method != "crashsim":
+        raise ParameterError(
+            f"sampler= is only supported for method='crashsim', got {method!r}"
+        )
     if method == "crashsim":
         params = CrashSimParams(
             c=c, epsilon=epsilon, delta=delta, n_r_override=n_r
         )
         if workers is None and deadline is None:
-            result = crashsim(graph, source, params=params, seed=rng)
+            result = crashsim(
+                graph, source, params=params, seed=rng, sampler=sampler
+            )
         else:
             from repro.parallel import parallel_crashsim
 
@@ -162,6 +174,7 @@ def single_source(
                 seed=rng,
                 workers=workers,
                 deadline=deadline,
+                sampler=sampler,
             )
         scores = np.zeros(graph.num_nodes)
         scores[result.candidates] = result.scores

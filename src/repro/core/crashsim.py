@@ -38,11 +38,13 @@ from repro.errors import ParameterError
 from repro.graph.digraph import DiGraph
 from repro.rng import RngLike, ensure_rng
 from repro.walks.engine import BatchWalkStepper
+from repro.walks.kernel import WalkCrashKernel
 
 __all__ = [
     "CrashSimResult",
     "crashsim",
     "accumulate_crash_totals",
+    "accumulate_crash_totals_reference",
     "resolve_candidates",
 ]
 
@@ -155,6 +157,7 @@ def crashsim(
     tree_variant: str = "corrected",
     first_meeting: FirstMeeting = "none",
     seed: RngLike = None,
+    sampler: str = "cdf",
 ) -> CrashSimResult:
     """Run CrashSim from ``source`` over candidate set ``Ω`` (Algorithm 1).
 
@@ -179,6 +182,13 @@ def crashsim(
         Estimator switches, see module docstring.
     seed:
         Anything :func:`repro.rng.ensure_rng` accepts.
+    sampler:
+        Weighted neighbour-sampling strategy: ``"cdf"`` (default; byte-
+        identical to the pinned fixtures) or ``"alias"`` (O(1) per sample
+        via per-node alias tables; opt-in, different RNG-variate use so
+        scores differ bit-wise while the estimator stays exact).  Ignored
+        for unweighted graphs.  Incompatible with ``first_meeting="dp"``,
+        which walks through the generator engine.
 
     Returns
     -------
@@ -215,9 +225,14 @@ def crashsim(
     walk_targets = walk_targets[graph.in_degrees()[walk_targets] > 0]
     if first_meeting == "none":
         totals = _accumulate_crashes(
-            graph, tree, walk_targets, n_r, params, rng
+            graph, tree, walk_targets, n_r, params, rng, sampler=sampler
         )
     elif first_meeting == "dp":
+        if sampler != "cdf":
+            raise ParameterError(
+                'first_meeting="dp" samples paths through the generator '
+                f"engine and supports only sampler=\"cdf\", got {sampler!r}"
+            )
         totals = _accumulate_crashes_dp(
             graph, tree, walk_targets, n_r, params, rng
         )
@@ -252,17 +267,22 @@ def accumulate_crash_totals(
     l_max: int,
     rng: np.random.Generator,
     walk_chunk: int = _WALK_CHUNK,
+    sampler: str = "cdf",
+    use_jit: Optional[bool] = None,
+    kernel: Optional[WalkCrashKernel] = None,
 ) -> np.ndarray:
     """Paper-literal accumulation: ``Σ_k Σ_step U[step, W_k(v)_step]``.
 
-    All trials' walks are independent, so they advance together: chunks of
-    up to ``walk_chunk`` walks (trials × candidates) run through the batch
-    stepper in one pass, reducing the whole Monte-Carlo loop to ``O(l_max)``
-    NumPy operations per chunk.
+    Runs through the fused :class:`~repro.walks.kernel.WalkCrashKernel`:
+    one call advances a whole chunk of walks (trials × candidates) through
+    all ``l_max`` steps in preallocated buffers and folds the crash reads
+    in place.  With the default ``sampler="cdf"`` the totals are
+    **bit-identical** to the historical generator-driven implementation
+    (kept as :func:`accumulate_crash_totals_reference`), which the pinned
+    seed fixtures enforce.
 
     ``tree`` is anything with a ``gather(step, positions)`` read — a
-    :class:`~repro.core.revreach.SparseReverseTree` (default; per-level
-    binary search or cached dense rows past the density threshold), a dense
+    :class:`~repro.core.revreach.SparseReverseTree` (default), a dense
     :class:`~repro.core.revreach.ReverseReachableTree`, or a raw 2-D
     ``(l_max + 1, n)`` matrix.  The gathered values are identical floats in
     every case, so scores are byte-identical across representations.
@@ -272,6 +292,35 @@ def accumulate_crash_totals(
     shared memory works as well as a full :class:`DiGraph` — this is the
     unit of work the parallel executor ships to each trial shard, and the
     serial estimator runs through the exact same code path.
+
+    ``kernel`` lets a caller that issues many accumulations over the same
+    graph (CrashSim-T snapshot loops, benchmarks) reuse one kernel's
+    buffers instead of constructing a fresh one per call; when provided,
+    ``sampler``/``use_jit`` are ignored in favour of the kernel's own.
+    """
+    if kernel is None:
+        kernel = WalkCrashKernel(graph, c, sampler=sampler, use_jit=use_jit)
+    return kernel.accumulate(
+        tree, targets, n_trials, l_max=l_max, rng=rng, walk_chunk=walk_chunk
+    )
+
+
+def accumulate_crash_totals_reference(
+    graph: DiGraph,
+    tree,
+    targets: np.ndarray,
+    n_trials: int,
+    *,
+    c: float,
+    l_max: int,
+    rng: np.random.Generator,
+    walk_chunk: int = _WALK_CHUNK,
+) -> np.ndarray:
+    """The pre-kernel generator-driven accumulation, kept as the oracle.
+
+    Byte-identity tests and the kernel benchmark compare the fused kernel
+    against this implementation; production paths should call
+    :func:`accumulate_crash_totals`.
     """
     totals = np.zeros(targets.size, dtype=np.float64)
     if targets.size == 0 or n_trials <= 0:
@@ -307,6 +356,8 @@ def _accumulate_crashes(
     n_r: int,
     params: CrashSimParams,
     rng: np.random.Generator,
+    *,
+    sampler: str = "cdf",
 ) -> np.ndarray:
     return accumulate_crash_totals(
         graph,
@@ -316,6 +367,7 @@ def _accumulate_crashes(
         c=params.c,
         l_max=params.l_max,
         rng=rng,
+        sampler=sampler,
     )
 
 

@@ -128,6 +128,7 @@ def crashsim_t(
     incremental_tree_gate: bool = True,
     tree_variant: str = "corrected",
     seed: RngLike = None,
+    sampler: str = "cdf",
 ) -> TemporalQueryResult:
     """Answer a temporal SimRank query with CrashSim-T (Algorithm 3).
 
@@ -157,6 +158,9 @@ def crashsim_t(
         Forwarded to CrashSim / revReach (see DESIGN.md §2.1).
     seed:
         Anything :func:`repro.rng.ensure_rng` accepts.
+    sampler:
+        Weighted neighbour-sampling strategy forwarded to every
+        per-snapshot CrashSim run (``"cdf"`` default / ``"alias"`` opt-in).
     """
     params = params or CrashSimParams()
     rng = ensure_rng(seed)
@@ -176,7 +180,12 @@ def crashsim_t(
     # --- First snapshot: full single-source CrashSim over all candidates.
     graph_prev = temporal.snapshot(start)
     result = crashsim(
-        graph_prev, source, params=params, tree_variant=tree_variant, seed=rng
+        graph_prev,
+        source,
+        params=params,
+        tree_variant=tree_variant,
+        seed=rng,
+        sampler=sampler,
     )
     stats.snapshots_processed += 1
     stats.candidates_recomputed += result.candidates.size
@@ -292,6 +301,7 @@ def crashsim_t(
                 tree=tree_cur,
                 tree_variant=tree_variant,
                 seed=rng,
+                sampler=sampler,
             )
             scores_cur.update(partial.as_dict())
         history.append(dict(scores_cur))

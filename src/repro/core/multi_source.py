@@ -29,7 +29,7 @@ from repro.core.revreach import revreach_levels
 from repro.errors import ParameterError
 from repro.graph.digraph import DiGraph
 from repro.rng import RngLike, ensure_rng
-from repro.walks.engine import BatchWalkStepper
+from repro.walks.kernel import WalkCrashKernel
 
 __all__ = ["crashsim_multi_source"]
 
@@ -44,12 +44,18 @@ def crashsim_multi_source(
     params: Optional[CrashSimParams] = None,
     tree_variant: str = "corrected",
     seed: RngLike = None,
+    sampler: str = "cdf",
 ) -> List[CrashSimResult]:
     """Single-source CrashSim for several sources, sharing candidate walks.
 
     Parameters mirror :func:`repro.core.crashsim.crashsim`; ``candidates``
     defaults to *all* nodes (each result then drops its own source).
     Returns one :class:`CrashSimResult` per source, in input order.
+
+    The accumulation runs through the fused
+    :class:`~repro.walks.kernel.WalkCrashKernel`: the per-step cost is one
+    walk advance plus a *single* segmented bincount over combined
+    ``(source, candidate)`` keys instead of ``q`` separate bincounts.
     """
     params = params or CrashSimParams()
     source_list = [int(s) for s in sources]
@@ -82,24 +88,10 @@ def crashsim_multi_source(
     walk_targets = candidate_array[graph.in_degrees()[candidate_array] > 0]
     totals = np.zeros((len(source_list), walk_targets.size), dtype=np.float64)
     if walk_targets.size:
-        stepper = BatchWalkStepper(graph, params.c)
-        owner_index = np.arange(walk_targets.size, dtype=np.int64)
-        trials_per_chunk = max(1, _WALK_CHUNK // walk_targets.size)
-        remaining = n_r
-        while remaining > 0:
-            trials = min(trials_per_chunk, remaining)
-            remaining -= trials
-            starts = np.tile(walk_targets, trials)
-            walk_owner = np.tile(owner_index, trials)
-            for batch in stepper.walk(starts, l_max, seed=rng):
-                owners = walk_owner[batch.walk_ids]
-                for row, tree in enumerate(trees):
-                    contributions = tree.gather(batch.step, batch.positions)
-                    totals[row] += np.bincount(
-                        owners,
-                        weights=contributions,
-                        minlength=walk_targets.size,
-                    )
+        kernel = WalkCrashKernel(graph, params.c, sampler=sampler)
+        totals = kernel.accumulate_multi(
+            trees, walk_targets, n_r, l_max=l_max, rng=rng, walk_chunk=_WALK_CHUNK
+        )
 
     results: List[CrashSimResult] = []
     walk_positions = np.searchsorted(candidate_array, walk_targets)

@@ -59,6 +59,9 @@ class TemporalQuerySession:
         Property 1 / 2 switches, as in the batch driver.
     seed:
         Drives all Monte-Carlo trials of the session.
+    sampler:
+        Weighted neighbour-sampling strategy forwarded to every CrashSim
+        run of the session (``"cdf"`` default / ``"alias"`` opt-in).
     """
 
     def __init__(
@@ -70,12 +73,14 @@ class TemporalQuerySession:
         use_delta_pruning: bool = True,
         use_difference_pruning: bool = True,
         seed: RngLike = None,
+        sampler: str = "cdf",
     ):
         self.source = int(source)
         self.query = query
         self.params = params or CrashSimParams()
         self.use_delta_pruning = use_delta_pruning
         self.use_difference_pruning = use_difference_pruning
+        self.sampler = sampler
         self._rng = ensure_rng(seed)
         self._graph: Optional[DiGraph] = None
         self._tree = None
@@ -148,7 +153,11 @@ class TemporalQuerySession:
                 f"[0, {graph.num_nodes})"
             )
         result = crashsim(
-            graph, self.source, params=self.params, seed=self._rng
+            graph,
+            self.source,
+            params=self.params,
+            seed=self._rng,
+            sampler=self.sampler,
         )
         self._graph = graph
         self._tree = result.tree
@@ -252,6 +261,7 @@ class TemporalQuerySession:
                 params=self.params,
                 tree=tree_cur,
                 seed=self._rng,
+                sampler=self.sampler,
             )
             scores_cur.update(partial.as_dict())
 

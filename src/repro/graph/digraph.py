@@ -31,7 +31,61 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     import networkx
     import scipy.sparse
 
-__all__ = ["DiGraph"]
+__all__ = ["DiGraph", "build_alias_tables"]
+
+
+def build_alias_tables(
+    indptr: np.ndarray,
+    weights: np.ndarray,
+    totals: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-node Vose alias tables over CSR-blocked neighbour weights.
+
+    For each node ``u`` whose block ``indptr[u]:indptr[u+1]`` carries
+    weights ``w_0..w_{d-1}`` with positive total ``W``, the returned
+    ``(prob, alias)`` arrays (aligned with the CSR ``indices`` layout)
+    satisfy the alias-method invariant: throwing a uniform dart at cell
+    ``j`` and keeping it with probability ``prob[j]`` (else redirecting to
+    local neighbour ``alias[j]``) selects neighbour ``i`` with probability
+    exactly ``w_i / W`` — O(1) per sample instead of an O(log d) CDF
+    search.  Construction is O(d) per node and fully deterministic (the
+    small/large worklists are filled in ascending local index), so tables
+    built from equal inputs are bit-identical.
+
+    Nodes whose weight total is zero or negative are skipped: their cells
+    keep the ``prob = 1, alias = 0`` filler, and the walk engines treat
+    such nodes as dangling so the filler is never sampled.
+    """
+    m = int(weights.size)
+    prob = np.ones(m, dtype=np.float64)
+    alias = np.zeros(m, dtype=np.int64)
+    num_nodes = int(indptr.size) - 1
+    for u in range(num_nodes):
+        lo = int(indptr[u])
+        hi = int(indptr[u + 1])
+        degree = hi - lo
+        if degree <= 1:
+            continue  # 0 neighbours: dangling; 1 neighbour: filler is exact
+        total = float(totals[u])
+        if total <= 0.0:
+            continue  # zero in-weight: dangling by weight (never sampled)
+        scaled = weights[lo:hi] * (degree / total)
+        small = [j for j in range(degree) if scaled[j] < 1.0]
+        large = [j for j in range(degree) if scaled[j] >= 1.0]
+        while small and large:
+            s = small.pop()
+            g = large.pop()
+            prob[lo + s] = scaled[s]
+            alias[lo + s] = g
+            scaled[g] = (scaled[g] + scaled[s]) - 1.0
+            if scaled[g] < 1.0:
+                small.append(g)
+            else:
+                large.append(g)
+        # Leftovers (numerically ~1.0) keep prob 1: the dart always lands.
+    prob.setflags(write=False)
+    alias.setflags(write=False)
+    return prob, alias
 
 
 def _csr_from_pairs(
@@ -98,6 +152,8 @@ class DiGraph:
         "_in_weights",
         "_num_arcs",
         "_edge_set",
+        "_in_degrees64",
+        "_alias_tables",
     )
 
     def __init__(
@@ -149,6 +205,8 @@ class DiGraph:
         )
         self._num_arcs = int(sources.size)
         self._edge_set: Optional[frozenset] = None
+        self._in_degrees64: Optional[np.ndarray] = None
+        self._alias_tables: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -305,6 +363,19 @@ class DiGraph:
         """Array of all out-degrees, ``shape (n,)``."""
         return np.diff(self._out_indptr)
 
+    def in_degrees64(self) -> np.ndarray:
+        """Cached read-only int64 in-degree array.
+
+        Walk steppers and the fused kernel index this array per step; the
+        graph is frozen, so one shared copy serves every construction (the
+        CrashSim-T snapshot loop builds a stepper per snapshot query).
+        """
+        if self._in_degrees64 is None:
+            degrees = np.diff(self._in_indptr).astype(np.int64, copy=False)
+            degrees.setflags(write=False)
+            self._in_degrees64 = degrees
+        return self._in_degrees64
+
     def has_edge(self, source: int, target: int) -> bool:
         """Whether the arc ``source -> target`` exists (binary search)."""
         source = self._check_node(source)
@@ -372,6 +443,21 @@ class DiGraph:
             self._in_weights,
         )
         return totals
+
+    def in_alias_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(prob, alias)`` Vose tables for weighted in-sampling.
+
+        Aligned with :attr:`in_indices`; built once on first request (O(m))
+        and reused by every stepper/kernel and shipped zero-copy through
+        ``SharedGraph``.  Only meaningful for weighted graphs.
+        """
+        if self._in_weights is None:
+            raise GraphError("graph is unweighted; check is_weighted first")
+        if self._alias_tables is None:
+            self._alias_tables = build_alias_tables(
+                self._in_indptr, self._in_weights, self.in_weight_totals()
+            )
+        return self._alias_tables
 
     def edge_weight(self, source: int, target: int) -> float:
         """Weight of the arc ``source -> target`` (1.0 when unweighted)."""

@@ -110,6 +110,7 @@ class _ShardTask:
     tree: Optional[SharedTreeSpec] = None
     matrix: Optional[ArraySpec] = None
     shard_index: int = 0
+    sampler: str = "cdf"
 
 
 def _run_shard(task: _ShardTask) -> np.ndarray:
@@ -127,6 +128,7 @@ def _run_shard(task: _ShardTask) -> np.ndarray:
             c=task.c,
             l_max=task.l_max,
             rng=np.random.default_rng(task.seed),
+            sampler=task.sampler,
         )
     finally:
         view.close()
@@ -150,6 +152,7 @@ def _run_shard_multi(task: _ShardTask) -> np.ndarray:
             c=task.c,
             l_max=task.l_max,
             rng=np.random.default_rng(task.seed),
+            sampler=task.sampler,
         )
     finally:
         view.close()
@@ -169,38 +172,22 @@ def _accumulate_multi(
     c: float,
     l_max: int,
     rng: np.random.Generator,
+    sampler: str = "cdf",
 ) -> np.ndarray:
     """Shared-walk accumulation against ``q`` stacked tree matrices.
 
-    Mirrors :func:`repro.core.multi_source.crashsim_multi_source`'s inner
-    loop: one walk per candidate per trial, one gather per source per step.
+    Runs through the fused kernel's multi-tree path — one walk per
+    candidate per trial, then a single segmented bincount per step instead
+    of ``q`` — bit-identical to the historical per-row accumulation.
     Returns totals of shape ``(q, k)``.
     """
-    from repro.walks.engine import BatchWalkStepper
+    from repro.walks.kernel import WalkCrashKernel
 
-    num_sources = matrices.shape[0]
-    totals = np.zeros((num_sources, targets.size), dtype=np.float64)
-    if targets.size == 0 or n_trials <= 0:
-        return totals
-    stepper = BatchWalkStepper(graph, c)
-    owner_index = np.arange(targets.size, dtype=np.int64)
-    trials_per_chunk = max(1, _WALK_CHUNK // targets.size)
-    remaining = n_trials
-    while remaining > 0:
-        trials = min(trials_per_chunk, remaining)
-        remaining -= trials
-        starts = np.tile(targets, trials)
-        walk_owner = np.tile(owner_index, trials)
-        for batch in stepper.walk(starts, l_max, seed=rng):
-            owners = walk_owner[batch.walk_ids]
-            for row in range(num_sources):
-                contributions = matrices[row, batch.step, batch.positions]
-                totals[row] += np.bincount(
-                    owners,
-                    weights=contributions,
-                    minlength=targets.size,
-                )
-    return totals
+    kernel = WalkCrashKernel(graph, c, sampler=sampler)
+    return kernel.accumulate_multi(
+        list(matrices), targets, n_trials, l_max=l_max, rng=rng,
+        walk_chunk=_WALK_CHUNK,
+    )
 
 
 def _map_shards(
@@ -216,6 +203,7 @@ def _map_shards(
     l_max: int,
     multi: bool,
     deadline: Optional[float] = None,
+    sampler: str = "cdf",
 ) -> Tuple[List[Optional[np.ndarray]], MapOutcome]:
     """Run every shard, serially or through the pool, in shard order.
 
@@ -246,13 +234,17 @@ def _map_shards(
                     c=c,
                     l_max=l_max,
                     rng=np.random.default_rng(seed),
+                    sampler=sampler,
                 )
 
             items = list(zip(range(len(shards)), shards, seeds))
             outcome = executor.run(run_serial_shard, items, deadline=deadline)
             return outcome.results, outcome
         shared_tree = SharedArray(tree) if multi else SharedTree(tree)
-        with SharedGraph(graph) as shared_graph, shared_tree, SharedArray(
+        publish_alias = sampler == "alias" and getattr(graph, "is_weighted", False)
+        with SharedGraph(
+            graph, publish_alias=publish_alias
+        ) as shared_graph, shared_tree, SharedArray(
             targets
         ) as shared_targets:
             tasks = [
@@ -266,6 +258,7 @@ def _map_shards(
                     l_max=l_max,
                     seed=seed,
                     shard_index=index,
+                    sampler=sampler,
                 )
                 for index, (trials, seed) in enumerate(zip(shards, seeds))
             ]
@@ -363,6 +356,7 @@ def parallel_crashsim(
     executor: Optional[ParallelExecutor] = None,
     shards: int = DEFAULT_SHARDS,
     deadline: Optional[float] = None,
+    sampler: str = "cdf",
 ) -> CrashSimResult:
     """Single-source CrashSim with the ``n_r`` trials sharded over processes.
 
@@ -385,6 +379,11 @@ def parallel_crashsim(
         honest wider bound in ``achieved_epsilon`` — and a
         :class:`~repro.errors.DeadlineExceededError` is raised only if
         *nothing* completed.  ``None`` (default) never times out.
+    sampler:
+        Weighted neighbour-sampling strategy (``"cdf"`` default /
+        ``"alias"`` opt-in), forwarded to every shard's fused kernel; with
+        ``"alias"`` the per-node alias tables are published zero-copy
+        through the shared graph so workers skip the O(m) rebuild.
 
     Lost shards (worker death, in-shard exceptions) are retried with a
     rebuilt pool before being given up on; a run in which every shard
@@ -437,6 +436,7 @@ def parallel_crashsim(
             l_max=l_max,
             multi=False,
             deadline=remaining,
+            sampler=sampler,
         )
         trials_completed, degraded, achieved = _settle_shards(
             shard_plan, outcome, params, num_nodes, n_r, deadline
@@ -478,6 +478,7 @@ def parallel_crashsim_multi_source(
     executor: Optional[ParallelExecutor] = None,
     shards: int = DEFAULT_SHARDS,
     deadline: Optional[float] = None,
+    sampler: str = "cdf",
 ) -> List[CrashSimResult]:
     """Multi-source CrashSim with trial shards fanned out over processes.
 
@@ -543,6 +544,7 @@ def parallel_crashsim_multi_source(
             l_max=l_max,
             multi=True,
             deadline=remaining,
+            sampler=sampler,
         )
         trials_completed, degraded, achieved = _settle_shards(
             shard_plan, outcome, params, num_nodes, n_r, deadline

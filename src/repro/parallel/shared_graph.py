@@ -49,7 +49,7 @@ import numpy as np
 
 from repro.core.revreach import SparseReverseTree
 from repro.errors import GraphError
-from repro.graph.digraph import DiGraph
+from repro.graph.digraph import DiGraph, build_alias_tables
 
 __all__ = [
     "ArraySpec",
@@ -154,6 +154,8 @@ class SharedGraphSpec:
     in_indptr: ArraySpec
     in_indices: ArraySpec
     in_weights: Optional[ArraySpec]
+    alias_prob: Optional[ArraySpec] = None
+    alias_alias: Optional[ArraySpec] = None
 
 
 class CsrGraphView:
@@ -174,6 +176,7 @@ class CsrGraphView:
         in_indices: np.ndarray,
         in_weights: Optional[np.ndarray] = None,
         handles: Tuple[shared_memory.SharedMemory, ...] = (),
+        alias_tables: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ):
         self.num_nodes = int(num_nodes)
         self._in_indptr = in_indptr
@@ -181,6 +184,8 @@ class CsrGraphView:
         self._in_weights = in_weights
         self._handles = tuple(handles)
         self._closed = False
+        self._in_degrees64: Optional[np.ndarray] = None
+        self._alias_tables = alias_tables
 
     @property
     def in_indptr(self) -> np.ndarray:
@@ -202,6 +207,26 @@ class CsrGraphView:
 
     def in_degrees(self) -> np.ndarray:
         return np.diff(self._in_indptr)
+
+    def in_degrees64(self) -> np.ndarray:
+        """Cached int64 in-degrees, mirroring ``DiGraph.in_degrees64``."""
+        if self._in_degrees64 is None:
+            degrees = np.diff(self._in_indptr).astype(np.int64, copy=False)
+            degrees.setflags(write=False)
+            self._in_degrees64 = degrees
+        return self._in_degrees64
+
+    def in_alias_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Alias tables: the zero-copy published pair when the creator
+        shipped one, otherwise built locally (bit-identical either way —
+        :func:`~repro.graph.digraph.build_alias_tables` is deterministic)."""
+        if self._in_weights is None:
+            raise GraphError("graph is unweighted; check is_weighted first")
+        if self._alias_tables is None:
+            self._alias_tables = build_alias_tables(
+                self._in_indptr, self._in_weights, self.in_weight_totals()
+            )
+        return self._alias_tables
 
     def in_degree(self, node: int) -> int:
         return int(self._in_indptr[node + 1] - self._in_indptr[node])
@@ -255,7 +280,7 @@ class SharedGraph:
         # segments unlinked here, after the pool drained
     """
 
-    def __init__(self, graph: DiGraph):
+    def __init__(self, graph: DiGraph, *, publish_alias: bool = False):
         self.num_nodes = graph.num_nodes
         self._arrays: List[SharedArray] = []
         try:
@@ -267,6 +292,17 @@ class SharedGraph:
             if graph.is_weighted:
                 weights = SharedArray(graph.in_weights)
                 self._arrays.append(weights)
+            alias_prob: Optional[SharedArray] = None
+            alias_alias: Optional[SharedArray] = None
+            if publish_alias and graph.is_weighted:
+                # Build (or reuse the graph's cached) tables once on the
+                # creator; workers map the same pages instead of each
+                # re-running the O(m) Vose construction.
+                prob, alias = graph.in_alias_tables()
+                alias_prob = SharedArray(prob)
+                self._arrays.append(alias_prob)
+                alias_alias = SharedArray(alias)
+                self._arrays.append(alias_alias)
         except Exception:
             self.close()
             raise
@@ -275,6 +311,8 @@ class SharedGraph:
             in_indptr=indptr.spec,
             in_indices=indices.spec,
             in_weights=weights.spec if weights is not None else None,
+            alias_prob=alias_prob.spec if alias_prob is not None else None,
+            alias_alias=alias_alias.spec if alias_alias is not None else None,
         )
 
     def spec(self) -> SharedGraphSpec:
@@ -286,11 +324,15 @@ class SharedGraph:
         weights = None
         if self._spec.in_weights is not None:
             weights = self._arrays[2].array()
+        alias_tables = None
+        if self._spec.alias_prob is not None:
+            alias_tables = (self._arrays[3].array(), self._arrays[4].array())
         return CsrGraphView(
             self.num_nodes,
             self._arrays[0].array(),
             self._arrays[1].array(),
             weights,
+            alias_tables=alias_tables,
         )
 
     def close(self) -> None:
@@ -410,10 +452,22 @@ def attach_graph(spec: SharedGraphSpec) -> CsrGraphView:
         if spec.in_weights is not None:
             weights, handle = attach_array(spec.in_weights)
             handles.append(handle)
+        alias_tables = None
+        if spec.alias_prob is not None and spec.alias_alias is not None:
+            prob_view, handle = attach_array(spec.alias_prob)
+            handles.append(handle)
+            alias_view, handle = attach_array(spec.alias_alias)
+            handles.append(handle)
+            alias_tables = (prob_view, alias_view)
     except Exception:
         for handle in handles:
             handle.close()
         raise
     return CsrGraphView(
-        spec.num_nodes, views[0], views[1], weights, handles=tuple(handles)
+        spec.num_nodes,
+        views[0],
+        views[1],
+        weights,
+        handles=tuple(handles),
+        alias_tables=alias_tables,
     )

@@ -8,6 +8,11 @@ advances thousands of walks per NumPy step and powers CrashSim and READS.
 """
 
 from repro.walks.engine import BatchWalkStepper, WalkBatch
+from repro.walks.kernel import (
+    SAMPLERS,
+    WalkCrashKernel,
+    fused_accumulate_crash_totals,
+)
 from repro.walks.sqrt_c import (
     expected_walk_length,
     sample_sqrt_c_walk,
@@ -20,4 +25,7 @@ __all__ = [
     "expected_walk_length",
     "BatchWalkStepper",
     "WalkBatch",
+    "WalkCrashKernel",
+    "fused_accumulate_crash_totals",
+    "SAMPLERS",
 ]

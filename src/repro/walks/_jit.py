@@ -1,0 +1,175 @@
+"""Optional numba-compiled step loops for the fused walk–crash kernel.
+
+numba is **not** a dependency of the default install: this module guards the
+import and the kernel silently falls back to its pure-NumPy path when numba
+is absent.  Install the ``[jit]`` extra (``pip install repro[jit]``) and set
+``REPRO_JIT=1`` (or pass ``use_jit=True``) to opt in.
+
+Bit-identity: the compiled loops replay the vectorised arithmetic element
+for element — same float-op order (``d · (1/√c)`` then ``· degree``), same
+truncating casts, same restricted-bisect-equals-clipped-global-searchsorted
+equivalence on the weighted CDF, and a sequential fold that reproduces
+``np.bincount``'s occurrence-order accumulation into a zeroed scratch row
+followed by an elementwise add into the running totals.  RNG draws are
+always taken on the NumPy side (``rng.random(out=...)``) so the stream is
+the generator the fixtures pinned, not numba's.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only when the [jit] extra is installed
+    import numba
+
+    _HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - default install
+    numba = None
+    _HAVE_NUMBA = False
+
+__all__ = ["available", "jit_requested", "get_step_functions"]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+_steps: Optional[dict] = None
+
+
+def available() -> bool:
+    """Whether numba importable in this interpreter."""
+    return _HAVE_NUMBA
+
+
+def jit_requested() -> bool:
+    """Whether the ``REPRO_JIT`` environment toggle asks for the JIT path."""
+    return os.environ.get("REPRO_JIT", "").strip().lower() in _TRUTHY
+
+
+def get_step_functions() -> Optional[dict]:
+    """Compile (once) and return the njit step loops, or ``None`` sans numba.
+
+    Keys: ``"uniform"``, ``"cdf"``, ``"alias"`` — each advances ``alive``
+    walks one step in place (compaction writes behind the read cursor) and
+    folds the crash contributions of the survivors into ``totals`` via the
+    zeroed ``scratch`` row, returning the survivor count.
+    """
+    global _steps
+    if not _HAVE_NUMBA:
+        return None
+    if _steps is None:
+        _steps = _compile()
+    return _steps
+
+
+def _compile() -> dict:  # pragma: no cover - requires the [jit] extra
+    njit = numba.njit
+
+    @njit(nogil=True)
+    def step_uniform(
+        pos, own, draws, alive, sqrt_c, inv_sqrt_c,
+        indptr, indices, degrees, row, scratch, totals,
+    ):
+        for j in range(scratch.shape[0]):
+            scratch[j] = 0.0
+        write = 0
+        for i in range(alive):
+            d = draws[i]
+            if d < sqrt_c:
+                p = pos[i]
+                dg = degrees[p]
+                if dg > 0:
+                    r = d * inv_sqrt_c
+                    t = r * dg
+                    off = np.int64(t)
+                    lim = dg - 1
+                    if off > lim:
+                        off = lim
+                    nxt = indices[indptr[p] + off]
+                    pos[write] = nxt
+                    owner = own[i]
+                    own[write] = owner
+                    scratch[owner] += row[nxt]
+                    write += 1
+        for j in range(scratch.shape[0]):
+            totals[j] += scratch[j]
+        return write
+
+    @njit(nogil=True)
+    def step_cdf(
+        pos, own, draws, alive, sqrt_c, inv_sqrt_c,
+        indptr, indices, degrees, cumulative, wbase, wtotals,
+        row, scratch, totals,
+    ):
+        for j in range(scratch.shape[0]):
+            scratch[j] = 0.0
+        write = 0
+        for i in range(alive):
+            d = draws[i]
+            if d < sqrt_c:
+                p = pos[i]
+                dg = degrees[p]
+                if dg > 0:
+                    r = d * inv_sqrt_c
+                    t = wbase[p] + r * wtotals[p]
+                    lo = indptr[p]
+                    hi = indptr[p + 1]
+                    # bisect_right restricted to [lo, hi) equals the global
+                    # searchsorted clipped into the block (cumulative is
+                    # nondecreasing), which is the stepper's arithmetic.
+                    a = lo
+                    b = hi
+                    while a < b:
+                        mid = (a + b) >> 1
+                        if t < cumulative[mid]:
+                            b = mid
+                        else:
+                            a = mid + 1
+                    if a > hi - 1:
+                        a = hi - 1
+                    nxt = indices[a]
+                    pos[write] = nxt
+                    owner = own[i]
+                    own[write] = owner
+                    scratch[owner] += row[nxt]
+                    write += 1
+        for j in range(scratch.shape[0]):
+            totals[j] += scratch[j]
+        return write
+
+    @njit(nogil=True)
+    def step_alias(
+        pos, own, draws, alive, sqrt_c, inv_sqrt_c,
+        indptr, indices, degrees, prob, alias,
+        row, scratch, totals,
+    ):
+        for j in range(scratch.shape[0]):
+            scratch[j] = 0.0
+        write = 0
+        for i in range(alive):
+            d = draws[i]
+            if d < sqrt_c:
+                p = pos[i]
+                dg = degrees[p]
+                if dg > 0:
+                    r = d * inv_sqrt_c
+                    u = r * dg
+                    cell = np.int64(u)
+                    lim = dg - 1
+                    if cell > lim:
+                        cell = lim
+                    frac = u - cell
+                    lo = indptr[p]
+                    if frac >= prob[lo + cell]:
+                        cell = alias[lo + cell]
+                    nxt = indices[lo + cell]
+                    pos[write] = nxt
+                    owner = own[i]
+                    own[write] = owner
+                    scratch[owner] += row[nxt]
+                    write += 1
+        for j in range(scratch.shape[0]):
+            totals[j] += scratch[j]
+        return write
+
+    return {"uniform": step_uniform, "cdf": step_cdf, "alias": step_alias}

@@ -84,13 +84,27 @@ class BatchWalkStepper:
         self.sqrt_c = math.sqrt(c)
         self._indptr = graph.in_indptr
         self._indices = graph.in_indices
-        self._degrees = graph.in_degrees().astype(np.int64)
+        degrees64 = getattr(graph, "in_degrees64", None)
+        self._degrees = (
+            degrees64()
+            if degrees64 is not None
+            else graph.in_degrees().astype(np.int64)
+        )
         if graph.is_weighted:
             # Weighted neighbour choice by inverse-CDF over a single global
             # cumulative-weight array: within node u's CSR block the target
             # value base[u] + r·W(u) lands on neighbour i with probability
             # w_i / W(u), and one vectorised searchsorted resolves every
             # live walk at once.
+            totals = graph.in_weight_totals()
+            # A node whose in-weights sum to zero has no sampleable
+            # neighbour: the CDF target degenerates to base[u] and the
+            # clamp would silently pick the block's first neighbour.
+            # Treat such nodes as dangling — the walk dies there.
+            dead = (totals <= 0.0) & (self._degrees > 0)
+            if dead.any():
+                self._degrees = self._degrees.copy()
+                self._degrees[dead] = 0
             self._cumulative = np.cumsum(graph.in_weights)
             base = np.zeros(graph.num_nodes, dtype=np.float64)
             starts = self._indptr[:-1]
@@ -100,7 +114,7 @@ class BatchWalkStepper:
                 nonzero_starts > 0, self._cumulative[nonzero_starts - 1], 0.0
             )
             self._weight_base = base
-            self._weight_totals = graph.in_weight_totals()
+            self._weight_totals = totals
         else:
             self._cumulative = None
             self._weight_base = None

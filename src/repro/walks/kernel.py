@@ -1,0 +1,556 @@
+"""Fused walk–crash kernel: CrashSim's inner loop without the generator.
+
+:func:`~repro.core.crashsim.accumulate_crash_totals` historically drove
+:class:`~repro.walks.engine.BatchWalkStepper.walk`, a Python generator that
+allocates fresh ``walk_ids``/``positions``/``draws`` arrays at every step and
+re-``np.tile``\\ s a megawalk-sized start array per chunk.  The per-walk maths
+is right, but the constant factor is dominated by allocation and by boolean
+indexing (each ``array[mask]`` re-scans the mask).
+
+:class:`WalkCrashKernel` fuses the whole loop: one call advances a chunk of
+walks through all ``l_max`` steps and folds the ``U[step, position]`` crash
+contributions straight into per-candidate totals, using preallocated
+ping-pong buffers that are compacted in place and **reused across chunks,
+trials, and calls** — no tile, no per-step slicing garbage, one
+``mask.nonzero()`` scan per step feeding ``np.take(..., out=...)`` gathers.
+
+Byte-identity contract
+----------------------
+With the default ``sampler="cdf"`` the kernel consumes the RNG stream in
+exactly the order the generator path did — one ``rng.random(out=...)`` of
+the pre-compaction live count per step, same chunk boundaries
+(``trials_per_chunk = max(1, walk_chunk // k)``), same float-op order
+(``draw · (1/√c)`` then ``· degree``), same truncating cast, same
+``np.bincount``-then-add accumulation — so scores are **bit-for-bit**
+identical to the pre-kernel implementation and to the pinned seed fixtures.
+
+Samplers
+--------
+* ``"cdf"`` (default) — weighted neighbour choice by inverse CDF over the
+  global cumulative-weight array (``searchsorted`` + clip), byte-identical
+  to the stepper.  Unweighted graphs always use the O(1) uniform gather.
+* ``"alias"`` — per-node Vose alias tables (cached on the graph, shipped
+  zero-copy through ``SharedGraph``): O(1) per weighted sample instead of
+  O(log m).  Statistically exact but a *different* (still uniform) use of
+  the same draws, so scores differ bit-wise from the cdf path — opt-in.
+
+Both weighted samplers reuse the survival coin: the walk survives iff
+``draw < √c``, and conditioned on survival ``draw/√c`` is again uniform —
+the alias path further splits that one variate into a uniform cell index
+and the dart fraction (the "one-draw alias trick"), so the draw count per
+step is identical across samplers.
+
+JIT
+---
+When numba is importable and requested (``REPRO_JIT=1`` or
+``use_jit=True``), the per-step compact+move+fold loop runs as an
+``@njit``-compiled scalar loop (see :mod:`repro.walks._jit`) that replays
+the vectorised float-op order element for element — asserted bit-identical
+by the test suite.  Without numba the kernel silently uses the pure-NumPy
+path; nothing in the default install imports numba.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graph.digraph import build_alias_tables
+from repro.rng import ensure_rng
+from repro.walks import _jit
+
+__all__ = [
+    "WalkCrashKernel",
+    "fused_accumulate_crash_totals",
+    "DEFAULT_WALK_CHUNK",
+    "DEFAULT_DENSE_ROW_BUDGET",
+    "SAMPLERS",
+]
+
+DEFAULT_WALK_CHUNK = 1 << 20  # max simultaneous walks per batched pass
+DEFAULT_DENSE_ROW_BUDGET = 256 << 20  # bytes of dense U rows worth caching
+SAMPLERS = ("cdf", "alias")
+
+
+class _TreeRows:
+    """Per-step dense read access to a reverse reachable tree ``U``.
+
+    Materialising level ``step`` into a length-``n`` float row turns the
+    crash gather into one ``np.take`` — and the row's floats are identical
+    to what ``tree.gather`` produces, so scores don't depend on the path
+    taken.  Rows are cached lazily (each chunk revisits every step) unless
+    the full cache would exceed ``budget`` bytes, in which case ``row()``
+    returns ``None`` and the caller falls back to ``tree.gather``.
+    """
+
+    def __init__(self, tree, num_nodes: int, l_max: int, budget: int):
+        self._gather: Callable[[int, np.ndarray], np.ndarray]
+        self._rows: Optional[list] = None
+        self._level_arrays = None
+        self._num_nodes = num_nodes
+        if isinstance(tree, np.ndarray):
+            matrix = tree
+            self._gather = lambda step, positions: matrix[step, positions]
+            top = min(l_max, matrix.shape[0] - 1)
+            self._rows = [np.ascontiguousarray(matrix[s]) for s in range(top + 1)]
+            return
+        self._gather = tree.gather
+        if hasattr(tree, "level_arrays"):
+            if (l_max + 1) * num_nodes * 8 <= budget:
+                self._rows = [None] * (l_max + 1)
+                self._level_arrays = tree.level_arrays
+        elif hasattr(tree, "matrix"):
+            # Legacy dense tree: the matrix already exists, rows are free.
+            matrix = tree.matrix
+            top = min(l_max, matrix.shape[0] - 1)
+            self._rows = [np.ascontiguousarray(matrix[s]) for s in range(top + 1)]
+
+    def row(self, step: int) -> Optional[np.ndarray]:
+        if self._rows is None or step >= len(self._rows):
+            return None
+        row = self._rows[step]
+        if row is None and self._level_arrays is not None:
+            nodes, probs = self._level_arrays(step)
+            row = np.zeros(self._num_nodes, dtype=np.float64)
+            row[nodes] = probs
+            self._rows[step] = row
+        return row
+
+    def gather(self, step: int, positions: np.ndarray) -> np.ndarray:
+        return self._gather(step, positions)
+
+
+# Buffer indices into WalkCrashKernel._buffers, by role.
+_N_BUFFERS = 14
+
+
+class WalkCrashKernel:
+    """Fused √c-walk advancement + crash accumulation over a fixed graph.
+
+    Parameters
+    ----------
+    graph:
+        Anything with the walk-facing protocol (``num_nodes``,
+        ``in_indptr``, ``in_indices``, ``in_degrees()``, ``is_weighted`` /
+        ``in_weights``, ``in_weight_totals()``) — a
+        :class:`~repro.graph.digraph.DiGraph` or a
+        :class:`~repro.parallel.CsrGraphView` over shared memory.
+    c:
+        SimRank decay factor; per-step continuation probability is √c.
+    sampler:
+        ``"cdf"`` (default, byte-identical to the generator path) or
+        ``"alias"`` (O(1) weighted sampling).  Ignored for unweighted
+        graphs, whose uniform gather is already O(1).
+    use_jit:
+        ``True`` forces the numba path (raises if numba is missing),
+        ``False`` forces pure NumPy, ``None`` (default) follows the
+        ``REPRO_JIT`` environment toggle with automatic NumPy fallback.
+    dense_row_budget:
+        Max bytes of dense ``U`` rows to cache per accumulate call; above
+        it the kernel reads through ``tree.gather`` (same bits, slower).
+    """
+
+    def __init__(
+        self,
+        graph,
+        c: float,
+        *,
+        sampler: str = "cdf",
+        use_jit: Optional[bool] = None,
+        dense_row_budget: int = DEFAULT_DENSE_ROW_BUDGET,
+    ):
+        if not 0.0 < c < 1.0:
+            raise ParameterError(f"decay factor c must be in (0, 1), got {c}")
+        if sampler not in SAMPLERS:
+            raise ParameterError(
+                f"unknown sampler {sampler!r}; expected one of {SAMPLERS}"
+            )
+        self.graph = graph
+        self.c = float(c)
+        self.sqrt_c = math.sqrt(c)
+        self.inv_sqrt_c = 1.0 / self.sqrt_c
+        self.sampler = sampler
+        self.dense_row_budget = int(dense_row_budget)
+        self._indptr = np.ascontiguousarray(graph.in_indptr, dtype=np.int64)
+        self._indices = graph.in_indices
+        degrees64 = getattr(graph, "in_degrees64", None)
+        degrees = (
+            degrees64()
+            if degrees64 is not None
+            else graph.in_degrees().astype(np.int64)
+        )
+        self._weighted = bool(getattr(graph, "is_weighted", False))
+        self._cumulative = None
+        self._weight_base = None
+        self._weight_totals = None
+        self._alias_prob = None
+        self._alias_alias = None
+        if self._weighted:
+            totals = graph.in_weight_totals()
+            # Zero in-weight totals make the CDF inversion degenerate (the
+            # target lands exactly on base[u] and the clamp picks the first
+            # neighbour): such nodes are dangling — the walk dies there.
+            dead = (totals <= 0.0) & (degrees > 0)
+            if dead.any():
+                degrees = degrees.copy()
+                degrees[dead] = 0
+            self._weight_totals = totals
+            if sampler == "cdf":
+                self._cumulative = np.cumsum(graph.in_weights)
+                base = np.zeros(graph.num_nodes, dtype=np.float64)
+                starts = self._indptr[:-1]
+                has_block = degrees > 0
+                nonzero_starts = starts[has_block]
+                base[has_block] = np.where(
+                    nonzero_starts > 0, self._cumulative[nonzero_starts - 1], 0.0
+                )
+                self._weight_base = base
+            else:
+                tables = getattr(graph, "in_alias_tables", None)
+                if tables is not None:
+                    prob, alias = tables()
+                else:
+                    prob, alias = build_alias_tables(
+                        self._indptr, graph.in_weights, totals
+                    )
+                self._alias_prob = prob
+                self._alias_alias = alias
+        self._degrees = degrees
+        # JIT resolution: explicit use_jit wins, else the env toggle; the
+        # numba-less fallback is silent unless the caller *forced* JIT.
+        if use_jit is None:
+            use_jit = _jit.jit_requested() and _jit.available()
+        elif use_jit and not _jit.available():
+            raise ParameterError(
+                "use_jit=True but numba is not installed; "
+                "install the [jit] extra or drop the flag"
+            )
+        self.use_jit = bool(use_jit)
+        self._jit_step = self._bind_jit_step() if self.use_jit else None
+        # Reusable buffers, grown on demand and kept across calls.
+        self._cap = 0
+        self._buffers: tuple = ()
+        self.steps_processed = 0  # cumulative live-walk step advances
+
+    # ------------------------------------------------------------------
+    # Buffer lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_capacity(self, cap: int) -> None:
+        if cap <= self._cap:
+            return
+        self._cap = cap
+        self._buffers = (
+            np.empty(cap, dtype=np.int64),  # 0 pos_a: current positions
+            np.empty(cap, dtype=np.int64),  # 1 pos_b: compacted pre-move
+            np.empty(cap, dtype=np.int64),  # 2 own_a: walk owners
+            np.empty(cap, dtype=np.int64),  # 3 own_b: ping-pong partner
+            np.empty(cap, dtype=np.float64),  # 4 draws: step uniforms
+            np.empty(cap, dtype=np.float64),  # 5 draws_b: compacted draws
+            np.empty(cap, dtype=np.int64),  # 6 int scratch (degrees, lo)
+            np.empty(cap, dtype=np.int64),  # 7 int scratch (offsets, flat)
+            np.empty(cap, dtype=np.int64),  # 8 int scratch (hi, alias)
+            np.empty(cap, dtype=bool),  # 9 mask
+            np.empty(cap, dtype=np.float64),  # 10 float scratch
+            np.empty(cap, dtype=np.float64),  # 11 float scratch
+            np.empty(cap, dtype=self._indices.dtype),  # 12 gathered nbrs
+            np.empty(cap, dtype=np.float64),  # 13 contributions
+        )
+
+    # ------------------------------------------------------------------
+    # Single-tree accumulation (CrashSim Algorithm 1 step 3)
+    # ------------------------------------------------------------------
+
+    def accumulate(
+        self,
+        tree,
+        targets: np.ndarray,
+        n_trials: int,
+        *,
+        l_max: int,
+        rng,
+        walk_chunk: int = DEFAULT_WALK_CHUNK,
+    ) -> np.ndarray:
+        """``totals[i] = Σ_trials Σ_step U[step, W(targets[i])_step]``.
+
+        Drop-in replacement for the generator-driven
+        ``accumulate_crash_totals`` body: identical RNG stream consumption,
+        bit-identical totals on the default sampler.
+        """
+        rng = ensure_rng(rng)
+        targets = np.asarray(targets, dtype=np.int64)
+        k = targets.size
+        totals = np.zeros(k, dtype=np.float64)
+        if k == 0 or n_trials <= 0:
+            return totals
+        rows = _TreeRows(tree, self.graph.num_nodes, l_max, self.dense_row_budget)
+        trials_per_chunk = max(1, walk_chunk // k)
+        self._ensure_capacity(min(trials_per_chunk, n_trials) * k)
+        buffers = self._buffers
+        pos_a, own_a = buffers[0], buffers[2]
+        own_b = buffers[3]
+        draws = buffers[4]
+        contrib = buffers[13]
+        cand = np.arange(k, dtype=np.int64)
+        jit_step = self._jit_step
+        scratch = np.empty(k, dtype=np.float64) if jit_step is not None else None
+        remaining = n_trials
+        while remaining > 0:
+            trials = min(trials_per_chunk, remaining)
+            remaining -= trials
+            alive = trials * k
+            pos_a[:alive].reshape(trials, k)[:] = targets
+            own_a[:alive].reshape(trials, k)[:] = cand
+            cur_own, alt_own = own_a, own_b
+            for step in range(1, l_max + 1):
+                if alive == 0:
+                    break
+                rng.random(out=draws[:alive])
+                self.steps_processed += alive
+                row = rows.row(step)
+                if jit_step is not None and row is not None:
+                    alive = jit_step(
+                        pos_a, cur_own, draws, alive, row, scratch, totals
+                    )
+                    continue
+                alive = self._step_numpy(cur_own, alt_own, alive)
+                if alive == 0:
+                    break
+                cur_own, alt_own = alt_own, cur_own
+                if row is not None:
+                    np.take(row, pos_a[:alive], out=contrib[:alive])
+                    crash = contrib[:alive]
+                else:
+                    crash = rows.gather(step, pos_a[:alive])
+                totals += np.bincount(cur_own[:alive], weights=crash, minlength=k)
+        return totals
+
+    # ------------------------------------------------------------------
+    # Multi-source accumulation: one walk stream, q crash gathers
+    # ------------------------------------------------------------------
+
+    def accumulate_multi(
+        self,
+        trees: Sequence,
+        targets: np.ndarray,
+        n_trials: int,
+        *,
+        l_max: int,
+        rng,
+        walk_chunk: int = DEFAULT_WALK_CHUNK,
+    ) -> np.ndarray:
+        """``(q, k)`` crash totals for ``q`` source trees over one walk set.
+
+        The per-step cost is one fused walk advance plus a single segmented
+        ``bincount`` over combined ``source · k + candidate`` keys — bit-
+        identical to ``q`` per-row bincounts (each bin's occurrence order is
+        preserved; bins are independent), but one pass instead of ``q``.
+        """
+        rng = ensure_rng(rng)
+        targets = np.asarray(targets, dtype=np.int64)
+        k = targets.size
+        q = len(trees)
+        totals = np.zeros((q, k), dtype=np.float64)
+        if k == 0 or n_trials <= 0 or q == 0:
+            return totals
+        all_rows = [
+            _TreeRows(tree, self.graph.num_nodes, l_max, self.dense_row_budget)
+            for tree in trees
+        ]
+        trials_per_chunk = max(1, walk_chunk // k)
+        cap = min(trials_per_chunk, n_trials) * k
+        self._ensure_capacity(cap)
+        buffers = self._buffers
+        pos_a, own_a = buffers[0], buffers[2]
+        own_b = buffers[3]
+        draws = buffers[4]
+        keys = np.empty(q * cap, dtype=np.int64)
+        crash_weights = np.empty(q * cap, dtype=np.float64)
+        flat_totals = totals.reshape(-1)
+        cand = np.arange(k, dtype=np.int64)
+        remaining = n_trials
+        while remaining > 0:
+            trials = min(trials_per_chunk, remaining)
+            remaining -= trials
+            alive = trials * k
+            pos_a[:alive].reshape(trials, k)[:] = targets
+            own_a[:alive].reshape(trials, k)[:] = cand
+            cur_own, alt_own = own_a, own_b
+            for step in range(1, l_max + 1):
+                if alive == 0:
+                    break
+                rng.random(out=draws[:alive])
+                self.steps_processed += alive
+                alive = self._step_numpy(cur_own, alt_own, alive)
+                if alive == 0:
+                    break
+                cur_own, alt_own = alt_own, cur_own
+                for index, rows in enumerate(all_rows):
+                    lo = index * alive
+                    hi = lo + alive
+                    row = rows.row(step)
+                    if row is not None:
+                        np.take(row, pos_a[:alive], out=crash_weights[lo:hi])
+                    else:
+                        crash_weights[lo:hi] = rows.gather(step, pos_a[:alive])
+                    np.add(cur_own[:alive], index * k, out=keys[lo:hi])
+                flat_totals += np.bincount(
+                    keys[: q * alive],
+                    weights=crash_weights[: q * alive],
+                    minlength=q * k,
+                )
+        return totals
+
+    # ------------------------------------------------------------------
+    # One fused step (NumPy): coin + compact + move, in place
+    # ------------------------------------------------------------------
+
+    def _step_numpy(self, cur_own: np.ndarray, alt_own: np.ndarray, alive: int) -> int:
+        """Advance ``alive`` walks one step; returns the survivor count.
+
+        Current positions live in buffer 0 on entry and exit; surviving
+        owners are compacted into ``alt_own`` (the caller ping-pongs).
+        Replays the generator path's arithmetic exactly: one uniform per
+        live walk, survive iff ``draw < √c``, then ``draw/√c`` picks the
+        neighbour.
+        """
+        b = self._buffers
+        pos_a, pos_b = b[0], b[1]
+        draws, draws_b = b[4], b[5]
+        ints, ints2, ints3 = b[6], b[7], b[8]
+        mask = b[9]
+        floats, floats2 = b[10], b[11]
+        idx = b[12]
+        d = draws[:alive]
+        np.less(d, self.sqrt_c, out=mask[:alive])
+        np.take(self._degrees, pos_a[:alive], out=ints[:alive])
+        m = mask[:alive]
+        m &= ints[:alive] > 0
+        keep = m.nonzero()[0]
+        n_new = keep.size
+        if n_new == 0:
+            return 0
+        # One nonzero scan feeds all four gathers (boolean indexing would
+        # re-scan the mask once per array).
+        np.take(pos_a, keep, out=pos_b[:n_new])
+        np.take(cur_own, keep, out=alt_own[:n_new])
+        np.take(d, keep, out=draws_b[:n_new])
+        np.take(ints[:alive], keep, out=ints[:n_new])
+        alive = n_new
+        db = draws_b[:alive]
+        db *= self.inv_sqrt_c
+        deg = ints[:alive]
+        flat = ints2[:alive]
+        if self._cumulative is None and self._alias_prob is None:
+            # Uniform: indices[indptr[p] + floor(r · deg)]
+            np.multiply(db, deg, out=floats[:alive])
+            flat[:] = floats[:alive]  # truncating cast == astype(int64)
+            np.subtract(deg, 1, out=deg)
+            np.minimum(flat, deg, out=flat)
+            np.take(self._indptr, pos_b[:alive], out=deg)
+            flat += deg
+        elif self._cumulative is not None:
+            # Weighted CDF: searchsorted the global cumulative, clip into
+            # the node's block — exactly the stepper's arithmetic.
+            np.take(self._weight_totals, pos_b[:alive], out=floats[:alive])
+            np.multiply(db, floats[:alive], out=floats[:alive])
+            np.take(self._weight_base, pos_b[:alive], out=floats2[:alive])
+            floats2[:alive] += floats[:alive]  # base + draw·W(u)
+            found = np.searchsorted(self._cumulative, floats2[:alive], side="right")
+            np.take(self._indptr, pos_b[:alive], out=deg)  # block lo
+            np.add(pos_b[:alive], 1, out=ints3[:alive])
+            hi = pos_a[:alive]  # free as scratch until the final move
+            np.take(self._indptr, ints3[:alive], out=hi)
+            hi -= 1  # block hi (inclusive)
+            np.clip(found, deg, hi, out=flat)
+        else:
+            # Alias: split the surviving variate r into a uniform cell
+            # index u = r · deg (trunc -> j) and the dart fraction u - j;
+            # keep cell j iff the dart clears prob[j], else take alias[j].
+            np.multiply(db, deg, out=floats[:alive])
+            flat[:] = floats[:alive]  # j = trunc(u)
+            np.subtract(deg, 1, out=deg)
+            np.minimum(flat, deg, out=flat)
+            frac = floats[:alive]
+            frac -= flat  # u - j, uniform on [0, 1)
+            np.take(self._indptr, pos_b[:alive], out=deg)  # block lo
+            cell = ints3[:alive]
+            np.add(deg, flat, out=cell)  # absolute table cell
+            np.take(self._alias_prob, cell, out=floats2[:alive])
+            reject = mask[:alive]
+            np.greater_equal(frac, floats2[:alive], out=reject)
+            alias_local = pos_a[:alive]  # free as scratch until the move
+            np.take(self._alias_alias, cell, out=alias_local)
+            np.copyto(flat, alias_local, where=reject)
+            flat += deg
+        np.take(self._indices, flat, out=idx[:alive])
+        pos_a[:alive] = idx[:alive]
+        return alive
+
+    # ------------------------------------------------------------------
+    # JIT binding
+    # ------------------------------------------------------------------
+
+    def _bind_jit_step(self):
+        """Close the graph arrays over the compiled step for this sampler."""
+        steps = _jit.get_step_functions()
+        if steps is None:
+            return None
+        indptr, indices, degrees = self._indptr, self._indices, self._degrees
+        sqrt_c, inv_sqrt_c = self.sqrt_c, self.inv_sqrt_c
+        if self._cumulative is not None:
+            base_fn = steps["cdf"]
+            cumulative = self._cumulative
+            wbase, wtotals = self._weight_base, self._weight_totals
+
+            def step(pos, own, draws, alive, row, scratch, totals):
+                return base_fn(
+                    pos, own, draws, alive, sqrt_c, inv_sqrt_c,
+                    indptr, indices, degrees, cumulative, wbase, wtotals,
+                    row, scratch, totals,
+                )
+
+        elif self._alias_prob is not None:
+            base_fn = steps["alias"]
+            prob, alias = self._alias_prob, self._alias_alias
+
+            def step(pos, own, draws, alive, row, scratch, totals):
+                return base_fn(
+                    pos, own, draws, alive, sqrt_c, inv_sqrt_c,
+                    indptr, indices, degrees, prob, alias,
+                    row, scratch, totals,
+                )
+
+        else:
+            base_fn = steps["uniform"]
+
+            def step(pos, own, draws, alive, row, scratch, totals):
+                return base_fn(
+                    pos, own, draws, alive, sqrt_c, inv_sqrt_c,
+                    indptr, indices, degrees, row, scratch, totals,
+                )
+
+        return step
+
+
+def fused_accumulate_crash_totals(
+    graph,
+    tree,
+    targets: np.ndarray,
+    n_trials: int,
+    *,
+    c: float,
+    l_max: int,
+    rng,
+    walk_chunk: int = DEFAULT_WALK_CHUNK,
+    sampler: str = "cdf",
+    use_jit: Optional[bool] = None,
+) -> np.ndarray:
+    """One-shot convenience: build a kernel, accumulate, return totals."""
+    kernel = WalkCrashKernel(graph, c, sampler=sampler, use_jit=use_jit)
+    return kernel.accumulate(
+        tree, targets, n_trials, l_max=l_max, rng=rng, walk_chunk=walk_chunk
+    )
