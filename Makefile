@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-parallel test-chaos bench bench-tree bench-kernel perf-smoke selftest experiments report examples clean
+.PHONY: install test test-parallel test-chaos test-serve bench bench-tree bench-kernel serve-bench perf-smoke selftest experiments report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,12 @@ test-parallel:
 test-chaos:
 	$(PYTHON) -m pytest tests/test_failure_injection.py tests/parallel/test_executor.py
 
+# Serving engine: batching invariance, threaded soak, shutdown-under-load,
+# and worker-kill chaos through the engine (docs/internals.md §11).
+# Honours REPRO_START_METHOD; CI runs it under both fork and spawn.
+test-serve:
+	$(PYTHON) -m pytest tests/serve/
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -33,6 +39,12 @@ bench-tree:
 # benchmarks/BENCH_kernel.json and fails below the 2x / 1.5x targets.
 bench-kernel:
 	$(PYTHON) benchmarks/bench_kernel.py
+
+# Serving-engine load generator: 8 concurrent clients vs sequential
+# dispatch on the 50k PA graph; writes benchmarks/BENCH_serve.json and
+# fails below the 1.5x batched-throughput target.
+serve-bench:
+	cd benchmarks && $(PYTHON) bench_serve.py
 
 # CI timing gate: generous multiple of benchmarks/baselines/tree_smoke.json.
 perf-smoke:

@@ -1,0 +1,276 @@
+"""Serving-engine load bench: batched dispatch vs sequential queries.
+
+Simulates the workload the engine exists for — ``N_CLIENTS`` concurrent
+clients firing single-source similarity queries against one fixed
+candidate catalogue (an item corpus the query sources are not members of)
+— and compares:
+
+* **sequential** — each request served by a direct
+  :func:`repro.api.single_source` call, one at a time: the cost an
+  application pays without a resident engine (fresh tree, cold buffers,
+  no walk sharing per query);
+* **batched** — the same requests pushed through one
+  :class:`repro.serve.Engine` from ``N_CLIENTS`` real threads: the
+  batching window groups what arrives together, seedless requests over
+  the shared catalogue coalesce into single ``accumulate_multi`` passes,
+  and trees/kernels stay warm.
+
+Entry points:
+
+* ``python benchmarks/bench_serve.py`` — full-size run (50k-node PA
+  graph, 8 clients), prints the table, writes ``BENCH_serve.json``, exits
+  non-zero unless batched throughput ≥ 1.5× sequential;
+* ``run_all()`` — the JSON payload, consumed by the CI perf-smoke gate
+  at reduced size.
+
+Latency is measured client-side (submit → result), so the batched p50/p99
+include time spent waiting for the window and for batch-mates — the
+honest serving latency, not just kernel time.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import threading
+import time
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+import pytest
+
+try:
+    from bench_kernel import make_bench_graph
+except ImportError:  # collected by pytest as benchmarks.bench_serve
+    from benchmarks.bench_kernel import make_bench_graph
+from repro.api import single_source
+from repro.serve import Engine, EngineConfig
+
+BENCH_NODES = 50_000
+N_CLIENTS = 8
+QUERIES_PER_CLIENT = 8
+N_R = 64
+CATALOG_SIZE = 4_000
+BATCH_WINDOW = 0.01
+MIN_SPEEDUP = 1.5
+
+OUTPUT = pathlib.Path(__file__).with_name("BENCH_serve.json")
+
+
+def make_catalog(num_nodes: int, size: int) -> Tuple[int, ...]:
+    """A fixed candidate catalogue: the well-connected low-id core.
+
+    In a preferential-attachment graph the early nodes hold the in-degree
+    mass, so catalogue walks actually run (high-id nodes have almost no
+    in-edges and their walks die immediately).  Query sources come from
+    the upper half of the id space, outside the catalogue, so every
+    request shares one walk-target array — the shape that lets the engine
+    coalesce.
+    """
+    return tuple(range(size))
+
+
+def make_specs(
+    num_nodes: int, n_clients: int, per_client: int
+) -> List[List[int]]:
+    """Deterministic per-client source lists, all above the catalogue."""
+    base = num_nodes // 2
+    span = num_nodes - base
+    return [
+        [base + (client * 131 + i * 17) % span for i in range(per_client)]
+        for client in range(n_clients)
+    ]
+
+
+def _latency_stats(latencies: Sequence[float], wall: float) -> Dict[str, float]:
+    ordered = np.sort(np.asarray(latencies))
+    return {
+        "queries": int(ordered.size),
+        "total_seconds": round(wall, 4),
+        "qps": round(ordered.size / wall, 2),
+        "p50_ms": round(float(np.percentile(ordered, 50)) * 1000, 2),
+        "p99_ms": round(float(np.percentile(ordered, 99)) * 1000, 2),
+        "max_ms": round(float(ordered[-1]) * 1000, 2),
+    }
+
+
+def run_sequential(
+    graph, specs: List[List[int]], catalog, *, n_r: int
+) -> Dict[str, float]:
+    """All requests served one at a time by direct api calls."""
+    latencies = []
+    started = time.perf_counter()
+    seed = 0
+    for client_sources in specs:
+        for source in client_sources:
+            seed += 1
+            t0 = time.perf_counter()
+            single_source(graph, source, n_r=n_r, seed=seed, candidates=catalog)
+            latencies.append(time.perf_counter() - t0)
+    return _latency_stats(latencies, time.perf_counter() - started)
+
+
+def run_batched(
+    graph,
+    specs: List[List[int]],
+    catalog,
+    *,
+    n_r: int,
+    batch_window: float = BATCH_WINDOW,
+) -> Dict[str, object]:
+    """The same requests from real concurrent client threads, one engine."""
+    config = EngineConfig(
+        n_r=n_r,
+        batch_window=batch_window,
+        # Closed-loop clients: a batch is full once every client's current
+        # request is in, so the window rarely runs to its timeout.
+        max_batch=len(specs),
+        seed=0,
+    )
+    latencies_per_client: List[List[float]] = [[] for _ in specs]
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(len(specs) + 1)
+
+    with Engine(graph, config) as engine:
+
+        def client(slot: int, sources: List[int]):
+            try:
+                barrier.wait()
+                for source in sources:
+                    t0 = time.perf_counter()
+                    engine.query(source, candidates=catalog, timeout=600)
+                    latencies_per_client[slot].append(
+                        time.perf_counter() - t0
+                    )
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(slot, sources), daemon=True)
+            for slot, sources in enumerate(specs)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        stats = engine.stats()
+    if errors:
+        raise errors[0]
+    latencies = [lat for client in latencies_per_client for lat in client]
+    payload = _latency_stats(latencies, wall)
+    payload["engine"] = {
+        "batches": stats["batches"],
+        "coalesced_queries": stats["coalesced_queries"],
+        "shared_walk_groups": stats["shared_walk_groups"],
+        "solo_queries": stats["solo_queries"],
+        "tree_cache_hits": stats["tree_cache_hits"],
+    }
+    return payload
+
+
+def run_all(
+    *,
+    num_nodes: int = BENCH_NODES,
+    n_clients: int = N_CLIENTS,
+    queries_per_client: int = QUERIES_PER_CLIENT,
+    catalog_size: int = CATALOG_SIZE,
+    n_r: int = N_R,
+) -> Dict[str, object]:
+    graph = make_bench_graph(num_nodes)
+    catalog = make_catalog(graph.num_nodes, catalog_size)
+    specs = make_specs(graph.num_nodes, n_clients, queries_per_client)
+    sequential = run_sequential(graph, specs, catalog, n_r=n_r)
+    batched = run_batched(graph, specs, catalog, n_r=n_r)
+    return {
+        "graph": {
+            "generator": "preferential_attachment",
+            "num_nodes": graph.num_nodes,
+            "num_edges": int(graph.in_indices.size),
+        },
+        "workload": {
+            "n_clients": n_clients,
+            "queries_per_client": queries_per_client,
+            "catalog_size": catalog_size,
+            "n_r": n_r,
+            "batch_window": BATCH_WINDOW,
+        },
+        "sequential": sequential,
+        "batched": batched,
+        "speedup": round(batched["qps"] / sequential["qps"], 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark harness (smoke-sized; `make bench`)
+# ----------------------------------------------------------------------
+
+SMOKE_NODES = 15_000
+SMOKE_CATALOG = 2_000
+SMOKE_N_R = 48
+SMOKE_QUERIES = 4
+
+
+@pytest.fixture(scope="module")
+def serve_bench_graph():
+    return make_bench_graph(SMOKE_NODES)
+
+
+def test_bench_sequential_dispatch(benchmark, serve_bench_graph):
+    catalog = make_catalog(SMOKE_NODES, SMOKE_CATALOG)
+    specs = make_specs(SMOKE_NODES, N_CLIENTS, SMOKE_QUERIES)
+    benchmark.pedantic(
+        lambda: run_sequential(
+            serve_bench_graph, specs, catalog, n_r=SMOKE_N_R
+        ),
+        iterations=1,
+        rounds=3,
+    )
+
+
+def test_bench_batched_dispatch(benchmark, serve_bench_graph):
+    catalog = make_catalog(SMOKE_NODES, SMOKE_CATALOG)
+    specs = make_specs(SMOKE_NODES, N_CLIENTS, SMOKE_QUERIES)
+    benchmark.pedantic(
+        lambda: run_batched(serve_bench_graph, specs, catalog, n_r=SMOKE_N_R),
+        iterations=1,
+        rounds=3,
+    )
+
+
+def main() -> int:
+    print(
+        f"serve bench: {N_CLIENTS} clients x {QUERIES_PER_CLIENT} queries, "
+        f"n={BENCH_NODES}, catalog={CATALOG_SIZE}, n_r={N_R}"
+    )
+    payload = run_all()
+    for leg in ("sequential", "batched"):
+        row = payload[leg]
+        print(
+            f"{leg}: {row['qps']} q/s  p50 {row['p50_ms']}ms  "
+            f"p99 {row['p99_ms']}ms  ({row['total_seconds']}s total)"
+        )
+    engine = payload["batched"]["engine"]
+    print(
+        f"engine: {engine['batches']} batches, "
+        f"{engine['coalesced_queries']} coalesced / "
+        f"{engine['solo_queries']} solo, "
+        f"{engine['tree_cache_hits']} tree-cache hits"
+    )
+    print(f"speedup: {payload['speedup']}x (target >= {MIN_SPEEDUP}x)")
+    OUTPUT.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
+    if payload["speedup"] < MIN_SPEEDUP:
+        print(
+            f"FAIL: batched dispatch {payload['speedup']}x < "
+            f"{MIN_SPEEDUP}x sequential"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,7 @@
 """CI perf-smoke: catch order-of-magnitude regressions cheaply.
 
-Runs the bench_tree and bench_kernel sweeps on CI-sized graphs and
-compares wall-clock against the recorded baselines in
+Runs the bench_tree, bench_kernel, and bench_serve sweeps on CI-sized
+graphs and compares wall-clock against the recorded baselines in
 ``benchmarks/baselines/``.  Wall-clock gates are deliberately generous —
 a timing fails only past ``PERF_SMOKE_MULTIPLIER`` (default 10×) of its
 recorded value — so shared runners' jitter never breaks the build, while
@@ -24,14 +24,21 @@ import pathlib
 import sys
 
 from bench_kernel import run_all as run_kernel
+from bench_serve import run_all as run_serve
 from bench_tree import run_all
 
 BASELINE = pathlib.Path(__file__).parent / "baselines" / "tree_smoke.json"
 KERNEL_BASELINE = pathlib.Path(__file__).parent / "baselines" / "kernel_smoke.json"
+SERVE_BASELINE = pathlib.Path(__file__).parent / "baselines" / "serve_smoke.json"
 SMOKE_NODES = 30_000
 SMOKE_SOURCES = 32
 KERNEL_SMOKE_NODES = 20_000
 KERNEL_SMOKE_TRIALS = 32
+SERVE_SMOKE_NODES = 15_000
+SERVE_SMOKE_CLIENTS = 8
+SERVE_SMOKE_QUERIES = 4
+SERVE_SMOKE_CATALOG = 2_000
+SERVE_SMOKE_N_R = 48
 GATED_TIMINGS = (
     "sparse_build_seconds",
     "sparse_same_as_cold_seconds",
@@ -40,6 +47,11 @@ KERNEL_LEGS = ("unweighted", "weighted_alias")
 MIN_COMBINED_SPEEDUP = 3.0  # headroom below the 5x full-size target
 MIN_PRUNING_SPEEDUP = 0.8
 KERNEL_REGRESSION_FRACTION = 0.7  # fail below 70% of the recorded speedup
+# Batched dispatch must beat sequential even at smoke size; the full-size
+# bench_serve gate demands 1.5x, the smoke leg keeps a reduced floor so
+# runner jitter on a tiny workload cannot flake the build.
+MIN_SERVE_SPEEDUP = 1.2
+SERVE_REGRESSION_FRACTION = 0.5  # fail below half the recorded speedup
 
 
 def gate_tree(payload, argv):
@@ -123,6 +135,50 @@ def gate_kernel(payload, argv):
     return failures
 
 
+def gate_serve(payload, argv):
+    speedup = payload["speedup"]
+    batched_seconds = payload["batched"]["total_seconds"]
+
+    if "--record" in argv:
+        record = {
+            "nodes": SERVE_SMOKE_NODES,
+            "clients": SERVE_SMOKE_CLIENTS,
+            "queries_per_client": SERVE_SMOKE_QUERIES,
+            "batched_total_seconds": batched_seconds,
+            "speedup": speedup,
+        }
+        SERVE_BASELINE.write_text(
+            json.dumps(record, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"recorded baseline: {SERVE_BASELINE}")
+        return []
+
+    baseline = json.loads(SERVE_BASELINE.read_text())
+    multiplier = float(os.environ.get("PERF_SMOKE_MULTIPLIER", "10"))
+    allowed_seconds = baseline["batched_total_seconds"] * multiplier
+    floor = max(
+        MIN_SERVE_SPEEDUP,
+        round(baseline["speedup"] * SERVE_REGRESSION_FRACTION, 2),
+    )
+    failures = []
+    print(
+        f"serve: batched {payload['batched']['qps']} q/s vs sequential "
+        f"{payload['sequential']['qps']} q/s, speedup {speedup}x "
+        f"(floor {floor}x, allowed {allowed_seconds:.4f}s batched)"
+    )
+    if batched_seconds > allowed_seconds:
+        failures.append(
+            f"serve batched {batched_seconds}s > "
+            f"{allowed_seconds:.4f}s allowed"
+        )
+    if speedup < floor:
+        failures.append(
+            f"serve batched dispatch {speedup}x < {floor}x floor "
+            f"(recorded {baseline['speedup']}x)"
+        )
+    return failures
+
+
 def main(argv) -> int:
     BASELINE.parent.mkdir(parents=True, exist_ok=True)
     failures = gate_tree(
@@ -130,6 +186,16 @@ def main(argv) -> int:
     )
     failures += gate_kernel(
         run_kernel(num_nodes=KERNEL_SMOKE_NODES, n_trials=KERNEL_SMOKE_TRIALS),
+        argv,
+    )
+    failures += gate_serve(
+        run_serve(
+            num_nodes=SERVE_SMOKE_NODES,
+            n_clients=SERVE_SMOKE_CLIENTS,
+            queries_per_client=SERVE_SMOKE_QUERIES,
+            catalog_size=SERVE_SMOKE_CATALOG,
+            n_r=SERVE_SMOKE_N_R,
+        ),
         argv,
     )
     for failure in failures:

@@ -25,7 +25,8 @@ The package layout mirrors the paper (see DESIGN.md for the full map):
 * :mod:`repro.baselines` — Power Method, naive MC, ProbeSim, SLING, READS;
 * :mod:`repro.datasets` — synthetic SNAP stand-ins and the example graphs;
 * :mod:`repro.metrics` — ME / precision / timing;
-* :mod:`repro.experiments` — regenerators for every paper table and figure.
+* :mod:`repro.experiments` — regenerators for every paper table and figure;
+* :mod:`repro.serve` — the long-lived query engine behind ``repro serve``.
 """
 
 from repro.baselines import (
@@ -38,6 +39,7 @@ from repro.baselines import (
 )
 from repro.api import ScoreVector, single_pair, single_source
 from repro.core import (
+    BatchQuery,
     CompositeQuery,
     CrashSimParams,
     CrashSimResult,
@@ -48,6 +50,7 @@ from repro.core import (
     TopKResult,
     TrendQuery,
     crashsim,
+    crashsim_batch,
     crashsim_multi_source,
     crashsim_t,
     crashsim_topk,
@@ -58,8 +61,10 @@ from repro.core import (
 from repro.errors import (
     DeadlineExceededError,
     DegradedResultWarning,
+    EngineClosedError,
     ReproError,
 )
+from repro.serve import Engine, EngineConfig
 from repro.graph import (
     DiGraph,
     EdgeDelta,
@@ -83,6 +88,8 @@ __all__ = [
     "CrashSimParams",
     "CrashSimResult",
     "crashsim",
+    "BatchQuery",
+    "crashsim_batch",
     "crashsim_multi_source",
     "crashsim_t",
     "crashsim_topk",
@@ -101,6 +108,9 @@ __all__ = [
     "single_source",
     "single_pair",
     "ScoreVector",
+    # serving
+    "Engine",
+    "EngineConfig",
     # baselines
     "power_method_all_pairs",
     "power_method_single_source",
@@ -112,4 +122,5 @@ __all__ = [
     "ReproError",
     "DeadlineExceededError",
     "DegradedResultWarning",
+    "EngineClosedError",
 ]

@@ -16,7 +16,7 @@ answer from a gracefully degraded one without a second channel.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -97,6 +97,7 @@ def single_source(
     workers: Optional[int] = None,
     deadline: Optional[float] = None,
     sampler: str = "cdf",
+    candidates: Optional[Iterable[int]] = None,
 ) -> np.ndarray:
     """Single-source SimRank ``s(source, ·)`` by any implemented method.
 
@@ -135,6 +136,12 @@ def single_source(
         default ``"cdf"`` keeps the classic RNG stream (bit-identical
         scores for a given seed); ``"alias"`` opts into O(1) alias-method
         sampling on weighted graphs (see docs/api.md).
+    candidates:
+        ``crashsim`` only: restrict scoring to this candidate set Ω (the
+        partial-SimRank form of Algorithm 1).  Nodes outside Ω score 0 in
+        the returned vector (except the source itself, which is always 1).
+        A fixed candidate set is also what makes engine-side cross-query
+        walk sharing possible — see :func:`repro.core.batch.crashsim_batch`.
 
     Returns
     -------
@@ -156,13 +163,22 @@ def single_source(
         raise ParameterError(
             f"sampler= is only supported for method='crashsim', got {method!r}"
         )
+    if candidates is not None and method != "crashsim":
+        raise ParameterError(
+            f"candidates= is only supported for method='crashsim', got {method!r}"
+        )
     if method == "crashsim":
         params = CrashSimParams(
             c=c, epsilon=epsilon, delta=delta, n_r_override=n_r
         )
         if workers is None and deadline is None:
             result = crashsim(
-                graph, source, params=params, seed=rng, sampler=sampler
+                graph,
+                source,
+                candidates=candidates,
+                params=params,
+                seed=rng,
+                sampler=sampler,
             )
         else:
             from repro.parallel import parallel_crashsim
@@ -170,6 +186,7 @@ def single_source(
             result = parallel_crashsim(
                 graph,
                 source,
+                candidates=candidates,
                 params=params,
                 seed=rng,
                 workers=workers,

@@ -14,6 +14,7 @@ Examples
     python -m repro scalability
     python -m repro all --profile quick
     python -m repro export-dataset --dataset hepth --out /tmp/hepth --snapshots 10
+    python -m repro serve --dataset hepth --port 8321
 """
 
 from __future__ import annotations
@@ -56,6 +57,7 @@ EXPERIMENTS = [
     "check",
     "selftest",
     "query",
+    "serve",
 ]
 
 
@@ -135,6 +137,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget in seconds for 'query' (crashsim only); "
         "on expiry the completed trial shards are averaged and the "
         "degraded, wider-ε result is labelled as such",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for 'serve' (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="bind port for 'serve' (default: 8321; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        help="seconds 'serve' waits for companion requests after the first "
+        "of a batch arrives (default: 0.002; 0 = no waiting)",
+    )
+    parser.add_argument(
+        "--tree-cache",
+        type=int,
+        default=256,
+        help="source reverse-tree LRU capacity for 'serve' (default: 256)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log each HTTP request ('serve' only)",
     )
     return parser
 
@@ -221,6 +252,43 @@ def _run_query(args, profile) -> int:
         shown += 1
         if shown >= max(0, args.top):
             break
+    return 0
+
+
+def _run_serve(args, profile) -> int:
+    """Run the long-lived query engine behind an HTTP front door.
+
+    Loads the profile-sized dataset graph, builds one
+    :class:`~repro.serve.Engine`, and serves ``POST /v1/query`` until
+    interrupted; Ctrl-C drains in-flight requests before exiting.
+    """
+    from repro.datasets.registry import load_static_dataset
+    from repro.serve import Engine, EngineConfig, create_server
+    from repro.serve.http import serve_forever
+
+    name = (args.dataset or ["hepth"])[0]
+    graph = load_static_dataset(name, scale=profile.scale, seed=profile.seed)
+    config = EngineConfig(
+        c=profile.c,
+        delta=profile.delta,
+        n_r=profile.n_r_cap,
+        batch_window=args.batch_window,
+        tree_cache_size=args.tree_cache,
+        workers=args.workers if args.workers else None,
+        seed=profile.seed,
+    )
+    engine = Engine(graph, config)
+    server = create_server(
+        engine, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving {name} (n={graph.num_nodes}, m={graph.num_edges}) on "
+        f"http://{host}:{port} — POST /v1/query, GET /healthz, GET /stats; "
+        "Ctrl-C to stop"
+    )
+    serve_forever(server)
+    print("drained; engine stats:", engine.stats())
     return 0
 
 
@@ -349,6 +417,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0 if run_selftest() else 1
     if args.experiment == "query":
         return _run_query(args, profile)
+    if args.experiment == "serve":
+        return _run_serve(args, profile)
     if args.experiment == "export-dataset":
         _export_dataset(args, profile)
     elif args.experiment == "check":

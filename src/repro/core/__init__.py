@@ -15,6 +15,7 @@ Public surface:
   returning a :class:`TemporalQueryResult`.
 """
 
+from repro.core.batch import BatchQuery, crashsim_batch
 from repro.core.crashsim import CrashSimResult, crashsim
 from repro.core.crashsim_t import CrashSimTStats, TemporalQueryResult, crashsim_t
 from repro.core.multi_source import crashsim_multi_source
@@ -44,9 +45,11 @@ from repro.core.temporal_topk import DurableTopKResult, durable_topk
 from repro.core.topk import TopKResult, crashsim_topk
 
 __all__ = [
+    "BatchQuery",
     "CrashSimParams",
     "CrashSimResult",
     "crashsim",
+    "crashsim_batch",
     "crashsim_multi_source",
     "ReverseReachableTree",
     "SparseReverseTree",

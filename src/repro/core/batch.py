@@ -1,0 +1,268 @@
+"""Cross-query batch scoring: many single-source queries, one kernel pass.
+
+A long-lived query server collects concurrent single-source requests into
+small batches (see :mod:`repro.serve`).  This module is the *deterministic
+core* of that batching: :func:`crashsim_batch` scores a list of
+:class:`BatchQuery` objects and returns, for each, a
+:class:`~repro.core.crashsim.CrashSimResult` that is **byte-identical** to
+what a sequential :func:`~repro.core.crashsim.crashsim` call with the same
+``(source, candidates, seed, sampler)`` would produce — no matter how the
+queries are partitioned into batches.  That *batch-composition invariance*
+is what lets a server coalesce whatever happens to be in its queue without
+changing any caller-visible bit (pinned by the Hypothesis suite in
+``tests/serve/test_batching_properties.py``).
+
+Where the speedup comes from
+----------------------------
+Walk draws are the dominant cost, and CrashSim's randomness lives entirely
+in the *candidate* walks — the source only contributes its deterministic
+reverse reachable tree.  Two queries can therefore share one walk stream
+iff they would consume **identical draws**: same replayable seed and same
+walk-target array.  Queries in a batch are grouped by that coalescing key:
+
+* a group of ``q ≥ 2`` compatible queries runs through
+  :meth:`~repro.walks.kernel.WalkCrashKernel.accumulate_multi` — one shared
+  walk stream scored against all ``q`` trees at once (the 3.1x multi-source
+  path), and because ``accumulate_multi`` consumes the RNG exactly like
+  ``q`` identically-seeded ``accumulate`` calls would, every row is
+  bit-equal to its query's solo run;
+* everything else (distinct seeds, live ``Generator`` seeds, ``None``
+  seeds, distinct target sets) is scored individually — but still through
+  one shared kernel with warm buffers, and with trees supplied by the
+  caller's cache instead of rebuilt per query.
+
+The practical coalescing case is a fixed candidate *catalogue* that query
+sources are not members of (similarity search over an item corpus): every
+query then shares one walk-target array, and a server that assigns one
+replayable seed per batching window gets the shared-stream path for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.crashsim import CrashSimResult, resolve_candidates
+from repro.core.params import CrashSimParams
+from repro.core.revreach import revreach_levels
+from repro.errors import ParameterError
+from repro.graph.digraph import DiGraph
+from repro.rng import RngLike, ensure_rng
+from repro.walks.kernel import WalkCrashKernel
+
+__all__ = ["BatchQuery", "crashsim_batch", "coalesce_seed_key"]
+
+
+@dataclass(frozen=True)
+class BatchQuery:
+    """One single-source query inside a batch.
+
+    Parameters mirror :func:`~repro.core.crashsim.crashsim`:
+
+    source:
+        Query source node.
+    seed:
+        Anything :func:`repro.rng.ensure_rng` accepts.  Only *replayable*
+        seeds (``int`` / :class:`numpy.random.SeedSequence`) can coalesce
+        with other queries; a live ``Generator`` or ``None`` is consumed
+        exactly as a solo :func:`crashsim` call would consume it.
+    candidates:
+        Candidate set Ω, or ``None`` for all nodes except the source.
+    """
+
+    source: int
+    seed: RngLike = None
+    candidates: Optional[Iterable[int]] = None
+
+
+def coalesce_seed_key(seed: RngLike) -> Optional[Tuple]:
+    """A hashable replay key for ``seed``, or ``None`` if not replayable.
+
+    Two queries may share one walk stream only when re-seeding would
+    reproduce identical draws for each of them individually: plain integers
+    and :class:`~numpy.random.SeedSequence` qualify; ``None`` (OS entropy)
+    and live generators (stateful, single-use) never do.
+    """
+    if isinstance(seed, (int, np.integer)):
+        return ("int", int(seed))
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+        if isinstance(entropy, (list, tuple)):
+            entropy = tuple(int(e) for e in entropy)
+        elif entropy is not None:
+            entropy = int(entropy)
+        return (
+            "seq",
+            entropy,
+            tuple(int(k) for k in seed.spawn_key),
+            int(seed.pool_size),
+        )
+    return None
+
+
+@dataclass
+class _Prepared:
+    """A query with its layout resolved: candidates, targets, tree."""
+
+    query: BatchQuery
+    source: int
+    candidate_array: np.ndarray
+    walk_targets: np.ndarray
+    tree: object
+    totals: Optional[np.ndarray] = None
+    group: Optional[Tuple] = field(default=None, compare=False)
+
+
+def _validate_tree(tree, source: int, l_max: int, c: float, variant: str):
+    import math
+
+    if (
+        getattr(tree, "source", source) != source
+        or getattr(tree, "l_max", l_max) != l_max
+        or getattr(tree, "variant", variant) != variant
+        or not math.isclose(getattr(tree, "c", c), c)
+    ):
+        raise ParameterError(
+            "tree_provider returned a tree that does not match the query's "
+            "source/c/l_max/variant"
+        )
+    return tree
+
+
+def crashsim_batch(
+    graph: DiGraph,
+    queries: Sequence[BatchQuery],
+    *,
+    params: Optional[CrashSimParams] = None,
+    tree_variant: str = "corrected",
+    sampler: str = "cdf",
+    kernel: Optional[WalkCrashKernel] = None,
+    tree_provider: Optional[Callable[[int], object]] = None,
+    stats: Optional[Dict[str, int]] = None,
+) -> List[CrashSimResult]:
+    """Score a batch of single-source queries, coalescing shared walks.
+
+    Parameters
+    ----------
+    graph, params, tree_variant, sampler:
+        As :func:`~repro.core.crashsim.crashsim`; one parameter set covers
+        the whole batch (a server partitions incompatible requests into
+        separate batches *before* calling this).
+    kernel:
+        A warm :class:`~repro.walks.kernel.WalkCrashKernel` to reuse across
+        batches (its ``sampler`` takes precedence, as in
+        :func:`~repro.core.crashsim.accumulate_crash_totals`); built fresh
+        when omitted.
+    tree_provider:
+        ``source -> tree`` callable (a server's LRU cache); defaults to
+        building each tree with :func:`revreach_levels`.  Returned trees
+        are validated against the query's ``source``/``c``/``l_max``/
+        ``variant``.
+    stats:
+        Optional dict; when given, ``coalesced_queries``,
+        ``shared_walk_groups``, and ``solo_queries`` counters are
+        accumulated into it.
+
+    Returns
+    -------
+    list of CrashSimResult
+        One per query, in input order, each byte-identical to the
+        corresponding sequential ``crashsim`` call.
+    """
+    params = params or CrashSimParams()
+    if kernel is None:
+        kernel = WalkCrashKernel(graph, params.c, sampler=sampler)
+    l_max = params.l_max
+    n_r = params.n_r(max(graph.num_nodes, 2))
+    if tree_provider is None:
+        built: Dict[int, object] = {}
+
+        def tree_provider(source: int):
+            tree = built.get(source)
+            if tree is None:
+                tree = revreach_levels(
+                    graph, source, l_max, params.c, variant=tree_variant
+                )
+                built[source] = tree
+            return tree
+
+    in_degrees = graph.in_degrees()
+    prepared: List[_Prepared] = []
+    groups: Dict[Tuple, List[_Prepared]] = {}
+    for position, query in enumerate(queries):
+        source = int(query.source)
+        if not 0 <= source < graph.num_nodes:
+            raise ParameterError(
+                f"source {source} outside the graph's node range "
+                f"[0, {graph.num_nodes})"
+            )
+        candidate_array = resolve_candidates(graph, source, query.candidates)
+        walk_targets = candidate_array[candidate_array != source]
+        walk_targets = walk_targets[in_degrees[walk_targets] > 0]
+        tree = _validate_tree(
+            tree_provider(source), source, l_max, params.c, tree_variant
+        )
+        item = _Prepared(query, source, candidate_array, walk_targets, tree)
+        seed_key = coalesce_seed_key(query.seed)
+        if seed_key is not None and walk_targets.size:
+            item.group = (seed_key, walk_targets.tobytes())
+            groups.setdefault(item.group, []).append(item)
+        prepared.append(item)
+
+    shared_groups = 0
+    coalesced = 0
+    for group in groups.values():
+        if len(group) < 2:
+            continue
+        # Shared walk stream: one accumulate_multi over the group's trees.
+        # Every member consumes the same draws its solo run would, so each
+        # row is bit-equal to that member's individual accumulate().
+        rng = ensure_rng(group[0].query.seed)
+        matrix = kernel.accumulate_multi(
+            [item.tree for item in group],
+            group[0].walk_targets,
+            n_r,
+            l_max=l_max,
+            rng=rng,
+        )
+        for row, item in enumerate(group):
+            item.totals = matrix[row]
+        shared_groups += 1
+        coalesced += len(group)
+
+    solo = 0
+    for item in prepared:
+        if item.totals is None:
+            rng = ensure_rng(item.query.seed)
+            item.totals = kernel.accumulate(
+                item.tree, item.walk_targets, n_r, l_max=l_max, rng=rng
+            )
+            solo += 1
+
+    if stats is not None:
+        stats["shared_walk_groups"] = stats.get("shared_walk_groups", 0) + shared_groups
+        stats["coalesced_queries"] = stats.get("coalesced_queries", 0) + coalesced
+        stats["solo_queries"] = stats.get("solo_queries", 0) + solo
+
+    results: List[CrashSimResult] = []
+    for item in prepared:
+        # Exactly crashsim()'s assembly, op for op: the byte-identity
+        # contract depends on replicating its float-op order.
+        scores = np.zeros(item.candidate_array.size, dtype=np.float64)
+        walk_positions = np.searchsorted(item.candidate_array, item.walk_targets)
+        scores[walk_positions] = item.totals / n_r
+        scores[item.candidate_array == item.source] = 1.0
+        scores = np.clip(scores, 0.0, 1.0)
+        results.append(
+            CrashSimResult(
+                source=item.source,
+                candidates=item.candidate_array,
+                scores=scores,
+                n_r=n_r,
+                params=params,
+                tree=item.tree,
+            )
+        )
+    return results

@@ -20,6 +20,7 @@ select the same nodes when fed identical walk randomness.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
@@ -190,6 +191,12 @@ class CandidateTreeCache:
     ``revreach_levels`` on its stamped snapshot (``revreach_update`` is
     bit-exact — pinned by tests), so pruning decisions are unchanged.
 
+    The cache is thread-safe: lookups, advances, clones, and retention all
+    run under one re-entrant lock, so a serving engine can share a single
+    instance across concurrent request threads.  Trees themselves are
+    immutable, so a tree returned to one thread stays valid even if another
+    thread replaces or drops its cache entry.
+
     Attributes
     ----------
     hits, builds, advances:
@@ -198,12 +205,14 @@ class CandidateTreeCache:
 
     def __init__(self):
         self._entries: Dict[int, Tuple[int, object]] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.builds = 0
         self.advances = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def tree_for(
         self,
@@ -219,14 +228,23 @@ class CandidateTreeCache:
 
         Returns the cached tree when its stamp matches; otherwise builds
         fresh on ``graph`` (which must be that snapshot) and records it.
+        The build itself runs outside the lock so concurrent misses on
+        different candidates overlap; racing builds of the *same* candidate
+        are deterministic duplicates, and the first recorded entry wins.
         """
-        entry = self._entries.get(int(node))
-        if entry is not None and entry[0] == stamp:
-            self.hits += 1
-            return entry[1]
+        with self._lock:
+            entry = self._entries.get(int(node))
+            if entry is not None and entry[0] == stamp:
+                self.hits += 1
+                return entry[1]
         tree = revreach_levels(graph, int(node), l_max, c, variant=variant)
-        self.builds += 1
-        self._entries[int(node)] = (stamp, tree)
+        with self._lock:
+            entry = self._entries.get(int(node))
+            if entry is not None and entry[0] == stamp:
+                self.hits += 1
+                return entry[1]
+            self.builds += 1
+            self._entries[int(node)] = (stamp, tree)
         return tree
 
     def advance(
@@ -250,8 +268,8 @@ class CandidateTreeCache:
             tree = revreach_update(
                 prev_tree, new_graph, added, removed, directed=directed
             )
-            if tree is not prev_tree:
-                self.advances += 1
+            advanced = tree is not prev_tree
+            rebuilt = False
         else:
             tree = revreach_levels(
                 new_graph,
@@ -260,8 +278,14 @@ class CandidateTreeCache:
                 prev_tree.c,
                 variant=prev_tree.variant,
             )
-            self.builds += 1
-        self._entries[int(node)] = (new_stamp, tree)
+            advanced = False
+            rebuilt = True
+        with self._lock:
+            if advanced:
+                self.advances += 1
+            if rebuilt:
+                self.builds += 1
+            self._entries[int(node)] = (new_stamp, tree)
         return tree
 
     def clone(self) -> "CandidateTreeCache":
@@ -273,15 +297,17 @@ class CandidateTreeCache:
         published cache consistent when a push fails mid-flight.
         """
         other = CandidateTreeCache()
-        other._entries = dict(self._entries)
-        other.hits = self.hits
-        other.builds = self.builds
-        other.advances = self.advances
+        with self._lock:
+            other._entries = dict(self._entries)
+            other.hits = self.hits
+            other.builds = self.builds
+            other.advances = self.advances
         return other
 
     def retain(self, nodes: Iterable[int]) -> None:
         """Drop entries for candidates no longer alive (Ω only shrinks)."""
         alive = {int(node) for node in nodes}
-        for node in list(self._entries):
-            if node not in alive:
-                del self._entries[node]
+        with self._lock:
+            for node in list(self._entries):
+                if node not in alive:
+                    del self._entries[node]

@@ -23,6 +23,7 @@ __all__ = [
     "ExperimentError",
     "DeadlineExceededError",
     "DegradedResultWarning",
+    "EngineClosedError",
 ]
 
 
@@ -101,6 +102,15 @@ class DegradedResultWarning(UserWarning):
     errors and the survivors still form an unbiased estimator (Lemma 3 at
     the completed trial count).  Carries no payload — the result object's
     ``trials_completed`` / ``achieved_epsilon`` fields hold the numbers.
+    """
+
+
+class EngineClosedError(ReproError, RuntimeError):
+    """A query was submitted to a serving engine that has shut down.
+
+    Requests already admitted when shutdown began are drained and answered;
+    this error marks only submissions that arrived after (or raced past)
+    the close.  Callers in a retry loop should treat it as permanent.
     """
 
 

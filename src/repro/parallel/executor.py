@@ -36,6 +36,27 @@ sum shard totals identically regardless of scheduling, retries, or losses.
 Pools are released deterministically by ``close()`` / the context manager,
 and as a backstop by a ``weakref.finalize`` hook so abandoned executors do
 not leak worker processes.
+
+Thread safety
+-------------
+One executor may be shared by many threads issuing :meth:`run` / :meth:`map`
+calls concurrently — the query-serving engine keeps a single executor alive
+across requests.  The contract:
+
+* every pool-lifecycle transition (build, release, abandon) happens under an
+  internal lock, tagged with a monotonically increasing *generation*; a
+  breakage observed by several runs at once rebuilds the pool exactly once
+  (the run that arrives second sees the newer generation and simply
+  resubmits its lost tasks to the already-rebuilt pool);
+* each :meth:`run` call owns a private cancellation event;
+  :meth:`cancel` cancels every run in flight at that moment and nothing
+  else — a later ``run`` starts with a clean slate;
+* a run whose deadline expires (or that is cancelled) abandons the shared
+  pool only when it is the *sole* run in flight; otherwise it just cancels
+  its own pending futures so concurrent runs keep their workers;
+* a future orphaned by another thread's ``close()`` surfaces as
+  ``CancelledError`` and is treated like a lost task — retried on a fresh
+  pool when one is allowed, recorded as an error otherwise.
 """
 
 from __future__ import annotations
@@ -45,7 +66,12 @@ import os
 import threading
 import time
 import weakref
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
@@ -151,7 +177,14 @@ class ParallelExecutor:
         self._start_method = start_method
         self._pool: Optional[ProcessPoolExecutor] = None
         self._finalizer: Optional[weakref.finalize] = None
-        self._cancel_event = threading.Event()
+        # Pool lifecycle is shared mutable state; every transition happens
+        # under this lock and bumps the generation so concurrent runs can
+        # tell "the pool I submitted to broke" from "someone already
+        # rebuilt it for me".
+        self._lock = threading.RLock()
+        self._generation = 0
+        self._active_cancel_events: set = set()
+        self._active_runs = 0
         self._pool_disabled = self.workers <= 1
         if not self._pool_disabled:
             # Context resolution validates REPRO_START_METHOD / start_method
@@ -170,46 +203,75 @@ class ParallelExecutor:
 
     def _build_pool(self) -> bool:
         """(Re)create the process pool; returns whether one is available."""
-        if self._pool_disabled:
-            return False
-        try:
-            pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=self._context
-            )
-        except (OSError, ValueError, ImportError):  # pragma: no cover
-            self._pool_disabled = True  # sandboxed platform: go serial
-            self._pool = None
-            return False
-        self._pool = pool
-        # Backstop for callers that skip the context manager: release the
-        # workers when the executor is collected.  The callback must not
-        # reference ``self`` or the executor would never be collected.
-        self._finalizer = weakref.finalize(self, _shutdown_pool, pool)
-        return True
+        with self._lock:
+            if self._pool_disabled:
+                return False
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=self._context
+                )
+            except (OSError, ValueError, ImportError):  # pragma: no cover
+                self._pool_disabled = True  # sandboxed platform: go serial
+                self._pool = None
+                return False
+            self._pool = pool
+            self._generation += 1
+            # Backstop for callers that skip the context manager: release
+            # the workers when the executor is collected.  The callback must
+            # not reference ``self`` or the executor would never be
+            # collected.
+            self._finalizer = weakref.finalize(self, _shutdown_pool, pool)
+            return True
 
     def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
         """The live pool, rebuilding a previously abandoned one if needed."""
-        if self._pool is None and not self._pool_disabled:
-            self._build_pool()
-        return self._pool
+        with self._lock:
+            if self._pool is None and not self._pool_disabled:
+                self._build_pool()
+            return self._pool
+
+    def _pool_and_generation(self):
+        with self._lock:
+            self._ensure_pool()
+            return self._pool, self._generation
 
     def _release_pool(self, wait_for_workers: bool) -> None:
-        if self._finalizer is not None:
-            self._finalizer.detach()
-            self._finalizer = None
-        if self._pool is not None:
+        with self._lock:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
             pool, self._pool = self._pool, None
+            self._generation += 1
+        if pool is not None:
             pool.shutdown(wait=wait_for_workers, cancel_futures=True)
 
-    def _abandon_pool(self) -> None:
+    def _handle_breakage(self, seen_generation: int) -> None:
+        """Rebuild the pool after a breakage, at most once per generation.
+
+        Several concurrent runs may observe the same broken pool; the first
+        one through releases and rebuilds it, later arrivals see a newer
+        generation and leave the fresh pool alone.
+        """
+        with self._lock:
+            if self._generation != seen_generation:
+                return  # somebody already replaced (or closed) that pool
+            self._release_pool(wait_for_workers=False)
+            self._build_pool()
+
+    def _abandon_pool_if_sole(self) -> None:
         """Drop a pool whose workers may still be running (deadline path).
 
         ``shutdown(wait=False)`` signals the workers and returns
         immediately; a shard that is mid-sleep keeps its doomed process
         alive briefly but the query returns now.  The next ``run``/``map``
-        builds a fresh pool.
+        builds a fresh pool.  When *other* runs share this executor the
+        pool is left alone — their shards are still executing in it — and
+        only this run's pending futures are cancelled by the caller.
         """
-        self._release_pool(wait_for_workers=False)
+        with self._lock:
+            if self._active_runs > 1:
+                return
+            self._release_pool(wait_for_workers=False)
 
     @property
     def serial(self) -> bool:
@@ -218,17 +280,22 @@ class ParallelExecutor:
 
     def close(self) -> None:
         """Shut the pool down (idempotent); the executor turns serial."""
-        self._pool_disabled = True
+        with self._lock:
+            self._pool_disabled = True
         self._release_pool(wait_for_workers=True)
 
     def cancel(self) -> None:
-        """Cooperatively cancel the in-flight :meth:`run` (thread-safe).
+        """Cooperatively cancel every in-flight :meth:`run` (thread-safe).
 
-        The running call stops dispatching new work, abandons unfinished
+        Each running call stops dispatching new work, abandons unfinished
         shards, and returns a partial :class:`MapOutcome` with
-        ``cancelled=True``.  Completed task results are kept.
+        ``cancelled=True``.  Completed task results are kept.  Runs started
+        *after* this call are unaffected — cancellation is not sticky.
         """
-        self._cancel_event.set()
+        with self._lock:
+            events = list(self._active_cancel_events)
+        for event in events:
+            event.set()
 
     # ------------------------------------------------------------------
     # Execution
@@ -301,24 +368,38 @@ class ParallelExecutor:
         )
         started = time.monotonic()
         deadline_at = None if deadline is None else started + deadline
-        self._cancel_event.clear()
+        # Each run owns its cancellation event; cancel() snapshots the set
+        # of live runs, so concurrent runs never clear each other's flag.
+        cancel_event = threading.Event()
+        with self._lock:
+            self._active_cancel_events.add(cancel_event)
+            self._active_runs += 1
 
         def out_of_time() -> bool:
             return deadline_at is not None and time.monotonic() >= deadline_at
 
-        pool = self._ensure_pool()
-        if pool is None:
-            self._run_serial(fn, task_list, outcome, out_of_time, task_retries)
-        else:
-            self._run_pooled(
-                fn,
-                task_list,
-                outcome,
-                deadline_at,
-                out_of_time,
-                task_retries,
-                pool_rebuilds,
-            )
+        try:
+            pool = self._ensure_pool()
+            if pool is None:
+                self._run_serial(
+                    fn, task_list, outcome, out_of_time, task_retries,
+                    cancel_event,
+                )
+            else:
+                self._run_pooled(
+                    fn,
+                    task_list,
+                    outcome,
+                    deadline_at,
+                    out_of_time,
+                    task_retries,
+                    pool_rebuilds,
+                    cancel_event,
+                )
+        finally:
+            with self._lock:
+                self._active_cancel_events.discard(cancel_event)
+                self._active_runs -= 1
         outcome.elapsed = time.monotonic() - started
         return outcome
 
@@ -331,9 +412,10 @@ class ParallelExecutor:
         outcome: MapOutcome,
         out_of_time: Callable[[], bool],
         task_retries: int,
+        cancel_event: threading.Event,
     ) -> None:
         for index, task in enumerate(task_list):
-            if self._cancel_event.is_set():
+            if cancel_event.is_set():
                 outcome.cancelled = True
                 return
             if out_of_time():
@@ -363,33 +445,36 @@ class ParallelExecutor:
         out_of_time: Callable[[], bool],
         task_retries: int,
         pool_rebuilds: int,
+        cancel_event: threading.Event,
     ) -> None:
         attempts = [0] * len(task_list)
-        pending = {}  # future -> task index
+        pending = {}  # future -> (task index, pool generation at submit)
 
         def submit(index: int) -> bool:
-            pool = self._ensure_pool()
+            pool, generation = self._pool_and_generation()
             if pool is None:
                 return False
             try:
-                pending[pool.submit(fn, task_list[index])] = index
+                pending[pool.submit(fn, task_list[index])] = (index, generation)
                 return True
             except (BrokenProcessPool, RuntimeError):
                 return False
 
+        submitted = 0
         for index in range(len(task_list)):
             if not submit(index):
                 # Pool died before dispatch finished; the wait loop below
                 # will account for whatever made it in.
                 break
-        if len(pending) < len(task_list):
-            for index in range(len(pending), len(task_list)):
+            submitted += 1
+        if submitted < len(task_list):
+            for index in range(submitted, len(task_list)):
                 outcome.errors[index] = BrokenProcessPool(
                     "process pool unavailable at submission"
                 )
 
         while pending:
-            if self._cancel_event.is_set():
+            if cancel_event.is_set():
                 outcome.cancelled = True
                 break
             timeout = (
@@ -401,16 +486,18 @@ class ParallelExecutor:
             if not done:
                 outcome.deadline_hit = True
                 break
-            broken = False
+            broken_generations: List[int] = []
             resubmit: List[int] = []
             lost: List[int] = []
             for future in done:
-                index = pending.pop(future)
+                index, generation = pending.pop(future)
                 try:
                     outcome.results[index] = future.result()
                     outcome.completed[index] = True
-                except BrokenProcessPool:
-                    broken = True
+                except (BrokenProcessPool, CancelledError):
+                    # CancelledError: another thread closed or abandoned
+                    # the pool under us — same recovery as a breakage.
+                    broken_generations.append(generation)
                     lost.append(index)
                 except Exception as exc:
                     attempts[index] += 1
@@ -419,14 +506,23 @@ class ParallelExecutor:
                     else:
                         outcome.task_retries += 1
                         resubmit.append(index)
-            if broken:
-                # Every sibling future is doomed with the same pool; fold
-                # them into the lost set so one breakage is handled once.
-                lost.extend(pending.values())
-                pending.clear()
-                self._release_pool(wait_for_workers=False)
+            if broken_generations:
+                # Every sibling future submitted to the same pool is doomed
+                # with it; fold those into the lost set so one breakage is
+                # handled once.  Futures already resubmitted to a *newer*
+                # pool are left pending.
+                doomed = set(broken_generations)
+                for future, (index, generation) in list(pending.items()):
+                    if generation in doomed:
+                        lost.append(index)
+                        del pending[future]
+                for generation in sorted(doomed):
+                    self._handle_breakage(generation)
                 outcome.pool_rebuilds += 1
-                if outcome.pool_rebuilds > pool_rebuilds or not self._build_pool():
+                if (
+                    outcome.pool_rebuilds > pool_rebuilds
+                    or self._ensure_pool() is None
+                ):
                     for index in sorted(lost + resubmit):
                         outcome.errors[index] = BrokenProcessPool(
                             "process pool broke and the rebuild budget "
@@ -457,8 +553,10 @@ class ParallelExecutor:
                 future.cancel()
             # Workers may still be executing abandoned shards; drop the
             # pool without waiting so the caller gets its partial result
-            # inside the budget.  The next run() rebuilds lazily.
-            self._abandon_pool()
+            # inside the budget — unless other runs share this executor,
+            # in which case their shards keep the pool.  The next run()
+            # rebuilds lazily.
+            self._abandon_pool_if_sole()
 
     # ------------------------------------------------------------------
     # Plumbing

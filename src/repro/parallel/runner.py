@@ -25,6 +25,7 @@ walk-generation cost is still paid once per trial, not once per source.
 
 from __future__ import annotations
 
+import math
 import time
 import warnings
 from dataclasses import dataclass
@@ -357,6 +358,7 @@ def parallel_crashsim(
     shards: int = DEFAULT_SHARDS,
     deadline: Optional[float] = None,
     sampler: str = "cdf",
+    tree=None,
 ) -> CrashSimResult:
     """Single-source CrashSim with the ``n_r`` trials sharded over processes.
 
@@ -367,6 +369,13 @@ def parallel_crashsim(
     executor:
         Reuse an existing :class:`ParallelExecutor` across queries to
         amortise pool start-up; the caller keeps ownership.
+    tree:
+        A prebuilt :class:`~repro.core.revreach.SparseReverseTree` for
+        ``source`` (e.g. from a serving engine's LRU), validated against
+        the query's ``source``/``c``/``l_max``/``variant``; built fresh
+        when omitted.  Supplying one moves the tree build out of the
+        ``deadline`` budget, since the budget clock only meters work done
+        inside this call.
     shards:
         Trial-shard count.  Results depend on ``shards`` (it defines the
         RNG stream layout) but **not** on ``workers`` — the determinism
@@ -411,7 +420,19 @@ def parallel_crashsim(
     num_nodes = max(graph.num_nodes, 2)
     n_r = params.n_r(num_nodes)
 
-    tree = revreach_levels(graph, source, l_max, params.c, variant=tree_variant)
+    if tree is None:
+        tree = revreach_levels(
+            graph, source, l_max, params.c, variant=tree_variant
+        )
+    elif (
+        tree.source != source
+        or tree.l_max != l_max
+        or tree.variant != tree_variant
+        or not math.isclose(tree.c, params.c)
+    ):
+        raise ParameterError(
+            "provided tree does not match the query's source/c/l_max/variant"
+        )
 
     walk_targets = candidate_array[candidate_array != source]
     walk_targets = walk_targets[graph.in_degrees()[walk_targets] > 0]

@@ -1,0 +1,597 @@
+"""The resident query engine: warm state, batching window, graceful load.
+
+One :class:`Engine` owns everything a single-source CrashSim query needs —
+the graph, per-sampler :class:`~repro.walks.kernel.WalkCrashKernel` buffers,
+an LRU of source reverse trees, and a persistent
+:class:`~repro.parallel.ParallelExecutor` — and answers concurrent requests
+from many client threads.
+
+Architecture
+------------
+Client threads :meth:`~Engine.submit` requests onto a FIFO queue and get a
+future back; **one dispatcher thread** drains the queue.  Funnelling all
+scoring through a single thread is what makes the warm kernels safe to
+reuse (their scratch buffers are single-threaded by design) and it gives
+the engine its batching point for free: after the first request arrives the
+dispatcher keeps collecting for ``batch_window`` seconds (or until
+``max_batch``), then serves the whole batch:
+
+* requests with a ``deadline`` are served first and individually — their
+  remaining budget (measured from *arrival*) flows into
+  :func:`~repro.parallel.parallel_crashsim` on the persistent executor, so
+  an overloaded engine degrades those answers (fewer trials, honest wider
+  ``achieved_epsilon``) instead of failing them;
+* the rest are partitioned by ``sampler`` and scored through
+  :func:`~repro.core.batch.crashsim_batch`, which coalesces same-seed /
+  same-candidate-set requests into one shared walk stream
+  (``accumulate_multi``) and serves the remainder solo on warm state.
+
+Seedless requests are assigned engine-drawn integer seeds; seedless
+requests in the same batch that share an explicit candidate set are given
+*one* drawn seed so they coalesce.  Explicitly seeded requests are never
+re-seeded — their answers stay byte-identical to direct
+:func:`repro.api.single_source` calls no matter how they were batched.
+
+Shutdown drains: :meth:`~Engine.close` stops admissions (later submissions
+raise :class:`~repro.errors.EngineClosedError`), lets the dispatcher finish
+every request already queued, then tears down the executor.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import warnings
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api import ScoreVector
+from repro.core.batch import BatchQuery, crashsim_batch
+from repro.core.params import CrashSimParams
+from repro.core.revreach import revreach_levels
+from repro.errors import (
+    DeadlineExceededError,
+    DegradedResultWarning,
+    EngineClosedError,
+    ParameterError,
+)
+from repro.graph.digraph import DiGraph
+from repro.walks.kernel import WalkCrashKernel
+
+__all__ = ["Engine", "EngineConfig", "QueryRequest", "QueryResult", "TreeLRU"]
+
+_SHUTDOWN = object()
+
+
+class TreeLRU:
+    """Thread-safe LRU of source reverse reachable trees.
+
+    Keyed by source node; one engine fixes ``(c, l_max, variant)`` so they
+    are not part of the key.  Trees are immutable, so a tree handed to one
+    request stays valid after eviction.  Builds run outside the lock —
+    concurrent misses on different sources overlap; racing builds of the
+    same source produce deterministic duplicates and the first stored wins.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        l_max: int,
+        c: float,
+        *,
+        variant: str = "corrected",
+        capacity: int = 256,
+    ):
+        if capacity < 1:
+            raise ParameterError(f"capacity must be positive, got {capacity}")
+        self._graph = graph
+        self._l_max = l_max
+        self._c = c
+        self._variant = variant
+        self._capacity = capacity
+        self._entries: "OrderedDict[int, object]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __call__(self, source: int):
+        return self.get(source)
+
+    def get(self, source: int):
+        source = int(source)
+        with self._lock:
+            tree = self._entries.get(source)
+            if tree is not None:
+                self.hits += 1
+                self._entries.move_to_end(source)
+                return tree
+        built = revreach_levels(
+            self._graph, source, self._l_max, self._c, variant=self._variant
+        )
+        with self._lock:
+            tree = self._entries.get(source)
+            if tree is not None:
+                self.hits += 1
+                self._entries.move_to_end(source)
+                return tree
+            self.misses += 1
+            self._entries[source] = built
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+        return built
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-wide knobs; one config covers every query the engine answers.
+
+    ``c``/``epsilon``/``delta``/``n_r`` mirror
+    :func:`repro.api.single_source`.  ``batch_window`` is how long the
+    dispatcher waits for companions after the first request of a batch
+    arrives (0 serves whatever is already queued, never sleeping);
+    ``max_batch`` caps a batch.  ``tree_cache_size`` bounds the source-tree
+    LRU.  ``workers`` is the persistent executor's process count for
+    deadline queries (``None`` → CPU count).
+    """
+
+    c: float = 0.6
+    epsilon: float = 0.025
+    delta: float = 0.01
+    n_r: Optional[int] = None
+    tree_variant: str = "corrected"
+    batch_window: float = 0.002
+    max_batch: int = 64
+    tree_cache_size: int = 256
+    workers: Optional[int] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        if self.batch_window < 0:
+            raise ParameterError(
+                f"batch_window must be non-negative, got {self.batch_window}"
+            )
+        if self.max_batch < 1:
+            raise ParameterError(
+                f"max_batch must be positive, got {self.max_batch}"
+            )
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One admitted request.
+
+    ``seed`` follows :func:`repro.api.single_source` (an explicit seed
+    makes the answer deterministic and byte-identical to the direct call);
+    ``deadline`` is a wall-clock budget in seconds measured from
+    *submission*; ``top_k`` additionally extracts the k best non-source
+    nodes from the dense vector.
+    """
+
+    source: int
+    candidates: Optional[Tuple[int, ...]] = None
+    seed: Optional[int] = None
+    deadline: Optional[float] = None
+    sampler: str = "cdf"
+    top_k: Optional[int] = None
+
+    @staticmethod
+    def make(
+        source: int,
+        *,
+        candidates: Optional[Iterable[int]] = None,
+        seed: Optional[int] = None,
+        deadline: Optional[float] = None,
+        sampler: str = "cdf",
+        top_k: Optional[int] = None,
+    ) -> "QueryRequest":
+        if candidates is not None:
+            candidates = tuple(int(node) for node in candidates)
+        if deadline is not None and deadline <= 0:
+            raise ParameterError(f"deadline must be positive, got {deadline}")
+        if top_k is not None and top_k < 1:
+            raise ParameterError(f"top_k must be positive, got {top_k}")
+        return QueryRequest(
+            source=int(source),
+            candidates=candidates,
+            seed=None if seed is None else int(seed),
+            deadline=deadline,
+            sampler=sampler,
+            top_k=top_k,
+        )
+
+
+@dataclass
+class QueryResult:
+    """An engine answer: the dense vector plus serving metadata.
+
+    ``scores`` is the same :class:`~repro.api.ScoreVector` the direct API
+    returns (resilience metadata included); ``top`` is the optional
+    ``(node, score)`` ranking for ``top_k`` requests; ``batch_size`` and
+    ``coalesced`` describe how the request was served (diagnostics only —
+    they carry no information about the scores themselves).
+    """
+
+    scores: ScoreVector
+    source: int
+    seed: Optional[int]
+    elapsed: float
+    top: Optional[List[Tuple[int, float]]] = None
+    batch_size: int = 1
+    coalesced: bool = False
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.scores.degraded)
+
+
+@dataclass
+class _Pending:
+    request: QueryRequest
+    future: Future
+    arrival: float
+    seed: Optional[int] = None
+    coalesce_key: Optional[Tuple] = field(default=None, compare=False)
+
+
+class Engine:
+    """A long-lived single-source SimRank engine over one graph.
+
+    Thread-safe: any number of client threads may call :meth:`submit` /
+    :meth:`query` concurrently.  Use as a context manager or call
+    :meth:`close` to shut down (queued requests are drained, not dropped).
+    """
+
+    def __init__(self, graph: DiGraph, config: Optional[EngineConfig] = None):
+        self.graph = graph
+        self.config = config or EngineConfig()
+        self.params = CrashSimParams(
+            c=self.config.c,
+            epsilon=self.config.epsilon,
+            delta=self.config.delta,
+            n_r_override=self.config.n_r,
+        )
+        self.trees = TreeLRU(
+            graph,
+            self.params.l_max,
+            self.params.c,
+            variant=self.config.tree_variant,
+            capacity=self.config.tree_cache_size,
+        )
+        self._kernels: Dict[str, WalkCrashKernel] = {}
+        self._executor = None
+        self._queue: "queue.Queue" = queue.Queue()
+        self._lock = threading.RLock()
+        self._closed = False
+        self._seed_source = np.random.default_rng(self.config.seed)
+        self._stats: Dict[str, int] = {
+            "queries": 0,
+            "batches": 0,
+            "deadline_queries": 0,
+            "degraded": 0,
+            "rejected": 0,
+            "shared_walk_groups": 0,
+            "coalesced_queries": 0,
+            "solo_queries": 0,
+        }
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------ admission
+
+    def submit(self, request: QueryRequest) -> Future:
+        """Admit a request; returns a future resolving to a :class:`QueryResult`.
+
+        Raises :class:`~repro.errors.EngineClosedError` once :meth:`close`
+        has begun — admission and shutdown are serialised on one lock, so a
+        request either makes it into the drain or is rejected, never lost.
+        """
+        if not 0 <= request.source < self.graph.num_nodes:
+            raise ParameterError(
+                f"source {request.source} outside the graph's node range "
+                f"[0, {self.graph.num_nodes})"
+            )
+        future: Future = Future()
+        pending = _Pending(request, future, arrival=time.monotonic())
+        with self._lock:
+            if self._closed:
+                self._stats["rejected"] += 1
+                raise EngineClosedError("engine is shut down; no new queries")
+            self._queue.put(pending)
+        return future
+
+    def query(
+        self,
+        source: int,
+        *,
+        candidates: Optional[Iterable[int]] = None,
+        seed: Optional[int] = None,
+        deadline: Optional[float] = None,
+        sampler: str = "cdf",
+        top_k: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> QueryResult:
+        """Blocking convenience wrapper: submit and wait for the answer."""
+        request = QueryRequest.make(
+            source,
+            candidates=candidates,
+            seed=seed,
+            deadline=deadline,
+            sampler=sampler,
+            top_k=top_k,
+        )
+        return self.submit(request).result(timeout=timeout)
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of serving counters (plus tree-LRU hit rates)."""
+        with self._lock:
+            snapshot = dict(self._stats)
+        snapshot["tree_cache_hits"] = self.trees.hits
+        snapshot["tree_cache_misses"] = self.trees.misses
+        snapshot["tree_cache_size"] = len(self.trees)
+        return snapshot
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop admissions, drain queued requests, release the executor.
+
+        Idempotent.  Every request admitted before the close is answered
+        (or failed with its own error) before this returns.
+        """
+        with self._lock:
+            if self._closed:
+                already = True
+            else:
+                already = False
+                self._closed = True
+                self._queue.put(_SHUTDOWN)
+        if not already:
+            self._dispatcher.join(timeout=timeout)
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.close()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ dispatch
+
+    def _dispatch_loop(self) -> None:
+        stop = False
+        while not stop:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            batch = [item]
+            window_end = time.monotonic() + self.config.batch_window
+            while len(batch) < self.config.max_batch:
+                remaining = window_end - time.monotonic()
+                if remaining <= 0:
+                    # Window spent: still sweep anything already queued.
+                    try:
+                        nxt = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                else:
+                    try:
+                        nxt = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                if nxt is _SHUTDOWN:
+                    # The sentinel is enqueued after the last admitted
+                    # request, so everything to drain is in `batch` now.
+                    stop = True
+                    break
+                batch.append(nxt)
+            self._serve_batch(batch)
+
+    def _serve_batch(self, batch: List[_Pending]) -> None:
+        with self._lock:
+            self._stats["queries"] += len(batch)
+            self._stats["batches"] += 1
+        deadline_items = [p for p in batch if p.request.deadline is not None]
+        coalescible = [p for p in batch if p.request.deadline is None]
+        # Latency-bounded requests go first: their budget is already burning.
+        for pending in deadline_items:
+            self._serve_deadline(pending)
+        by_sampler: Dict[str, List[_Pending]] = {}
+        for pending in coalescible:
+            by_sampler.setdefault(pending.request.sampler, []).append(pending)
+        for sampler, group in by_sampler.items():
+            self._serve_coalesced(sampler, group)
+
+    def _assign_seeds(self, group: List[_Pending]) -> None:
+        """Give every seedless request a drawn seed; share one per catalogue.
+
+        Seedless requests over the same explicit candidate set get a single
+        drawn seed so ``crashsim_batch`` coalesces them into one shared
+        walk stream.  ``candidates=None`` requests keep individual seeds —
+        their walk-target sets differ per source, so sharing gains nothing.
+        Explicit seeds are never touched.
+        """
+        shared: Dict[Tuple, int] = {}
+        for pending in group:
+            request = pending.request
+            if request.seed is not None:
+                pending.seed = request.seed
+                continue
+            if request.candidates is None:
+                pending.seed = int(self._seed_source.integers(0, 2**63))
+                continue
+            key = request.candidates
+            if key not in shared:
+                shared[key] = int(self._seed_source.integers(0, 2**63))
+            pending.seed = shared[key]
+
+    def _serve_coalesced(self, sampler: str, group: List[_Pending]) -> None:
+        self._assign_seeds(group)
+        queries = [
+            BatchQuery(
+                p.request.source, seed=p.seed, candidates=p.request.candidates
+            )
+            for p in group
+        ]
+        batch_stats: Dict[str, int] = {}
+        try:
+            results = crashsim_batch(
+                self.graph,
+                queries,
+                params=self.params,
+                tree_variant=self.config.tree_variant,
+                sampler=sampler,
+                kernel=self._kernel(sampler),
+                tree_provider=self.trees,
+                stats=batch_stats,
+            )
+        except Exception:
+            if len(group) == 1:
+                group[0].future.set_exception(_current_exception())
+                return
+            # One bad request must not fail its batch-mates: retry solo so
+            # only the offender errors.
+            for pending in group:
+                self._serve_coalesced(sampler, [pending])
+            return
+        with self._lock:
+            for key, value in batch_stats.items():
+                self._stats[key] += value
+        coalesced = batch_stats.get("coalesced_queries", 0) > 0
+        for pending, result in zip(group, results):
+            self._finish(
+                pending, result, batch_size=len(group), coalesced=coalesced
+            )
+
+    def _serve_deadline(self, pending: _Pending) -> None:
+        from repro.parallel import parallel_crashsim
+
+        request = pending.request
+        self._assign_seeds([pending])
+        with self._lock:
+            self._stats["deadline_queries"] += 1
+        remaining = request.deadline - (time.monotonic() - pending.arrival)
+        if remaining <= 0:
+            pending.future.set_exception(
+                DeadlineExceededError(
+                    f"deadline of {request.deadline}s elapsed while the "
+                    "request waited for dispatch",
+                    deadline=request.deadline,
+                    elapsed=time.monotonic() - pending.arrival,
+                )
+            )
+            return
+        try:
+            tree = self.trees.get(request.source)
+            with warnings.catch_warnings():
+                # The degradation signal reaches the caller through the
+                # ScoreVector metadata; the warning would only spam the
+                # server log once per overloaded request.
+                warnings.simplefilter("ignore", DegradedResultWarning)
+                result = parallel_crashsim(
+                    self.graph,
+                    request.source,
+                    candidates=request.candidates,
+                    params=self.params,
+                    seed=pending.seed,
+                    workers=self.config.workers,
+                    executor=self._ensure_executor(),
+                    deadline=remaining,
+                    sampler=request.sampler,
+                    tree=tree,
+                )
+        except Exception:
+            pending.future.set_exception(_current_exception())
+            return
+        self._finish(pending, result, batch_size=1, coalesced=False)
+
+    # ------------------------------------------------------------------ helpers
+
+    def _kernel(self, sampler: str) -> WalkCrashKernel:
+        kernel = self._kernels.get(sampler)
+        if kernel is None:
+            kernel = WalkCrashKernel(self.graph, self.params.c, sampler=sampler)
+            self._kernels[sampler] = kernel
+        return kernel
+
+    def _ensure_executor(self):
+        from repro.parallel import ParallelExecutor
+
+        with self._lock:
+            if self._executor is None:
+                self._executor = ParallelExecutor(self.config.workers)
+            return self._executor
+
+    def _finish(
+        self,
+        pending: _Pending,
+        result,
+        *,
+        batch_size: int,
+        coalesced: bool,
+    ) -> None:
+        # Exactly api.single_source's assembly, so engine vectors are
+        # byte-identical to the direct call's.
+        scores = np.zeros(self.graph.num_nodes)
+        scores[result.candidates] = result.scores
+        scores[int(result.source)] = 1.0
+        vector = ScoreVector.wrap(
+            scores,
+            degraded=result.degraded,
+            trials_completed=result.trials_completed,
+            achieved_epsilon=result.achieved_epsilon,
+        )
+        if result.degraded:
+            with self._lock:
+                self._stats["degraded"] += 1
+        top = None
+        if pending.request.top_k is not None:
+            top = _top_k(vector, int(result.source), pending.request.top_k)
+        pending.future.set_result(
+            QueryResult(
+                scores=vector,
+                source=int(result.source),
+                seed=pending.seed,
+                elapsed=time.monotonic() - pending.arrival,
+                top=top,
+                batch_size=batch_size,
+                coalesced=coalesced,
+            )
+        )
+
+
+def _top_k(scores: np.ndarray, source: int, k: int) -> List[Tuple[int, float]]:
+    """The k best non-source nodes, score-descending, node id as tiebreak."""
+    values = np.asarray(scores, dtype=np.float64).copy()
+    values[source] = -np.inf
+    k = min(k, values.size - 1)
+    if k <= 0:
+        return []
+    top = np.argpartition(-values, k - 1)[:k]
+    order = np.lexsort((top, -values[top]))
+    ranked = top[order]
+    return [(int(node), float(values[node])) for node in ranked]
+
+
+def _current_exception() -> BaseException:
+    import sys
+
+    return sys.exc_info()[1]

@@ -1,0 +1,163 @@
+"""A threaded HTTP front door over one :class:`~repro.serve.engine.Engine`.
+
+Deliberately dependency-free (``http.server`` from the standard library):
+each connection gets a handler thread, every handler funnels into the
+engine's queue, and the engine's single dispatcher does the actual scoring
+— so the batching window naturally coalesces whatever concurrent HTTP
+clients send.  This is the process behind ``repro serve``.
+
+Endpoints
+---------
+``POST /v1/query``
+    Body: ``{"source": 3, "candidates": [..]?, "seed": 42?,
+    "deadline": 0.5?, "sampler": "cdf"?, "top_k": 10?}``.
+    Response carries the resilience metadata and either the dense
+    ``scores`` list (small graphs / explicit ``"dense": true``) or the
+    ``top`` ranking.  Requests without ``top_k`` on graphs larger than
+    ``DENSE_RESPONSE_LIMIT`` nodes default to ``top_k=100`` rather than
+    shipping a multi-megabyte vector.
+``GET /healthz``
+    ``200 {"status": "ok"}`` while the engine accepts queries.
+``GET /stats``
+    The engine's serving counters.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.errors import DeadlineExceededError, EngineClosedError, ReproError
+from repro.serve.engine import Engine
+
+__all__ = ["create_server", "serve_forever", "DENSE_RESPONSE_LIMIT"]
+
+#: Above this node count, responses default to a top-k ranking instead of
+#: the dense vector (which would be ~1 MB of JSON per 50k-node query).
+DENSE_RESPONSE_LIMIT = 10_000
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The engine rides on the server object (see create_server).
+    @property
+    def engine(self) -> Engine:
+        return self.server.engine
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            if self.engine.closed:
+                self._reply(503, {"status": "closed"})
+            else:
+                self._reply(200, {"status": "ok"})
+            return
+        if self.path == "/stats":
+            self._reply(200, self.engine.stats())
+            return
+        self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/v1/query":
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": f"malformed request body: {exc}"})
+            return
+        if not isinstance(payload, dict) or "source" not in payload:
+            self._reply(400, {"error": "body must be an object with 'source'"})
+            return
+        top_k = payload.get("top_k")
+        dense = bool(payload.get("dense", False))
+        if (
+            top_k is None
+            and not dense
+            and self.engine.graph.num_nodes > DENSE_RESPONSE_LIMIT
+        ):
+            top_k = 100
+        try:
+            result = self.engine.query(
+                int(payload["source"]),
+                candidates=payload.get("candidates"),
+                seed=payload.get("seed"),
+                deadline=payload.get("deadline"),
+                sampler=payload.get("sampler", "cdf"),
+                top_k=top_k,
+            )
+        except EngineClosedError as exc:
+            self._reply(503, {"error": str(exc)})
+            return
+        except DeadlineExceededError as exc:
+            self._reply(504, {"error": str(exc), "deadline": exc.deadline})
+            return
+        except (ReproError, TypeError) as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        response = {
+            "source": result.source,
+            "seed": result.seed,
+            "elapsed": result.elapsed,
+            "degraded": result.degraded,
+            "trials_completed": result.scores.trials_completed,
+            "achieved_epsilon": result.scores.achieved_epsilon,
+            "batch_size": result.batch_size,
+            "coalesced": result.coalesced,
+        }
+        if result.top is not None:
+            response["top"] = [[node, score] for node, score in result.top]
+        else:
+            response["scores"] = [float(s) for s in result.scores]
+        self._reply(200, response)
+
+
+def create_server(
+    engine: Engine,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    *,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Build the threaded HTTP server (not yet serving) over ``engine``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``) — how the tests run a real client/server
+    pair without port collisions.
+    """
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.engine = engine
+    server.verbose = verbose
+    server.daemon_threads = True
+    return server
+
+
+def serve_forever(
+    server: ThreadingHTTPServer, *, poll_interval: float = 0.5
+) -> None:
+    """Serve until interrupted, then drain the engine before returning."""
+    try:
+        server.serve_forever(poll_interval=poll_interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown_requested = True
+        threading.Thread(target=server.shutdown, daemon=True).start()
+        server.engine.close()
+        server.server_close()

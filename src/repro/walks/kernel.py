@@ -230,9 +230,15 @@ class WalkCrashKernel:
             )
         self.use_jit = bool(use_jit)
         self._jit_step = self._bind_jit_step() if self.use_jit else None
-        # Reusable buffers, grown on demand and kept across calls.
+        # Reusable buffers, grown on demand and kept across calls.  One
+        # kernel serves one thread at a time: buffers are shared mutable
+        # state, so concurrent accumulate()/accumulate_multi() calls on the
+        # same instance corrupt each other.  Long-lived callers (the serving
+        # engine) funnel all scoring through a single dispatcher thread.
         self._cap = 0
         self._buffers: tuple = ()
+        self._multi_cap = 0
+        self._multi_scratch: tuple = ()
         self.steps_processed = 0  # cumulative live-walk step advances
 
     # ------------------------------------------------------------------
@@ -259,6 +265,21 @@ class WalkCrashKernel:
             np.empty(cap, dtype=self._indices.dtype),  # 12 gathered nbrs
             np.empty(cap, dtype=np.float64),  # 13 contributions
         )
+
+    def _ensure_multi_scratch(self, cap: int):
+        """Combined-key / crash-weight scratch for ``accumulate_multi``.
+
+        Grown on demand and kept across calls, like the step buffers: a
+        serving engine scoring batch after batch must not allocate a fresh
+        ``q·cap`` pair per batch.
+        """
+        if cap > self._multi_cap:
+            self._multi_cap = cap
+            self._multi_scratch = (
+                np.empty(cap, dtype=np.int64),
+                np.empty(cap, dtype=np.float64),
+            )
+        return self._multi_scratch
 
     # ------------------------------------------------------------------
     # Single-tree accumulation (CrashSim Algorithm 1 step 3)
@@ -367,8 +388,7 @@ class WalkCrashKernel:
         pos_a, own_a = buffers[0], buffers[2]
         own_b = buffers[3]
         draws = buffers[4]
-        keys = np.empty(q * cap, dtype=np.int64)
-        crash_weights = np.empty(q * cap, dtype=np.float64)
+        keys, crash_weights = self._ensure_multi_scratch(q * cap)
         flat_totals = totals.reshape(-1)
         cand = np.arange(k, dtype=np.int64)
         remaining = n_trials

@@ -1,0 +1,85 @@
+"""Serve-suite fixtures plus a hang watchdog.
+
+A broken engine fails by *hanging* (a dispatcher deadlock, an undrained
+queue), which would stall the whole suite.  CI installs ``pytest-timeout``
+and lets it enforce the ``@pytest.mark.timeout`` marks; on boxes without
+the plugin the autouse watchdog below approximates it with ``SIGALRM``, so
+a hung test still dies with a traceback instead of blocking forever.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import signal
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import preferential_attachment
+from repro.serve import Engine, EngineConfig
+
+HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+
+#: Applied when a test carries no explicit ``timeout`` mark.
+DEFAULT_TIMEOUT = 120
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test if it runs longer than this "
+        "(enforced by pytest-timeout when installed, else by SIGALRM)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _hang_watchdog(request):
+    """SIGALRM fallback for ``@pytest.mark.timeout`` when the plugin is absent.
+
+    Alarm-based, so it only covers the main thread's wait points (future
+    ``.result()``, ``thread.join()``) — which is exactly where a hung
+    engine parks a test.
+    """
+    if HAVE_PYTEST_TIMEOUT or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    marker = request.node.get_closest_marker("timeout")
+    seconds = int(marker.args[0]) if marker and marker.args else DEFAULT_TIMEOUT
+
+    def _fire(signum, frame):
+        raise TimeoutError(
+            f"{request.node.nodeid} exceeded the {seconds}s hang watchdog"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(scope="module")
+def serve_graph():
+    """A 300-node preferential-attachment graph shared across the module."""
+    return preferential_attachment(300, 3, seed=11)
+
+
+@pytest.fixture(scope="module")
+def catalog(serve_graph):
+    """A fixed candidate catalogue no low-id query source belongs to."""
+    return tuple(range(150, 300))
+
+
+@pytest.fixture
+def engine(serve_graph):
+    """A small fast engine; closed (drained) after each test."""
+    config = EngineConfig(n_r=32, batch_window=0.005, seed=1234)
+    with Engine(serve_graph, config) as eng:
+        yield eng
+
+
+@pytest.fixture
+def engine_config():
+    return EngineConfig(n_r=32, batch_window=0.005, seed=1234)

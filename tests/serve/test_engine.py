@@ -1,0 +1,211 @@
+"""Engine unit behaviour: answers, warm state, lifecycle, HTTP front door.
+
+The deeper guarantees — batch-composition invariance and concurrency
+safety — live in ``test_batching_properties.py`` and ``test_soak.py``;
+this file pins the request/response surface a client programs against.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.errors import (
+    DeadlineExceededError,
+    EngineClosedError,
+    ParameterError,
+)
+from repro.serve import Engine, EngineConfig, QueryRequest, TreeLRU, create_server
+
+pytestmark = pytest.mark.timeout(120)
+
+
+class TestAnswers:
+    def test_dense_vector_matches_direct_call(self, engine, serve_graph):
+        result = engine.query(4, seed=99)
+        direct = api.single_source(serve_graph, 4, n_r=32, seed=99)
+        assert result.scores.tobytes() == direct.tobytes()
+        assert result.scores[4] == 1.0
+        assert result.scores.shape == (serve_graph.num_nodes,)
+
+    def test_candidate_restricted_query(self, engine, serve_graph, catalog):
+        result = engine.query(7, seed=5, candidates=catalog)
+        direct = api.single_source(
+            serve_graph, 7, n_r=32, seed=5, candidates=catalog
+        )
+        assert result.scores.tobytes() == direct.tobytes()
+        outside = np.setdiff1d(
+            np.arange(serve_graph.num_nodes), np.array(catalog + (7,))
+        )
+        assert not np.any(result.scores[outside])
+
+    def test_seedless_answer_is_replayable(self, engine, serve_graph):
+        result = engine.query(3)
+        assert result.seed is not None
+        replay = api.single_source(serve_graph, 3, n_r=32, seed=result.seed)
+        assert result.scores.tobytes() == replay.tobytes()
+
+    def test_top_k_ranking(self, engine):
+        result = engine.query(2, seed=11, top_k=5)
+        assert len(result.top) == 5
+        nodes = [node for node, _ in result.top]
+        assert 2 not in nodes
+        scores = [score for _, score in result.top]
+        assert scores == sorted(scores, reverse=True)
+        dense = np.asarray(result.scores).copy()
+        dense[2] = -np.inf
+        assert result.top[0][1] == dense.max()
+
+    def test_deadline_request_degrades_not_fails(self, engine, serve_graph):
+        # A generous deadline: completes fully and byte-matches the direct
+        # deadline call (same seed-shard scheme at any worker count).
+        result = engine.query(6, seed=21, deadline=60.0)
+        direct = api.single_source(serve_graph, 6, n_r=32, seed=21, deadline=60.0)
+        assert result.scores.tobytes() == direct.tobytes()
+        assert not result.degraded
+
+    def test_deadline_already_spent_in_queue(self, engine):
+        request = QueryRequest.make(1, deadline=1e-9)
+        future = engine.submit(request)
+        with pytest.raises(DeadlineExceededError):
+            future.result(timeout=30)
+
+    def test_bad_source_rejected_at_submit(self, engine, serve_graph):
+        with pytest.raises(ParameterError):
+            engine.submit(QueryRequest.make(serve_graph.num_nodes + 5))
+
+    def test_bad_request_fails_only_itself(self, engine, serve_graph, catalog):
+        # An out-of-range candidate set passes submit but fails scoring;
+        # batch-mates must still be answered.
+        bad = engine.submit(
+            QueryRequest.make(1, candidates=(serve_graph.num_nodes + 7,), seed=3)
+        )
+        good = engine.submit(QueryRequest.make(2, candidates=catalog, seed=3))
+        with pytest.raises(ParameterError):
+            bad.result(timeout=30)
+        result = good.result(timeout=30)
+        direct = api.single_source(
+            serve_graph, 2, n_r=32, seed=3, candidates=catalog
+        )
+        assert result.scores.tobytes() == direct.tobytes()
+
+
+class TestWarmState:
+    def test_tree_lru_hits_on_repeat_source(self, engine):
+        engine.query(5, seed=1)
+        misses = engine.trees.misses
+        engine.query(5, seed=2)
+        assert engine.trees.misses == misses
+        assert engine.trees.hits >= 1
+
+    def test_tree_lru_capacity_bounded(self, serve_graph, engine_config):
+        config = EngineConfig(n_r=32, tree_cache_size=4, seed=0)
+        with Engine(serve_graph, config) as engine:
+            for source in range(10):
+                engine.query(source, seed=source)
+            assert len(engine.trees) <= 4
+
+    def test_tree_lru_eviction_order(self, serve_graph):
+        lru = TreeLRU(serve_graph, 5, 0.6, capacity=2)
+        first = lru.get(1)
+        lru.get(2)
+        lru.get(1)  # refresh 1 → 2 is now the eviction victim
+        lru.get(3)
+        assert lru.get(1) is first
+        assert set() == {2} & {k for k in lru._entries}
+
+    def test_stats_counters(self, engine):
+        engine.query(1, seed=1)
+        engine.query(2, seed=2, deadline=60.0)
+        stats = engine.stats()
+        assert stats["queries"] >= 2
+        assert stats["deadline_queries"] == 1
+        assert stats["tree_cache_size"] >= 1
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self, serve_graph, engine_config):
+        engine = Engine(serve_graph, engine_config)
+        engine.query(1, seed=1)
+        engine.close()
+        engine.close()
+        assert engine.closed
+
+    def test_submit_after_close_raises(self, serve_graph, engine_config):
+        engine = Engine(serve_graph, engine_config)
+        engine.close()
+        with pytest.raises(EngineClosedError):
+            engine.submit(QueryRequest.make(0))
+
+    def test_close_drains_queued_requests(self, serve_graph, engine_config):
+        # Admit a burst, close immediately: every admitted future resolves.
+        engine = Engine(serve_graph, engine_config)
+        futures = [
+            engine.submit(QueryRequest.make(source, seed=source))
+            for source in range(12)
+        ]
+        engine.close()
+        for source, future in enumerate(futures):
+            result = future.result(timeout=30)
+            direct = api.single_source(serve_graph, source, n_r=32, seed=source)
+            assert result.scores.tobytes() == direct.tobytes()
+
+
+class TestHttpFrontDoor:
+    @pytest.fixture
+    def server(self, engine):
+        server = create_server(engine, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield server
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def _post(self, server, payload):
+        host, port = server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/v1/query",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return json.loads(response.read())
+
+    def _get(self, server, path):
+        host, port = server.server_address[:2]
+        with urllib.request.urlopen(
+            f"http://{host}:{port}{path}", timeout=30
+        ) as response:
+            return json.loads(response.read())
+
+    def test_query_roundtrip_matches_direct_call(self, server, serve_graph):
+        body = self._post(server, {"source": 3, "seed": 7})
+        direct = api.single_source(serve_graph, 3, n_r=32, seed=7)
+        assert body["scores"] == [float(s) for s in direct]
+        assert body["trials_completed"] == direct.trials_completed
+
+    def test_top_k_response(self, server):
+        body = self._post(server, {"source": 1, "seed": 2, "top_k": 4})
+        assert len(body["top"]) == 4
+        assert "scores" not in body
+
+    def test_healthz_and_stats(self, server):
+        assert self._get(server, "/healthz")["status"] == "ok"
+        stats = self._get(server, "/stats")
+        assert "queries" in stats
+
+    def test_malformed_request_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(server, {"no_source": True})
+        assert excinfo.value.code == 400
+
+    def test_out_of_range_source_is_400(self, server, serve_graph):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(server, {"source": serve_graph.num_nodes + 1})
+        assert excinfo.value.code == 400

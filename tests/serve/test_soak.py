@@ -1,0 +1,264 @@
+"""Concurrency soak: many client threads hammering one resident engine.
+
+What a soak can catch that unit tests cannot: cross-request state leakage
+(a warm tree or kernel buffer from one request bleeding into another's
+answer), lost wakeups in the dispatcher, and shutdown races.  Every request
+here carries an explicit seed, so each has exactly one correct answer —
+any leakage or reordering shows up as a byte-level mismatch against the
+direct :func:`repro.api.single_source` oracle.
+
+The chaos leg reuses :mod:`repro.faults` to SIGKILL a pool worker while an
+engine batch is mid-flight and asserts the answer is still exact — the
+executor's rebuild-and-retry must be invisible through the serving layer.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import api, faults
+from repro.core import CandidateTreeCache
+from repro.errors import EngineClosedError
+from repro.parallel import ParallelExecutor
+from repro.serve import Engine, EngineConfig, QueryRequest
+
+pytestmark = pytest.mark.timeout(300)
+
+N_THREADS = 8
+QUERIES_PER_THREAD = 6
+
+
+def _workload(thread_id, catalog):
+    """Thread ``thread_id``'s request specs: mixed candidates and sources."""
+    specs = []
+    for i in range(QUERIES_PER_THREAD):
+        source = (thread_id * 7 + i * 3) % 120
+        seed = thread_id * 1000 + i
+        candidates = catalog if i % 2 == 0 else None
+        specs.append((source, seed, candidates))
+    return specs
+
+
+class TestThreadedSoak:
+    def test_soak_deterministic_answers_and_bounded_lru(
+        self, serve_graph, catalog
+    ):
+        config = EngineConfig(
+            n_r=32, batch_window=0.002, tree_cache_size=32, seed=7
+        )
+        answers = [None] * N_THREADS
+        errors = []
+
+        with Engine(serve_graph, config) as engine:
+
+            def client(thread_id):
+                try:
+                    got = []
+                    for source, seed, cands in _workload(thread_id, catalog):
+                        result = engine.query(
+                            source, seed=seed, candidates=cands, timeout=60
+                        )
+                        got.append(result)
+                    answers[thread_id] = got
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(t,), daemon=True)
+                for t in range(N_THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+                assert not thread.is_alive(), "soak client hung"
+            assert not errors, errors
+            assert len(engine.trees) <= 32
+            stats = engine.stats()
+            assert stats["queries"] == N_THREADS * QUERIES_PER_THREAD
+
+        # Every answer byte-matches its solo oracle — no cross-request
+        # leakage through the shared kernel, tree LRU, or dispatcher.
+        for thread_id in range(N_THREADS):
+            for (source, seed, cands), result in zip(
+                _workload(thread_id, catalog), answers[thread_id]
+            ):
+                direct = api.single_source(
+                    serve_graph, source, n_r=32, seed=seed, candidates=cands
+                )
+                assert result.scores.tobytes() == direct.tobytes(), (
+                    thread_id,
+                    source,
+                    seed,
+                )
+
+    def test_repeat_soak_same_seeds_same_bytes(self, serve_graph, catalog):
+        # Two engines, same workload: identical answers — warm-state history
+        # (which sources came earlier, what the LRU held) must not matter.
+        def run_once():
+            out = {}
+            config = EngineConfig(n_r=32, batch_window=0.002, seed=3)
+            with Engine(serve_graph, config) as engine:
+                for thread_id in (0, 1, 2):
+                    for source, seed, cands in _workload(thread_id, catalog):
+                        result = engine.query(
+                            source, seed=seed, candidates=cands, timeout=60
+                        )
+                        out[(thread_id, source, seed)] = (
+                            result.scores.tobytes()
+                        )
+            return out
+
+        assert run_once() == run_once()
+
+
+class TestShutdownUnderLoad:
+    def test_close_with_inflight_requests_drains_all(self, serve_graph):
+        config = EngineConfig(n_r=32, batch_window=0.002, seed=5)
+        engine = Engine(serve_graph, config)
+        admitted = []
+        rejected = threading.Event()
+        stop_submitting = threading.Event()
+
+        def submitter():
+            source = 0
+            while not stop_submitting.is_set():
+                try:
+                    future = engine.submit(
+                        QueryRequest.make(source % 100, seed=source)
+                    )
+                    admitted.append((source % 100, source, future))
+                except EngineClosedError:
+                    rejected.set()
+                    return
+                source += 1
+
+        threads = [
+            threading.Thread(target=submitter, daemon=True) for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        # Let a backlog build, then close while submissions are racing in.
+        time.sleep(0.1)
+        engine.close()
+        stop_submitting.set()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+        assert admitted, "no requests made it in before the close"
+        # Every admitted request was answered, exactly.
+        for source, seed, future in admitted:
+            result = future.result(timeout=60)
+            direct = api.single_source(serve_graph, source, n_r=32, seed=seed)
+            assert result.scores.tobytes() == direct.tobytes()
+        with pytest.raises(EngineClosedError):
+            engine.submit(QueryRequest.make(0))
+
+
+class TestChaosUnderLoad:
+    def test_worker_killed_mid_batch_recovers_exactly(self, serve_graph):
+        config = EngineConfig(n_r=64, workers=2, batch_window=0.002, seed=9)
+        probe = ParallelExecutor(workers=2)
+        serial = probe.serial
+        probe.close()
+        if serial:
+            pytest.skip("process pools unavailable on this platform")
+        baseline_config = EngineConfig(
+            n_r=64, workers=2, batch_window=0.002, seed=9
+        )
+        with Engine(serve_graph, baseline_config) as engine:
+            undisturbed = engine.query(8, seed=17, deadline=120.0, timeout=120)
+        assert not undisturbed.degraded
+        plan = {"shard": {"1": {"kind": "kill"}}}
+        with faults.active(plan):
+            with Engine(serve_graph, config) as engine:
+                survivor = engine.query(
+                    8, seed=17, deadline=120.0, timeout=120
+                )
+                # The engine (and its pool) outlives the crash: a second
+                # query on the same executor still answers.
+                follow_up = engine.query(9, seed=18, timeout=120)
+        # All shards were retried to completion: the answer is exact, not
+        # degraded, and byte-identical to the undisturbed run.
+        assert not survivor.degraded
+        assert survivor.scores.tobytes() == undisturbed.scores.tobytes()
+        direct = api.single_source(serve_graph, 9, n_r=64, seed=18)
+        assert follow_up.scores.tobytes() == direct.tobytes()
+
+
+class TestCandidateTreeCacheThreadSafety:
+    def test_concurrent_tree_for_no_leaks_or_corruption(self, serve_graph):
+        cache = CandidateTreeCache()
+        nodes = list(range(40))
+        per_thread_trees = [None] * N_THREADS
+        errors = []
+
+        def hammer(slot):
+            try:
+                local = {}
+                for _ in range(3):
+                    for node in nodes:
+                        tree = cache.tree_for(node, 0, serve_graph, 5, 0.6)
+                        assert tree.source == node
+                        local[node] = tree
+                per_thread_trees[slot] = local
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(s,), daemon=True)
+            for s in range(N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+        assert not errors, errors
+        # No leakage: one entry per node, never more.
+        assert len(cache) == len(nodes)
+        # Accounting adds up: every call was either a hit or (at most a
+        # handful of racing duplicate) builds; duplicates are discarded,
+        # never stored.
+        total_calls = N_THREADS * 3 * len(nodes)
+        assert cache.hits + cache.builds == total_calls
+        assert cache.builds >= len(nodes)
+        # All threads converged on the same stored trees by the last round.
+        reference = per_thread_trees[0]
+        for local in per_thread_trees[1:]:
+            for node in nodes:
+                assert local[node].same_as(reference[node])
+
+    def test_clone_and_retain_under_concurrent_reads(self, serve_graph):
+        cache = CandidateTreeCache()
+        for node in range(20):
+            cache.tree_for(node, 0, serve_graph, 5, 0.6)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    cache.tree_for(3, 0, serve_graph, 5, 0.6)
+                    len(cache)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader, daemon=True) for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(50):
+                clone = cache.clone()
+                assert len(clone) <= 20
+                cache.retain(range(20))
+        finally:
+            stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        assert not errors, errors
