@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-parallel test-chaos test-serve bench bench-tree bench-kernel serve-bench perf-smoke selftest experiments report examples clean
+.PHONY: install test test-parallel test-chaos test-serve bench bench-tree bench-kernel serve-bench obs-smoke perf-smoke selftest experiments report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -45,6 +45,12 @@ bench-kernel:
 # fails below the 1.5x batched-throughput target.
 serve-bench:
 	cd benchmarks && $(PYTHON) bench_serve.py
+
+# Observability overhead gate: instrumented vs kill-switched kernel on
+# the 50k PA graph; writes benchmarks/BENCH_obs.json and fails if the
+# instrumented leg costs more than 3% (REPRO_OBS_OVERHEAD_BOUND).
+obs-smoke:
+	cd benchmarks && $(PYTHON) bench_obs.py
 
 # CI timing gate: generous multiple of benchmarks/baselines/tree_smoke.json.
 perf-smoke:

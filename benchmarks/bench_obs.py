@@ -1,0 +1,156 @@
+"""Observability overhead bench: instrumented vs kill-switched kernel.
+
+The observability layer promises to be *provably cheap*: the kernel hot
+loop counts into local ints and flushes once per call, and ambient spans
+cost one thread-local load when no trace is active.  This bench puts a
+number on that promise, and re-checks the contract the identity suite
+pins — the same fused-kernel accumulation runs with the registry live
+(``REPRO_OBS`` default) and with the kill switch thrown
+(:func:`repro.obs.set_enabled`), and the two totals are bit-compared,
+because instrumentation that changed a single draw would be a correctness
+bug, not an overhead problem.
+
+Measurement: shared-runner wall clocks wander by tens of percent over
+multi-second windows, so a min-of-each-leg estimate at full workload size
+is hostage to whichever leg caught the quiet moment.  Instead the
+overhead estimate is the **median of per-pair ratios** over many *short*
+samples: each pair runs the two legs back to back (order alternating), so
+slow drift cancels inside the pair, and the median over ``PAIRS`` pairs
+shrugs off scheduler spikes.
+
+Entry points:
+
+* ``python benchmarks/bench_obs.py`` — full-size run (50k-node PA graph),
+  prints the comparison, writes ``BENCH_obs.json``, exits non-zero if the
+  instrumented leg is more than ``MAX_OVERHEAD_FRACTION`` slower;
+* ``run_all()`` — the JSON payload, consumed by the CI perf-smoke gate at
+  reduced size.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import time
+from typing import Dict
+
+import numpy as np
+
+try:
+    from bench_kernel import make_bench_graph, walkable_targets
+except ImportError:  # collected by pytest as benchmarks.bench_obs
+    from benchmarks.bench_kernel import make_bench_graph, walkable_targets
+from repro import obs
+from repro.core.revreach import revreach_levels
+from repro.rng import ensure_rng
+from repro.walks.kernel import WalkCrashKernel
+
+BENCH_NODES = 50_000
+BENCH_L_MAX = 11
+BENCH_C = 0.6
+N_TRIALS = 96
+SOURCE = 0
+#: Trials per overhead sample: short samples break the noise's time
+#: correlation, which matters more than per-sample precision.
+OVERHEAD_TRIALS = 16
+#: Back-to-back leg pairs feeding the median.
+PAIRS = 80
+WARMUP_PAIRS = 3
+#: The acceptance bound: instrumentation may cost at most this fraction of
+#: the uninstrumented kernel time (override: REPRO_OBS_OVERHEAD_BOUND).
+MAX_OVERHEAD_FRACTION = float(os.environ.get("REPRO_OBS_OVERHEAD_BOUND", "0.03"))
+
+OUTPUT = pathlib.Path(__file__).with_name("BENCH_obs.json")
+
+
+def _time_leg(kernel, tree, targets, n_trials: int):
+    started = time.perf_counter()
+    totals = kernel.accumulate(
+        tree, targets, n_trials, l_max=BENCH_L_MAX, rng=ensure_rng(42)
+    )
+    return time.perf_counter() - started, totals
+
+
+def run_all(
+    *,
+    num_nodes: int = BENCH_NODES,
+    n_trials: int = N_TRIALS,
+    overhead_trials: int = OVERHEAD_TRIALS,
+    pairs: int = PAIRS,
+) -> Dict[str, object]:
+    graph = make_bench_graph(num_nodes)
+    tree = revreach_levels(graph, SOURCE, BENCH_L_MAX, BENCH_C)
+    targets = walkable_targets(graph)
+    kernel = WalkCrashKernel(graph, BENCH_C)
+
+    previous = obs.obs_enabled()
+    try:
+        # The identity contract first, at full workload size: flipping the
+        # kill switch must not move a single bit.
+        obs.set_enabled(True)
+        _, instrumented_totals = _time_leg(kernel, tree, targets, n_trials)
+        obs.set_enabled(False)
+        _, plain_totals = _time_leg(kernel, tree, targets, n_trials)
+        assert np.array_equal(instrumented_totals, plain_totals), (
+            "instrumented and uninstrumented runs diverged"
+        )
+
+        instrumented_seconds = math.inf
+        plain_seconds = math.inf
+        ratios = []
+        for repeat in range(WARMUP_PAIRS + pairs):
+            timed: Dict[bool, float] = {}
+            legs = [True, False] if repeat % 2 == 0 else [False, True]
+            for enabled in legs:
+                obs.set_enabled(enabled)
+                elapsed, _ = _time_leg(kernel, tree, targets, overhead_trials)
+                timed[enabled] = elapsed
+            if repeat < WARMUP_PAIRS:
+                continue
+            ratios.append(timed[True] / timed[False] - 1.0)
+            instrumented_seconds = min(instrumented_seconds, timed[True])
+            plain_seconds = min(plain_seconds, timed[False])
+    finally:
+        obs.set_enabled(previous)
+
+    return {
+        "graph": {"num_nodes": graph.num_nodes, "generator": "preferential_attachment"},
+        "n_trials": int(n_trials),
+        "overhead_trials": int(overhead_trials),
+        "pairs": int(pairs),
+        "l_max": BENCH_L_MAX,
+        "plain_seconds": round(plain_seconds, 4),
+        "instrumented_seconds": round(instrumented_seconds, 4),
+        "overhead_fraction": round(float(np.median(ratios)), 4),
+        "bit_identical": True,
+    }
+
+
+def main() -> int:
+    print(
+        f"obs overhead: preferential_attachment(n={BENCH_NODES}), "
+        f"{PAIRS} pairs of {OVERHEAD_TRIALS}-trial samples"
+    )
+    payload = run_all()
+    print(
+        f"plain {payload['plain_seconds']}s  "
+        f"instrumented {payload['instrumented_seconds']}s  "
+        f"overhead {payload['overhead_fraction'] * 100:+.2f}% "
+        f"(bound {MAX_OVERHEAD_FRACTION * 100:.0f}%)"
+    )
+    OUTPUT.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
+    if payload["overhead_fraction"] > MAX_OVERHEAD_FRACTION:
+        print(
+            f"FAIL: observability overhead "
+            f"{payload['overhead_fraction'] * 100:.2f}% > "
+            f"{MAX_OVERHEAD_FRACTION * 100:.0f}% bound"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

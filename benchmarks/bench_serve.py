@@ -45,6 +45,7 @@ try:
 except ImportError:  # collected by pytest as benchmarks.bench_serve
     from benchmarks.bench_kernel import make_bench_graph
 from repro.api import single_source
+from repro.metrics.timing import TimingStats
 from repro.serve import Engine, EngineConfig
 
 BENCH_NODES = 50_000
@@ -84,14 +85,14 @@ def make_specs(
 
 
 def _latency_stats(latencies: Sequence[float], wall: float) -> Dict[str, float]:
-    ordered = np.sort(np.asarray(latencies))
+    stats = TimingStats(samples=list(latencies))
     return {
-        "queries": int(ordered.size),
+        "queries": stats.count,
         "total_seconds": round(wall, 4),
-        "qps": round(ordered.size / wall, 2),
-        "p50_ms": round(float(np.percentile(ordered, 50)) * 1000, 2),
-        "p99_ms": round(float(np.percentile(ordered, 99)) * 1000, 2),
-        "max_ms": round(float(ordered[-1]) * 1000, 2),
+        "qps": round(stats.count / wall, 2),
+        "p50_ms": round(stats.p50 * 1000, 2),
+        "p99_ms": round(stats.p99 * 1000, 2),
+        "max_ms": round(stats.maximum * 1000, 2),
     }
 
 

@@ -1,7 +1,7 @@
 """CI perf-smoke: catch order-of-magnitude regressions cheaply.
 
-Runs the bench_tree, bench_kernel, and bench_serve sweeps on CI-sized
-graphs and compares wall-clock against the recorded baselines in
+Runs the bench_tree, bench_kernel, bench_serve, and bench_obs sweeps on
+CI-sized graphs and compares wall-clock against the recorded baselines in
 ``benchmarks/baselines/``.  Wall-clock gates are deliberately generous —
 a timing fails only past ``PERF_SMOKE_MULTIPLIER`` (default 10×) of its
 recorded value — so shared runners' jitter never breaks the build, while
@@ -24,12 +24,14 @@ import pathlib
 import sys
 
 from bench_kernel import run_all as run_kernel
+from bench_obs import MAX_OVERHEAD_FRACTION, run_all as run_obs
 from bench_serve import run_all as run_serve
 from bench_tree import run_all
 
 BASELINE = pathlib.Path(__file__).parent / "baselines" / "tree_smoke.json"
 KERNEL_BASELINE = pathlib.Path(__file__).parent / "baselines" / "kernel_smoke.json"
 SERVE_BASELINE = pathlib.Path(__file__).parent / "baselines" / "serve_smoke.json"
+OBS_BASELINE = pathlib.Path(__file__).parent / "baselines" / "obs_smoke.json"
 SMOKE_NODES = 30_000
 SMOKE_SOURCES = 32
 KERNEL_SMOKE_NODES = 20_000
@@ -52,6 +54,8 @@ KERNEL_REGRESSION_FRACTION = 0.7  # fail below 70% of the recorded speedup
 # runner jitter on a tiny workload cannot flake the build.
 MIN_SERVE_SPEEDUP = 1.2
 SERVE_REGRESSION_FRACTION = 0.5  # fail below half the recorded speedup
+OBS_SMOKE_NODES = 20_000
+OBS_SMOKE_PAIRS = 60
 
 
 def gate_tree(payload, argv):
@@ -179,6 +183,48 @@ def gate_serve(payload, argv):
     return failures
 
 
+def gate_obs(payload, argv):
+    overhead = payload["overhead_fraction"]
+
+    if "--record" in argv:
+        record = {
+            "nodes": OBS_SMOKE_NODES,
+            "pairs": OBS_SMOKE_PAIRS,
+            "plain_seconds": payload["plain_seconds"],
+            "overhead_fraction": overhead,
+        }
+        OBS_BASELINE.write_text(
+            json.dumps(record, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"recorded baseline: {OBS_BASELINE}")
+        return []
+
+    baseline = json.loads(OBS_BASELINE.read_text())
+    multiplier = float(os.environ.get("PERF_SMOKE_MULTIPLIER", "10"))
+    allowed_seconds = baseline["plain_seconds"] * multiplier
+    failures = []
+    print(
+        f"obs: overhead {overhead * 100:+.2f}% "
+        f"(bound {MAX_OVERHEAD_FRACTION * 100:.0f}%), plain "
+        f"{payload['plain_seconds']}s (allowed {allowed_seconds:.4f}s)"
+    )
+    # The overhead bound is absolute, not baseline-relative: the
+    # observability layer's contract is "<3% on the kernel bench", full
+    # stop, and the paired-median estimator is machine-independent enough
+    # to hold it on shared runners.
+    if overhead > MAX_OVERHEAD_FRACTION:
+        failures.append(
+            f"observability overhead {overhead * 100:.2f}% > "
+            f"{MAX_OVERHEAD_FRACTION * 100:.0f}% bound"
+        )
+    if payload["plain_seconds"] > allowed_seconds:
+        failures.append(
+            f"obs plain leg {payload['plain_seconds']}s > "
+            f"{allowed_seconds:.4f}s allowed"
+        )
+    return failures
+
+
 def main(argv) -> int:
     BASELINE.parent.mkdir(parents=True, exist_ok=True)
     failures = gate_tree(
@@ -197,6 +243,9 @@ def main(argv) -> int:
             n_r=SERVE_SMOKE_N_R,
         ),
         argv,
+    )
+    failures += gate_obs(
+        run_obs(num_nodes=OBS_SMOKE_NODES, pairs=OBS_SMOKE_PAIRS), argv
     )
     for failure in failures:
         print(f"FAIL: {failure}")

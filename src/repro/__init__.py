@@ -29,6 +29,13 @@ The package layout mirrors the paper (see DESIGN.md for the full map):
 * :mod:`repro.serve` — the long-lived query engine behind ``repro serve``.
 """
 
+import logging as _logging
+
+# Library etiquette: repro modules log under the "repro" hierarchy but never
+# configure handlers — a NullHandler here keeps the records silent until the
+# application opts in (logging.basicConfig or a handler on "repro").
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
 from repro.baselines import (
     ReadsIndex,
     SlingIndex,

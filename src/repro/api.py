@@ -20,6 +20,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.naive_mc import naive_monte_carlo
 from repro.baselines.power_method import power_method_all_pairs
 from repro.baselines.probesim import probesim
@@ -45,12 +46,16 @@ class ScoreVector(np.ndarray):
     * ``trials_completed`` — Monte-Carlo trials actually averaged
       (``None`` for non-Monte-Carlo methods);
     * ``achieved_epsilon`` — the honest Lemma-3 bound at that trial count
-      (``None`` when not computed, e.g. the exact oracle).
+      (``None`` when not computed, e.g. the exact oracle);
+    * ``trace`` — the :class:`repro.obs.Trace` recorded while the query
+      ran (``None`` unless a trace was active — the serving engine and
+      ``repro stats --trace`` activate one).
     """
 
     degraded: bool
     trials_completed: Optional[int]
     achieved_epsilon: Optional[float]
+    trace: Optional[object]
 
     @classmethod
     def wrap(
@@ -60,11 +65,13 @@ class ScoreVector(np.ndarray):
         degraded: bool = False,
         trials_completed: Optional[int] = None,
         achieved_epsilon: Optional[float] = None,
+        trace: Optional[object] = None,
     ) -> "ScoreVector":
         vector = np.asarray(scores).view(cls)
         vector.degraded = degraded
         vector.trials_completed = trials_completed
         vector.achieved_epsilon = achieved_epsilon
+        vector.trace = trace
         return vector
 
     def __array_finalize__(self, source):
@@ -73,6 +80,7 @@ class ScoreVector(np.ndarray):
         self.degraded = getattr(source, "degraded", False)
         self.trials_completed = getattr(source, "trials_completed", None)
         self.achieved_epsilon = getattr(source, "achieved_epsilon", None)
+        self.trace = getattr(source, "trace", None)
 
 SINGLE_SOURCE_METHODS = (
     "crashsim",
@@ -201,6 +209,7 @@ def single_source(
             degraded=result.degraded,
             trials_completed=result.trials_completed,
             achieved_epsilon=result.achieved_epsilon,
+            trace=obs.current_trace(),
         )
     if method == "probesim":
         return probesim(

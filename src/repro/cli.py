@@ -58,6 +58,7 @@ EXPERIMENTS = [
     "selftest",
     "query",
     "serve",
+    "stats",
 ]
 
 
@@ -167,6 +168,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="log each HTTP request ('serve' only)",
     )
+    parser.add_argument(
+        "--stats-out",
+        default=None,
+        help="write the final metrics-registry snapshot as JSON to this "
+        "path ('serve': on shutdown; 'stats': after the probe query)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="also print the per-query span tree ('stats' only)",
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="scrape a running server's /metrics instead of probing "
+        "locally ('stats' only; e.g. http://127.0.0.1:8321)",
+    )
     return parser
 
 
@@ -255,6 +273,60 @@ def _run_query(args, profile) -> int:
     return 0
 
 
+def _run_stats(args, profile) -> int:
+    """Print an observability snapshot: scrape a server or probe locally.
+
+    ``--url`` fetches a running server's ``/metrics`` exposition verbatim.
+    Without it, one representative single-source query runs against the
+    profile-sized dataset graph with a trace active, then the global
+    registry snapshot is printed (``--trace`` adds the span tree;
+    ``--stats-out`` also writes the snapshot JSON to a file).
+    """
+    from repro import obs
+
+    if args.url:
+        from urllib.request import urlopen
+
+        with urlopen(args.url.rstrip("/") + "/metrics") as response:
+            print(response.read().decode("utf-8"), end="")
+        return 0
+
+    import numpy as np
+
+    from repro.api import single_source
+    from repro.datasets.registry import load_static_dataset
+
+    name = (args.dataset or ["hepth"])[0]
+    graph = load_static_dataset(name, scale=profile.scale, seed=profile.seed)
+    source = (
+        int(np.argmax(graph.in_degrees())) if args.source is None else args.source
+    )
+    trace = obs.Trace("query", {"source": source, "dataset": name})
+    with trace.activate():
+        single_source(
+            graph,
+            source,
+            c=profile.c,
+            delta=profile.delta,
+            n_r=profile.n_r_cap,
+            seed=profile.seed,
+        )
+    print(
+        f"probe query: {name} (n={graph.num_nodes}, m={graph.num_edges}), "
+        f"source {source}, {trace.elapsed:.3f}s"
+    )
+    if args.trace:
+        print()
+        print(trace.render())
+    print()
+    print(obs.REGISTRY.dump_json())
+    if args.stats_out:
+        with open(args.stats_out, "w", encoding="utf-8") as handle:
+            handle.write(obs.REGISTRY.dump_json())
+        print(f"wrote registry snapshot to {args.stats_out}")
+    return 0
+
+
 def _run_serve(args, profile) -> int:
     """Run the long-lived query engine behind an HTTP front door.
 
@@ -284,12 +356,38 @@ def _run_serve(args, profile) -> int:
     host, port = server.server_address[:2]
     print(
         f"serving {name} (n={graph.num_nodes}, m={graph.num_edges}) on "
-        f"http://{host}:{port} — POST /v1/query, GET /healthz, GET /stats; "
-        "Ctrl-C to stop"
+        f"http://{host}:{port} — POST /v1/query, GET /healthz, GET /stats, "
+        "GET /metrics; Ctrl-C to stop"
     )
     serve_forever(server)
     print("drained; engine stats:", engine.stats())
+    _print_serve_percentiles(engine)
+    if args.stats_out:
+        import json
+
+        with open(args.stats_out, "w", encoding="utf-8") as handle:
+            json.dump(engine.metrics_snapshot(), handle, indent=1)
+        print(f"wrote metrics snapshot to {args.stats_out}")
     return 0
+
+
+def _print_serve_percentiles(engine) -> None:
+    """Shutdown summary: batch-size and latency percentiles, if any."""
+    snapshot = engine.registry.snapshot()
+    latency = snapshot.get("repro_engine_latency_seconds", {})
+    sizes = snapshot.get("repro_engine_batch_size", {})
+    if latency.get("count"):
+        print(
+            f"latency: p50={latency['p50'] * 1000:.1f}ms "
+            f"p90={latency['p90'] * 1000:.1f}ms "
+            f"p99={latency['p99'] * 1000:.1f}ms "
+            f"over {latency['count']} queries"
+        )
+    if sizes.get("count"):
+        print(
+            f"batch size: p50={sizes['p50']:.1f} p90={sizes['p90']:.1f} "
+            f"p99={sizes['p99']:.1f} over {sizes['count']} batches"
+        )
 
 
 def _check_baselines(args, runners) -> int:
@@ -419,6 +517,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_query(args, profile)
     if args.experiment == "serve":
         return _run_serve(args, profile)
+    if args.experiment == "stats":
+        return _run_stats(args, profile)
     if args.experiment == "export-dataset":
         _export_dataset(args, profile)
     elif args.experiment == "check":

@@ -44,6 +44,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.crashsim import CrashSimResult, resolve_candidates
 from repro.core.params import CrashSimParams
 from repro.core.revreach import revreach_levels
@@ -220,13 +221,14 @@ def crashsim_batch(
         # Every member consumes the same draws its solo run would, so each
         # row is bit-equal to that member's individual accumulate().
         rng = ensure_rng(group[0].query.seed)
-        matrix = kernel.accumulate_multi(
-            [item.tree for item in group],
-            group[0].walk_targets,
-            n_r,
-            l_max=l_max,
-            rng=rng,
-        )
+        with obs.span("batch_coalesce", queries=len(group)):
+            matrix = kernel.accumulate_multi(
+                [item.tree for item in group],
+                group[0].walk_targets,
+                n_r,
+                l_max=l_max,
+                rng=rng,
+            )
         for row, item in enumerate(group):
             item.totals = matrix[row]
         shared_groups += 1

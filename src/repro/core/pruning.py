@@ -26,6 +26,7 @@ from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.revreach import (
     SparseReverseTree,
     _changed_heads,
@@ -45,6 +46,28 @@ __all__ = [
 ]
 
 Edge = Tuple[int, int]
+
+# Registry mirrors of the per-instance CandidateTreeCache counters: the
+# instance attributes stay the externally visible API (CrashSimTStats reads
+# them), the registry aggregates across every cache in the process.
+# Increments happen at event time, so clone() copying the instance counters
+# never double-counts here.
+_M_CTC_HITS = obs.REGISTRY.counter(
+    "repro_candidate_tree_cache_hits_total",
+    "Candidate-tree cache lookups served from a stamped entry.",
+)
+_M_CTC_BUILDS = obs.REGISTRY.counter(
+    "repro_candidate_tree_cache_builds_total",
+    "Candidate trees built from scratch on a cache miss or rebuild.",
+)
+_M_CTC_ADVANCES = obs.REGISTRY.counter(
+    "repro_candidate_tree_cache_advances_total",
+    "Candidate trees advanced incrementally across a snapshot transition.",
+)
+_M_CTC_EVICTIONS = obs.REGISTRY.counter(
+    "repro_candidate_tree_cache_evictions_total",
+    "Candidate-tree cache entries dropped because their node left Omega.",
+)
 
 
 def affected_area(
@@ -236,15 +259,18 @@ class CandidateTreeCache:
             entry = self._entries.get(int(node))
             if entry is not None and entry[0] == stamp:
                 self.hits += 1
+                _M_CTC_HITS.inc()
                 return entry[1]
         tree = revreach_levels(graph, int(node), l_max, c, variant=variant)
         with self._lock:
             entry = self._entries.get(int(node))
             if entry is not None and entry[0] == stamp:
                 self.hits += 1
+                _M_CTC_HITS.inc()
                 return entry[1]
             self.builds += 1
             self._entries[int(node)] = (stamp, tree)
+        _M_CTC_BUILDS.inc()
         return tree
 
     def advance(
@@ -286,6 +312,10 @@ class CandidateTreeCache:
             if rebuilt:
                 self.builds += 1
             self._entries[int(node)] = (new_stamp, tree)
+        if advanced:
+            _M_CTC_ADVANCES.inc()
+        if rebuilt:
+            _M_CTC_BUILDS.inc()
         return tree
 
     def clone(self) -> "CandidateTreeCache":
@@ -307,7 +337,11 @@ class CandidateTreeCache:
     def retain(self, nodes: Iterable[int]) -> None:
         """Drop entries for candidates no longer alive (Ω only shrinks)."""
         alive = {int(node) for node in nodes}
+        dropped = 0
         with self._lock:
             for node in list(self._entries):
                 if node not in alive:
                     del self._entries[node]
+                    dropped += 1
+        if dropped:
+            _M_CTC_EVICTIONS.inc(dropped)

@@ -54,6 +54,7 @@ from typing import Dict, Iterable, List, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ParameterError
 from repro.graph.digraph import DiGraph
 
@@ -76,6 +77,22 @@ TreeVariant = Literal["corrected", "paper"]
 DENSITY_THRESHOLD = 0.25
 
 _FINGERPRINT_BYTES = 16
+
+# Every full tree construction in the process funnels through
+# revreach_levels, so one counter here covers api, serve, parallel, and
+# temporal call sites alike; incremental rebases count separately.
+_M_TREE_BUILDS = obs.REGISTRY.counter(
+    "repro_tree_builds_total",
+    "Full reverse reachable tree constructions (revreach_levels).",
+)
+_M_TREE_UPDATES = obs.REGISTRY.counter(
+    "repro_tree_updates_total",
+    "Incremental tree rebases that re-propagated at least one level.",
+)
+_M_TREE_UPDATE_SKIPS = obs.REGISTRY.counter(
+    "repro_tree_update_skips_total",
+    "Incremental rebases returned unchanged (no occupied changed head).",
+)
 
 
 def _level_fingerprint(nodes: np.ndarray, probs: np.ndarray) -> bytes:
@@ -459,17 +476,19 @@ def revreach_levels(
             "the literal Algorithm-2 variant is defined for unweighted "
             "graphs only; use variant='corrected'"
         )
-    root_nodes = np.array([source], dtype=np.int64)
-    root_probs = np.array([1.0], dtype=np.float64)
-    levels = [(root_nodes, root_probs)]
-    levels.extend(
-        _propagate_sparse(
-            graph, root_nodes, root_probs, l_max, math.sqrt(c), variant, prune_below
+    with obs.span("tree_build", source=int(source), l_max=int(l_max)):
+        root_nodes = np.array([source], dtype=np.int64)
+        root_probs = np.array([1.0], dtype=np.float64)
+        levels = [(root_nodes, root_probs)]
+        levels.extend(
+            _propagate_sparse(
+                graph, root_nodes, root_probs, l_max, math.sqrt(c), variant, prune_below
+            )
         )
-    )
-    tree = SparseReverseTree.from_levels(
-        int(source), float(c), int(l_max), variant, graph.num_nodes, levels
-    )
+        tree = SparseReverseTree.from_levels(
+            int(source), float(c), int(l_max), variant, graph.num_nodes, levels
+        )
+    _M_TREE_BUILDS.inc()
     return tree.to_dense() if dense else tree
 
 
@@ -597,33 +616,39 @@ def revreach_update(
         )
     heads = _changed_heads(added, removed, directed)
     if heads.size == 0:
+        _M_TREE_UPDATE_SKIPS.inc()
         return tree
 
     if isinstance(tree, SparseReverseTree):
         first_affected = tree.first_level_containing(heads, limit=tree.l_max)
         if first_affected is None:
+            _M_TREE_UPDATE_SKIPS.inc()
             return tree
-        levels = [tree.level_arrays(step) for step in range(first_affected + 1)]
-        frontier_nodes, frontier_probs = levels[-1]
-        levels.extend(
-            _propagate_sparse(
-                new_graph,
-                frontier_nodes,
-                frontier_probs,
-                tree.l_max - first_affected,
-                math.sqrt(tree.c),
-                tree.variant,
+        with obs.span("tree_build", source=tree.source, rebase_from=first_affected):
+            levels = [tree.level_arrays(step) for step in range(first_affected + 1)]
+            frontier_nodes, frontier_probs = levels[-1]
+            levels.extend(
+                _propagate_sparse(
+                    new_graph,
+                    frontier_nodes,
+                    frontier_probs,
+                    tree.l_max - first_affected,
+                    math.sqrt(tree.c),
+                    tree.variant,
+                )
             )
-        )
-        return SparseReverseTree.from_levels(
-            tree.source, tree.c, tree.l_max, tree.variant, tree.num_nodes, levels
-        )
+            rebased = SparseReverseTree.from_levels(
+                tree.source, tree.c, tree.l_max, tree.variant, tree.num_nodes, levels
+            )
+        _M_TREE_UPDATES.inc()
+        return rebased
 
     # Dense tree: one vectorised reduction over the heads' columns finds
     # the shallowest occupied head (no per-step Python loop).
     occupied = tree.matrix[: tree.l_max][:, heads] > 0.0
     affected_rows = np.nonzero(occupied.any(axis=1))[0]
     if affected_rows.size == 0:
+        _M_TREE_UPDATE_SKIPS.inc()
         return tree
     first_affected = int(affected_rows[0])
     frontier = tree.matrix[first_affected]
@@ -643,6 +668,7 @@ def revreach_update(
         row[:] = 0.0
         row[nodes] = probs
     matrix.setflags(write=False)
+    _M_TREE_UPDATES.inc()
     return ReverseReachableTree(
         source=tree.source,
         c=tree.c,

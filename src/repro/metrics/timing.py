@@ -77,6 +77,40 @@ class TimingStats:
     def maximum(self) -> float:
         return max(self.samples) if self.samples else 0.0
 
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (linear interpolation between samples).
+
+        >>> stats = TimingStats()
+        >>> for s in (1.0, 2.0, 3.0, 4.0):
+        ...     stats.add(s)
+        >>> stats.percentile(50)
+        2.5
+        >>> stats.percentile(100)
+        4.0
+        """
+        if not 0 <= q <= 100:
+            raise ParameterError(f"percentile must be in [0, 100], got {q}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p90(self) -> float:
+        return self.percentile(90)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
     def as_row(self) -> Dict[str, float]:
         return {
             "count": self.count,

@@ -1,0 +1,222 @@
+"""Lightweight per-query tracing: nested timed phases, zero cost when off.
+
+A :class:`Trace` is a tree of :class:`Span` records — ``tree_build`` inside
+``batch_coalesce`` inside the query root — built by the instrumented code
+itself through the *ambient* API:
+
+>>> from repro import obs
+>>> trace = obs.Trace("demo")
+>>> with trace.activate():
+...     with obs.span("phase"):
+...         obs.event("marker")
+>>> [child.name for child in trace.root.children]
+['phase']
+
+The ambient design is what keeps instrumentation out of every function
+signature: :func:`span`/:func:`event` look up the *current* trace in a
+thread-local and are a no-op returning a shared null context when none is
+active — one attribute load and a ``None`` check, cheap enough to leave in
+the hot paths permanently.  A trace is bound to the thread that activated
+it; the serving engine activates one around each batch it serves (its
+dispatcher is single-threaded, so nested queries cannot interleave), and
+the CLI activates one around a direct :func:`repro.api.single_source` call.
+
+Tracing reads :func:`time.perf_counter` and nothing else — no RNG draws,
+no reordering — so traced runs are byte-identical to untraced ones (the
+identity suite pins this).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Trace", "span", "event", "current_trace"]
+
+_ACTIVE = threading.local()
+
+
+class Span:
+    """One timed phase: name, wall-clock bounds, children, attributes."""
+
+    __slots__ = ("name", "started", "elapsed", "children", "meta")
+
+    def __init__(self, name: str, meta: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.started = time.perf_counter()
+        self.elapsed: Optional[float] = None  # None while still open
+        self.children: List["Span"] = []
+        self.meta = meta
+
+    def close(self) -> None:
+        if self.elapsed is None:
+            self.elapsed = time.perf_counter() - self.started
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "elapsed_s": self.elapsed,
+        }
+        if self.meta:
+            payload["meta"] = dict(self.meta)
+        if self.children:
+            payload["children"] = [child.as_dict() for child in self.children]
+        return payload
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _SpanContext:
+    """Context manager pushing one span onto its trace's open stack."""
+
+    __slots__ = ("_trace", "_span")
+
+    def __init__(self, trace: "Trace", name: str, meta):
+        self._trace = trace
+        self._span = Span(name, meta)
+
+    def __enter__(self) -> Span:
+        self._trace._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        self._trace._pop(self._span)
+
+
+class _NullContext:
+    """The shared do-nothing span context used when no trace is active."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL = _NullContext()
+
+
+class Trace:
+    """A per-query span tree plus the activation machinery.
+
+    Single-threaded by design: activate in the thread doing the work.  The
+    object stays inspectable after deactivation — the engine attaches it to
+    the :class:`~repro.serve.engine.QueryResult` (and the score vector) it
+    answers with.
+    """
+
+    __slots__ = ("root", "_stack", "_previous")
+
+    def __init__(self, name: str = "query", meta: Optional[Dict[str, object]] = None):
+        self.root = Span(name, meta)
+        self._stack: List[Span] = [self.root]
+        self._previous: Optional[Trace] = None
+
+    # -- ambient binding -------------------------------------------------
+
+    def activate(self) -> "Trace":
+        """Bind as the thread's current trace; use as a context manager."""
+        self._previous = getattr(_ACTIVE, "trace", None)
+        _ACTIVE.trace = self
+        return self
+
+    def __enter__(self) -> "Trace":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _ACTIVE.trace = self._previous
+        self._previous = None
+        self.root.close()
+
+    # -- span plumbing ---------------------------------------------------
+
+    def span(self, name: str, **meta) -> _SpanContext:
+        return _SpanContext(self, name, meta or None)
+
+    def event(self, name: str, **meta) -> Span:
+        """A zero-duration marker under the innermost open span."""
+        marker = Span(name, meta or None)
+        marker.elapsed = 0.0
+        self._stack[-1].children.append(marker)
+        return marker
+
+    def _push(self, child: Span) -> None:
+        self._stack[-1].children.append(child)
+        self._stack.append(child)
+
+    def _pop(self, child: Span) -> None:
+        child.close()
+        # Tolerate exits out of order (an exception unwinding through
+        # several spans): pop back to the span's parent.
+        while len(self._stack) > 1:
+            top = self._stack.pop()
+            if top is child:
+                break
+            top.close()
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        if self.root.elapsed is not None:
+            return self.root.elapsed
+        return time.perf_counter() - self.root.started
+
+    def as_dict(self) -> Dict[str, object]:
+        return self.root.as_dict()
+
+    def render(self, *, unit_scale: float = 1000.0, unit: str = "ms") -> str:
+        """An indented tree of phases and durations, for terminals.
+
+        >>> trace = Trace("q")
+        >>> with trace.activate():
+        ...     with span("phase"):
+        ...         pass
+        >>> print(trace.render().split()[0])
+        q
+        """
+        lines: List[str] = []
+
+        def fmt(node: Span, depth: int) -> None:
+            took = node.elapsed
+            timing = (
+                "open" if took is None else f"{took * unit_scale:.3f}{unit}"
+            )
+            extra = ""
+            if node.meta:
+                pairs = ", ".join(
+                    f"{key}={value}" for key, value in sorted(node.meta.items())
+                )
+                extra = f"  [{pairs}]"
+            lines.append(f"{'  ' * depth}{node.name}  {timing}{extra}")
+            for child in node.children:
+                fmt(child, depth + 1)
+
+        fmt(self.root, 0)
+        return "\n".join(lines)
+
+
+def current_trace() -> Optional[Trace]:
+    """The trace bound to this thread, or ``None``."""
+    return getattr(_ACTIVE, "trace", None)
+
+
+def span(name: str, **meta):
+    """A span on the current trace, or a shared no-op context when none."""
+    trace = getattr(_ACTIVE, "trace", None)
+    if trace is None:
+        return _NULL
+    return trace.span(name, **meta)
+
+
+def event(name: str, **meta) -> None:
+    """A zero-duration marker on the current trace (no-op when none)."""
+    trace = getattr(_ACTIVE, "trace", None)
+    if trace is not None:
+        trace.event(name, **meta)

@@ -76,9 +76,38 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
+from repro import obs
 from repro.errors import ParameterError
 
 __all__ = ["ParallelExecutor", "MapOutcome", "resolve_workers"]
+
+# Executor accounting flows through MapOutcome already; run() flushes the
+# finished outcome into these process-wide counters in one pass, so the
+# dispatch/wait loops stay metric-free.
+_M_RUNS = obs.REGISTRY.counter(
+    "repro_executor_runs_total", "ParallelExecutor.run calls."
+)
+_M_TASKS = obs.REGISTRY.counter(
+    "repro_executor_tasks_total", "Tasks submitted across all runs."
+)
+_M_TASKS_COMPLETED = obs.REGISTRY.counter(
+    "repro_executor_tasks_completed_total", "Tasks that produced a result."
+)
+_M_TASK_RETRIES = obs.REGISTRY.counter(
+    "repro_executor_task_retries_total",
+    "Task resubmissions after a failure or a lost worker.",
+)
+_M_POOL_REBUILDS = obs.REGISTRY.counter(
+    "repro_executor_pool_rebuilds_total",
+    "Process-pool rebuilds after worker death.",
+)
+_M_DEADLINE_EXPIRIES = obs.REGISTRY.counter(
+    "repro_executor_deadline_expiries_total",
+    "Runs cut off by their wall-clock deadline.",
+)
+_M_CANCELLED = obs.REGISTRY.counter(
+    "repro_executor_cancelled_runs_total", "Runs stopped by cancel()."
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -401,6 +430,15 @@ class ParallelExecutor:
                 self._active_cancel_events.discard(cancel_event)
                 self._active_runs -= 1
         outcome.elapsed = time.monotonic() - started
+        _M_RUNS.inc()
+        _M_TASKS.inc(n)
+        _M_TASKS_COMPLETED.inc(outcome.num_completed)
+        _M_TASK_RETRIES.inc(outcome.task_retries)
+        _M_POOL_REBUILDS.inc(outcome.pool_rebuilds)
+        if outcome.deadline_hit:
+            _M_DEADLINE_EXPIRIES.inc()
+        if outcome.cancelled:
+            _M_CANCELLED.inc()
         return outcome
 
     # -- serial engine --------------------------------------------------
@@ -433,6 +471,7 @@ class ParallelExecutor:
                         outcome.errors[index] = exc
                         break
                     outcome.task_retries += 1
+                    obs.event("retry", task=index, attempt=attempts)
 
     # -- pooled engine --------------------------------------------------
 
@@ -505,6 +544,7 @@ class ParallelExecutor:
                         outcome.errors[index] = exc
                     else:
                         outcome.task_retries += 1
+                        obs.event("retry", task=index, attempt=attempts[index])
                         resubmit.append(index)
             if broken_generations:
                 # Every sibling future submitted to the same pool is doomed

@@ -25,6 +25,7 @@ walk-generation cost is still paid once per trial, not once per source.
 
 from __future__ import annotations
 
+import logging
 import math
 import time
 import warnings
@@ -33,7 +34,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import faults
+from repro import faults, obs
 from repro.core.crashsim import (
     CrashSimResult,
     accumulate_crash_totals,
@@ -73,6 +74,17 @@ __all__ = [
 #: identical no matter how many processes execute the shards.  16 keeps all
 #: cores of typical machines busy with ≥ 2 shards each for load balancing.
 DEFAULT_SHARDS = 16
+
+logger = logging.getLogger(__name__)
+
+_M_DEGRADED = obs.REGISTRY.counter(
+    "repro_queries_degraded_total",
+    "Queries answered from a partial trial-shard set (widened epsilon).",
+)
+_M_SHARDS_LOST = obs.REGISTRY.counter(
+    "repro_shards_lost_total",
+    "Trial shards that never produced a total (deadline, cancel, failure).",
+)
 
 
 def shard_sizes(n_trials: int, shards: int = DEFAULT_SHARDS) -> List[int]:
@@ -239,7 +251,9 @@ def _map_shards(
                 )
 
             items = list(zip(range(len(shards)), shards, seeds))
-            outcome = executor.run(run_serial_shard, items, deadline=deadline)
+            with obs.span("shard_dispatch", shards=len(shards), mode="serial"):
+                outcome = executor.run(run_serial_shard, items, deadline=deadline)
+            _log_shard_recovery(outcome, len(shards))
             return outcome.results, outcome
         shared_tree = SharedArray(tree) if multi else SharedTree(tree)
         publish_alias = sampler == "alias" and getattr(graph, "is_weighted", False)
@@ -264,11 +278,31 @@ def _map_shards(
                 for index, (trials, seed) in enumerate(zip(shards, seeds))
             ]
             worker = _run_shard_multi if multi else _run_shard
-            outcome = executor.run(worker, tasks, deadline=deadline)
+            with obs.span("shard_dispatch", shards=len(shards), mode="pooled"):
+                outcome = executor.run(worker, tasks, deadline=deadline)
+            _log_shard_recovery(outcome, len(shards))
             return outcome.results, outcome
     finally:
         if own_executor:
             executor.close()
+
+
+def _log_shard_recovery(outcome: MapOutcome, shards: int) -> None:
+    """Structured record of in-run fault recovery (retries, pool rebuilds).
+
+    The executor already absorbed the faults; this makes them visible to
+    operators, who otherwise only see the run's wall-clock stretch.
+    """
+    if outcome.task_retries or outcome.pool_rebuilds:
+        logger.warning(
+            "shard execution recovered: task_retries=%d pool_rebuilds=%d "
+            "shards=%d completed=%d elapsed=%.3fs",
+            outcome.task_retries,
+            outcome.pool_rebuilds,
+            shards,
+            outcome.num_completed,
+            outcome.elapsed,
+        )
 
 
 def _remaining_budget(deadline: Optional[float], started: float) -> Optional[float]:
@@ -298,14 +332,20 @@ def _settle_shards(
     num_nodes: int,
     n_r: int,
     deadline: Optional[float],
+    log_context: Optional[dict] = None,
 ) -> Tuple[int, bool, float]:
     """Turn a shard outcome into ``(trials_completed, degraded, achieved_ε)``.
 
     Raises :class:`DeadlineExceededError` (or the first shard error) when
     *no* shard completed — with zero trials there is no estimator to
     degrade to.  Emits a :class:`DegradedResultWarning` when the run is
-    partial, so silent quality loss cannot happen.
+    partial, so silent quality loss cannot happen; ``log_context`` (query
+    source, master seed) rides along on the structured log record that
+    accompanies the warning.
     """
+    context = " ".join(
+        f"{key}={value}" for key, value in (log_context or {}).items()
+    )
     trials_completed = sum(
         trials
         for trials, done in zip(shard_plan, outcome.completed)
@@ -315,6 +355,14 @@ def _settle_shards(
         error = outcome.first_error()
         if outcome.deadline_hit or outcome.cancelled or error is None:
             reason = "cancelled" if outcome.cancelled else "deadline"
+            logger.error(
+                "query lost every trial shard: cause=%s shards_planned=%d "
+                "elapsed=%.3fs %s",
+                reason,
+                len(shard_plan),
+                outcome.elapsed,
+                context,
+            )
             raise DeadlineExceededError(
                 f"no trial shard completed before the {reason} "
                 f"({outcome.elapsed:.3f}s elapsed, {len(shard_plan)} shards "
@@ -333,6 +381,26 @@ def _settle_shards(
             else "cancellation"
             if outcome.cancelled
             else "shard failures"
+        )
+        _M_DEGRADED.inc()
+        _M_SHARDS_LOST.inc(lost)
+        obs.event(
+            "degrade",
+            cause=cause,
+            shards_lost=lost,
+            trials_completed=trials_completed,
+        )
+        logger.warning(
+            "degraded CrashSim estimate: cause=%s shards_completed=%d/%d "
+            "trials_completed=%d/%d achieved_epsilon=%.4g target_epsilon=%g %s",
+            cause,
+            outcome.num_completed,
+            len(shard_plan),
+            trials_completed,
+            n_r,
+            achieved,
+            params.epsilon,
+            context,
         )
         warnings.warn(
             f"degraded CrashSim estimate: {lost} of {len(shard_plan)} trial "
@@ -460,7 +528,8 @@ def parallel_crashsim(
             sampler=sampler,
         )
         trials_completed, degraded, achieved = _settle_shards(
-            shard_plan, outcome, params, num_nodes, n_r, deadline
+            shard_plan, outcome, params, num_nodes, n_r, deadline,
+            log_context={"source": source, "seed": seed},
         )
         # Sum in shard order: float addition order is part of the
         # worker-count-independence contract.  Lost shards are skipped,
@@ -568,7 +637,8 @@ def parallel_crashsim_multi_source(
             sampler=sampler,
         )
         trials_completed, degraded, achieved = _settle_shards(
-            shard_plan, outcome, params, num_nodes, n_r, deadline
+            shard_plan, outcome, params, num_nodes, n_r, deadline,
+            log_context={"sources": source_list, "seed": seed},
         )
         for shard_total, done in zip(shard_totals, outcome.completed):
             if done:

@@ -31,6 +31,7 @@ share, and the sparse build is ``O(support)`` (docs/internals.md §8).
 
 from __future__ import annotations
 
+import logging
 import time
 import warnings
 from dataclasses import dataclass
@@ -38,7 +39,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro import faults
+from repro import faults, obs
 from repro.core.crashsim import crashsim
 from repro.core.crashsim_t import CrashSimTStats, TemporalQueryResult
 from repro.core.params import CrashSimParams
@@ -56,6 +57,13 @@ from repro.parallel.shared_graph import SharedGraph, SharedGraphSpec, attach_gra
 from repro.rng import RngLike, as_seed_sequence
 
 __all__ = ["parallel_crashsim_t"]
+
+logger = logging.getLogger(__name__)
+
+_M_T_DEGRADED = obs.REGISTRY.counter(
+    "repro_temporal_queries_degraded_total",
+    "Temporal queries truncated to a completed snapshot prefix.",
+)
 
 
 @dataclass(frozen=True)
@@ -154,11 +162,12 @@ def parallel_crashsim_t(
                 )
                 return result.candidates, result.scores
 
-            outcome = executor.run(
-                run_serial_snapshot,
-                list(zip(indices, seeds)),
-                deadline=_remaining_budget(deadline, started),
-            )
+            with obs.span("shard_dispatch", snapshots=len(indices), mode="serial"):
+                outcome = executor.run(
+                    run_serial_snapshot,
+                    list(zip(indices, seeds)),
+                    deadline=_remaining_budget(deadline, started),
+                )
         else:
             shared: List[SharedGraph] = []
             try:
@@ -176,9 +185,14 @@ def parallel_crashsim_t(
                             snapshot_index=index,
                         )
                     )
-                outcome = executor.run(
-                    _run_snapshot, tasks, deadline=_remaining_budget(deadline, started)
-                )
+                with obs.span(
+                    "shard_dispatch", snapshots=len(indices), mode="pooled"
+                ):
+                    outcome = executor.run(
+                        _run_snapshot,
+                        tasks,
+                        deadline=_remaining_budget(deadline, started),
+                    )
             finally:
                 for shared_graph in shared:
                     shared_graph.close()
@@ -196,6 +210,15 @@ def parallel_crashsim_t(
     if prefix == 0:
         error = outcome.first_error()
         if outcome.deadline_hit or outcome.cancelled or error is None:
+            logger.error(
+                "temporal query lost every snapshot: source=%d "
+                "interval=[%d, %d) elapsed=%.3fs seed=%s",
+                source,
+                start,
+                stop,
+                outcome.elapsed,
+                seed,
+            )
             raise DeadlineExceededError(
                 f"no snapshot evaluation completed before the deadline "
                 f"({outcome.elapsed:.3f}s elapsed, {len(indices)} snapshots "
@@ -239,6 +262,24 @@ def parallel_crashsim_t(
     # kept filtering Ω.
     degraded = bool(omega) and prefix < len(indices)
     if degraded:
+        _M_T_DEGRADED.inc()
+        obs.event(
+            "degrade",
+            cause="snapshot prefix",
+            snapshots_completed=prefix,
+            snapshots_requested=len(indices),
+        )
+        logger.warning(
+            "degraded CrashSim-T result: source=%d interval=[%d, %d) "
+            "snapshots_completed=%d/%d survivors_alive=%d seed=%s",
+            source,
+            start,
+            stop,
+            prefix,
+            len(indices),
+            len(omega),
+            seed,
+        )
         warnings.warn(
             f"degraded CrashSim-T result: only the first {prefix} of "
             f"{len(indices)} snapshots completed; survivors reflect the "

@@ -39,6 +39,7 @@ every request already queued, then tears down the executor.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
@@ -50,6 +51,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.api import ScoreVector
 from repro.core.batch import BatchQuery, crashsim_batch
 from repro.core.params import CrashSimParams
@@ -66,6 +68,34 @@ from repro.walks.kernel import WalkCrashKernel
 __all__ = ["Engine", "EngineConfig", "QueryRequest", "QueryResult", "TreeLRU"]
 
 _SHUTDOWN = object()
+
+logger = logging.getLogger(__name__)
+
+# Process-wide tree-LRU counters (every TreeLRU in the process folds in);
+# the per-instance hits/misses/evictions attributes stay the API that
+# Engine.stats() reports per engine.
+_M_LRU_HITS = obs.REGISTRY.counter(
+    "repro_tree_lru_hits_total", "Source-tree LRU lookups served from cache."
+)
+_M_LRU_MISSES = obs.REGISTRY.counter(
+    "repro_tree_lru_misses_total", "Source-tree LRU lookups that built a tree."
+)
+_M_LRU_EVICTIONS = obs.REGISTRY.counter(
+    "repro_tree_lru_evictions_total", "Source trees evicted by LRU pressure."
+)
+
+#: Legacy Engine._stats keys mirrored onto per-engine registry counters —
+#: one entry per externally visible stats() key.
+_ENGINE_COUNTER_HELP = {
+    "queries": "Requests served (every admitted request ends up here).",
+    "batches": "Dispatcher batches formed.",
+    "deadline_queries": "Requests served on the deadline path.",
+    "degraded": "Answers averaging fewer trials than planned.",
+    "rejected": "Submissions refused because the engine was closed.",
+    "shared_walk_groups": "Coalesced groups scored on one walk stream.",
+    "coalesced_queries": "Queries that rode a shared walk stream.",
+    "solo_queries": "Queries scored individually on warm state.",
+}
 
 
 class TreeLRU:
@@ -98,6 +128,7 @@ class TreeLRU:
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -113,20 +144,28 @@ class TreeLRU:
             if tree is not None:
                 self.hits += 1
                 self._entries.move_to_end(source)
+                _M_LRU_HITS.inc()
                 return tree
         built = revreach_levels(
             self._graph, source, self._l_max, self._c, variant=self._variant
         )
+        evicted = 0
         with self._lock:
             tree = self._entries.get(source)
             if tree is not None:
                 self.hits += 1
                 self._entries.move_to_end(source)
+                _M_LRU_HITS.inc()
                 return tree
             self.misses += 1
             self._entries[source] = built
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        _M_LRU_MISSES.inc()
+        if evicted:
+            _M_LRU_EVICTIONS.inc(evicted)
         return built
 
 
@@ -215,9 +254,11 @@ class QueryResult:
 
     ``scores`` is the same :class:`~repro.api.ScoreVector` the direct API
     returns (resilience metadata included); ``top`` is the optional
-    ``(node, score)`` ranking for ``top_k`` requests; ``batch_size`` and
-    ``coalesced`` describe how the request was served (diagnostics only —
-    they carry no information about the scores themselves).
+    ``(node, score)`` ranking for ``top_k`` requests; ``batch_size``,
+    ``coalesced``, and ``trace`` (the :class:`repro.obs.Trace` recorded
+    while the request was served) describe how the request was served
+    (diagnostics only — they carry no information about the scores
+    themselves).
     """
 
     scores: ScoreVector
@@ -227,6 +268,7 @@ class QueryResult:
     top: Optional[List[Tuple[int, float]]] = None
     batch_size: int = 1
     coalesced: bool = False
+    trace: Optional[object] = None
 
     @property
     def degraded(self) -> bool:
@@ -282,6 +324,27 @@ class Engine:
             "coalesced_queries": 0,
             "solo_queries": 0,
         }
+        # Per-engine registry: `_stats` stays the legacy API; every bump is
+        # mirrored onto these at event time so /metrics sees the same story.
+        self.registry = obs.MetricsRegistry()
+        self._counters = {
+            key: self.registry.counter(f"repro_engine_{key}_total", help_text)
+            for key, help_text in _ENGINE_COUNTER_HELP.items()
+        }
+        self._queue_depth = self.registry.gauge(
+            "repro_engine_queue_depth",
+            "Requests admitted but not yet picked into a batch.",
+        )
+        self._batch_size_hist = self.registry.histogram(
+            "repro_engine_batch_size",
+            "Requests per dispatcher batch.",
+            buckets=obs.DEFAULT_SIZE_BUCKETS,
+        )
+        self._latency_hist = self.registry.histogram(
+            "repro_engine_latency_seconds",
+            "End-to-end request latency (submission to answer).",
+            buckets=obs.DEFAULT_LATENCY_BUCKETS,
+        )
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-serve-dispatcher", daemon=True
         )
@@ -306,8 +369,10 @@ class Engine:
         with self._lock:
             if self._closed:
                 self._stats["rejected"] += 1
+                self._counters["rejected"].inc()
                 raise EngineClosedError("engine is shut down; no new queries")
             self._queue.put(pending)
+            self._queue_depth.inc()
         return future
 
     def query(
@@ -338,8 +403,20 @@ class Engine:
             snapshot = dict(self._stats)
         snapshot["tree_cache_hits"] = self.trees.hits
         snapshot["tree_cache_misses"] = self.trees.misses
+        snapshot["tree_cache_evictions"] = self.trees.evictions
         snapshot["tree_cache_size"] = len(self.trees)
         return snapshot
+
+    def registries(self) -> Tuple[obs.MetricsRegistry, ...]:
+        """The registries describing this engine: global + per-engine."""
+        return (obs.REGISTRY, self.registry)
+
+    def metrics_snapshot(self) -> Dict[str, dict]:
+        """One merged name→metric snapshot across :meth:`registries`."""
+        merged: Dict[str, dict] = {}
+        for registry in self.registries():
+            merged.update(registry.snapshot())
+        return merged
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -409,6 +486,10 @@ class Engine:
         with self._lock:
             self._stats["queries"] += len(batch)
             self._stats["batches"] += 1
+        self._queue_depth.dec(len(batch))
+        self._counters["queries"].inc(len(batch))
+        self._counters["batches"].inc()
+        self._batch_size_hist.observe(len(batch))
         deadline_items = [p for p in batch if p.request.deadline is not None]
         coalescible = [p for p in batch if p.request.deadline is None]
         # Latency-bounded requests go first: their budget is already burning.
@@ -452,17 +533,19 @@ class Engine:
             for p in group
         ]
         batch_stats: Dict[str, int] = {}
+        trace = obs.Trace("batch", {"sampler": sampler, "size": len(group)})
         try:
-            results = crashsim_batch(
-                self.graph,
-                queries,
-                params=self.params,
-                tree_variant=self.config.tree_variant,
-                sampler=sampler,
-                kernel=self._kernel(sampler),
-                tree_provider=self.trees,
-                stats=batch_stats,
-            )
+            with trace.activate():
+                results = crashsim_batch(
+                    self.graph,
+                    queries,
+                    params=self.params,
+                    tree_variant=self.config.tree_variant,
+                    sampler=sampler,
+                    kernel=self._kernel(sampler),
+                    tree_provider=self.trees,
+                    stats=batch_stats,
+                )
         except Exception:
             if len(group) == 1:
                 group[0].future.set_exception(_current_exception())
@@ -475,10 +558,16 @@ class Engine:
         with self._lock:
             for key, value in batch_stats.items():
                 self._stats[key] += value
+        for key, value in batch_stats.items():
+            self._counters[key].inc(value)
         coalesced = batch_stats.get("coalesced_queries", 0) > 0
         for pending, result in zip(group, results):
             self._finish(
-                pending, result, batch_size=len(group), coalesced=coalesced
+                pending,
+                result,
+                batch_size=len(group),
+                coalesced=coalesced,
+                trace=trace,
             )
 
     def _serve_deadline(self, pending: _Pending) -> None:
@@ -488,6 +577,7 @@ class Engine:
         self._assign_seeds([pending])
         with self._lock:
             self._stats["deadline_queries"] += 1
+        self._counters["deadline_queries"].inc()
         remaining = request.deadline - (time.monotonic() - pending.arrival)
         if remaining <= 0:
             pending.future.set_exception(
@@ -499,29 +589,33 @@ class Engine:
                 )
             )
             return
+        trace = obs.Trace(
+            "query", {"source": request.source, "deadline": request.deadline}
+        )
         try:
-            tree = self.trees.get(request.source)
-            with warnings.catch_warnings():
-                # The degradation signal reaches the caller through the
-                # ScoreVector metadata; the warning would only spam the
-                # server log once per overloaded request.
-                warnings.simplefilter("ignore", DegradedResultWarning)
-                result = parallel_crashsim(
-                    self.graph,
-                    request.source,
-                    candidates=request.candidates,
-                    params=self.params,
-                    seed=pending.seed,
-                    workers=self.config.workers,
-                    executor=self._ensure_executor(),
-                    deadline=remaining,
-                    sampler=request.sampler,
-                    tree=tree,
-                )
+            with trace.activate():
+                tree = self.trees.get(request.source)
+                with warnings.catch_warnings():
+                    # The degradation signal reaches the caller through the
+                    # ScoreVector metadata; the warning would only spam the
+                    # server log once per overloaded request.
+                    warnings.simplefilter("ignore", DegradedResultWarning)
+                    result = parallel_crashsim(
+                        self.graph,
+                        request.source,
+                        candidates=request.candidates,
+                        params=self.params,
+                        seed=pending.seed,
+                        workers=self.config.workers,
+                        executor=self._ensure_executor(),
+                        deadline=remaining,
+                        sampler=request.sampler,
+                        tree=tree,
+                    )
         except Exception:
             pending.future.set_exception(_current_exception())
             return
-        self._finish(pending, result, batch_size=1, coalesced=False)
+        self._finish(pending, result, batch_size=1, coalesced=False, trace=trace)
 
     # ------------------------------------------------------------------ helpers
 
@@ -547,6 +641,7 @@ class Engine:
         *,
         batch_size: int,
         coalesced: bool,
+        trace=None,
     ) -> None:
         # Exactly api.single_source's assembly, so engine vectors are
         # byte-identical to the direct call's.
@@ -558,10 +653,22 @@ class Engine:
             degraded=result.degraded,
             trials_completed=result.trials_completed,
             achieved_epsilon=result.achieved_epsilon,
+            trace=trace,
         )
         if result.degraded:
             with self._lock:
                 self._stats["degraded"] += 1
+            self._counters["degraded"].inc()
+            logger.warning(
+                "degraded engine answer: source=%d seed=%s "
+                "trials_completed=%s achieved_epsilon=%s",
+                int(result.source),
+                pending.seed,
+                result.trials_completed,
+                result.achieved_epsilon,
+            )
+        elapsed = time.monotonic() - pending.arrival
+        self._latency_hist.observe(elapsed)
         top = None
         if pending.request.top_k is not None:
             top = _top_k(vector, int(result.source), pending.request.top_k)
@@ -570,10 +677,11 @@ class Engine:
                 scores=vector,
                 source=int(result.source),
                 seed=pending.seed,
-                elapsed=time.monotonic() - pending.arrival,
+                elapsed=elapsed,
                 top=top,
                 batch_size=batch_size,
                 coalesced=coalesced,
+                trace=trace,
             )
         )
 

@@ -19,7 +19,12 @@ Endpoints
 ``GET /healthz``
     ``200 {"status": "ok"}`` while the engine accepts queries.
 ``GET /stats``
-    The engine's serving counters.
+    The engine's serving counters, plus a ``metrics`` object carrying the
+    merged registry snapshot (counters, gauges, histogram percentiles).
+``GET /metrics``
+    Prometheus text exposition (format 0.0.4) over the global registry and
+    the engine's per-engine registry — kernel, tree, executor, and engine
+    metric families in one scrape.
 """
 
 from __future__ import annotations
@@ -29,6 +34,10 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
+from repro import obs
+from repro import parallel as _parallel  # noqa: F401 - registers the
+# executor/runner metric families so a /metrics scrape covers them even
+# before the engine's first deadline query forces the lazy import.
 from repro.errors import DeadlineExceededError, EngineClosedError, ReproError
 from repro.serve.engine import Engine
 
@@ -68,7 +77,21 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply(200, {"status": "ok"})
             return
         if self.path == "/stats":
-            self._reply(200, self.engine.stats())
+            payload = self.engine.stats()
+            payload["metrics"] = self.engine.metrics_snapshot()
+            self._reply(200, payload)
+            return
+        if self.path == "/metrics":
+            body = obs.render_prometheus(*self.engine.registries()).encode(
+                "utf-8"
+            )
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
             return
         self._reply(404, {"error": f"unknown path {self.path!r}"})
 

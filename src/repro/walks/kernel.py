@@ -57,6 +57,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ParameterError
 from repro.graph.digraph import build_alias_tables
 from repro.rng import ensure_rng
@@ -73,6 +74,30 @@ __all__ = [
 DEFAULT_WALK_CHUNK = 1 << 20  # max simultaneous walks per batched pass
 DEFAULT_DENSE_ROW_BUDGET = 256 << 20  # bytes of dense U rows worth caching
 SAMPLERS = ("cdf", "alias")
+
+# Registry metrics, shared by every kernel instance in the process.  The
+# hot loop never touches these: each accumulate call counts into plain
+# local integers and flushes once on the way out.
+_M_WALKS = obs.REGISTRY.counter(
+    "repro_kernel_walks_total",
+    "Root walks started by the fused kernel (trials x candidates).",
+)
+_M_STEPS = obs.REGISTRY.counter(
+    "repro_kernel_steps_total",
+    "Live-walk step advances performed by the fused kernel.",
+)
+_M_CRASH_READS = obs.REGISTRY.counter(
+    "repro_kernel_crash_reads_total",
+    "Crash-probability reads folded into candidate totals.",
+)
+_M_ROW_HITS = obs.REGISTRY.counter(
+    "repro_kernel_dense_row_hits_total",
+    "Per-step tree reads served from a dense cached U row.",
+)
+_M_ROW_MISSES = obs.REGISTRY.counter(
+    "repro_kernel_dense_row_misses_total",
+    "Per-step tree reads that fell back to the sparse gather path.",
+)
 
 
 class _TreeRows:
@@ -318,35 +343,52 @@ class WalkCrashKernel:
         cand = np.arange(k, dtype=np.int64)
         jit_step = self._jit_step
         scratch = np.empty(k, dtype=np.float64) if jit_step is not None else None
+        steps_local = 0
+        crash_local = 0
+        row_hits = 0
+        row_misses = 0
         remaining = n_trials
-        while remaining > 0:
-            trials = min(trials_per_chunk, remaining)
-            remaining -= trials
-            alive = trials * k
-            pos_a[:alive].reshape(trials, k)[:] = targets
-            own_a[:alive].reshape(trials, k)[:] = cand
-            cur_own, alt_own = own_a, own_b
-            for step in range(1, l_max + 1):
-                if alive == 0:
-                    break
-                rng.random(out=draws[:alive])
-                self.steps_processed += alive
-                row = rows.row(step)
-                if jit_step is not None and row is not None:
-                    alive = jit_step(
-                        pos_a, cur_own, draws, alive, row, scratch, totals
-                    )
-                    continue
-                alive = self._step_numpy(cur_own, alt_own, alive)
-                if alive == 0:
-                    break
-                cur_own, alt_own = alt_own, cur_own
-                if row is not None:
-                    np.take(row, pos_a[:alive], out=contrib[:alive])
-                    crash = contrib[:alive]
-                else:
-                    crash = rows.gather(step, pos_a[:alive])
-                totals += np.bincount(cur_own[:alive], weights=crash, minlength=k)
+        with obs.span("walk_kernel", trials=n_trials, candidates=k):
+            while remaining > 0:
+                trials = min(trials_per_chunk, remaining)
+                remaining -= trials
+                alive = trials * k
+                pos_a[:alive].reshape(trials, k)[:] = targets
+                own_a[:alive].reshape(trials, k)[:] = cand
+                cur_own, alt_own = own_a, own_b
+                for step in range(1, l_max + 1):
+                    if alive == 0:
+                        break
+                    rng.random(out=draws[:alive])
+                    self.steps_processed += alive
+                    steps_local += alive
+                    row = rows.row(step)
+                    if row is not None:
+                        row_hits += 1
+                    else:
+                        row_misses += 1
+                    if jit_step is not None and row is not None:
+                        alive = jit_step(
+                            pos_a, cur_own, draws, alive, row, scratch, totals
+                        )
+                        crash_local += alive
+                        continue
+                    alive = self._step_numpy(cur_own, alt_own, alive)
+                    if alive == 0:
+                        break
+                    cur_own, alt_own = alt_own, cur_own
+                    crash_local += alive
+                    if row is not None:
+                        np.take(row, pos_a[:alive], out=contrib[:alive])
+                        crash = contrib[:alive]
+                    else:
+                        crash = rows.gather(step, pos_a[:alive])
+                    totals += np.bincount(cur_own[:alive], weights=crash, minlength=k)
+        _M_WALKS.inc(n_trials * k)
+        _M_STEPS.inc(steps_local)
+        _M_CRASH_READS.inc(crash_local)
+        _M_ROW_HITS.inc(row_hits)
+        _M_ROW_MISSES.inc(row_misses)
         return totals
 
     # ------------------------------------------------------------------
@@ -391,37 +433,51 @@ class WalkCrashKernel:
         keys, crash_weights = self._ensure_multi_scratch(q * cap)
         flat_totals = totals.reshape(-1)
         cand = np.arange(k, dtype=np.int64)
+        steps_local = 0
+        crash_local = 0
+        row_hits = 0
+        row_misses = 0
         remaining = n_trials
-        while remaining > 0:
-            trials = min(trials_per_chunk, remaining)
-            remaining -= trials
-            alive = trials * k
-            pos_a[:alive].reshape(trials, k)[:] = targets
-            own_a[:alive].reshape(trials, k)[:] = cand
-            cur_own, alt_own = own_a, own_b
-            for step in range(1, l_max + 1):
-                if alive == 0:
-                    break
-                rng.random(out=draws[:alive])
-                self.steps_processed += alive
-                alive = self._step_numpy(cur_own, alt_own, alive)
-                if alive == 0:
-                    break
-                cur_own, alt_own = alt_own, cur_own
-                for index, rows in enumerate(all_rows):
-                    lo = index * alive
-                    hi = lo + alive
-                    row = rows.row(step)
-                    if row is not None:
-                        np.take(row, pos_a[:alive], out=crash_weights[lo:hi])
-                    else:
-                        crash_weights[lo:hi] = rows.gather(step, pos_a[:alive])
-                    np.add(cur_own[:alive], index * k, out=keys[lo:hi])
-                flat_totals += np.bincount(
-                    keys[: q * alive],
-                    weights=crash_weights[: q * alive],
-                    minlength=q * k,
-                )
+        with obs.span("walk_kernel", trials=n_trials, candidates=k, sources=q):
+            while remaining > 0:
+                trials = min(trials_per_chunk, remaining)
+                remaining -= trials
+                alive = trials * k
+                pos_a[:alive].reshape(trials, k)[:] = targets
+                own_a[:alive].reshape(trials, k)[:] = cand
+                cur_own, alt_own = own_a, own_b
+                for step in range(1, l_max + 1):
+                    if alive == 0:
+                        break
+                    rng.random(out=draws[:alive])
+                    self.steps_processed += alive
+                    steps_local += alive
+                    alive = self._step_numpy(cur_own, alt_own, alive)
+                    if alive == 0:
+                        break
+                    cur_own, alt_own = alt_own, cur_own
+                    crash_local += q * alive
+                    for index, rows in enumerate(all_rows):
+                        lo = index * alive
+                        hi = lo + alive
+                        row = rows.row(step)
+                        if row is not None:
+                            row_hits += 1
+                            np.take(row, pos_a[:alive], out=crash_weights[lo:hi])
+                        else:
+                            row_misses += 1
+                            crash_weights[lo:hi] = rows.gather(step, pos_a[:alive])
+                        np.add(cur_own[:alive], index * k, out=keys[lo:hi])
+                    flat_totals += np.bincount(
+                        keys[: q * alive],
+                        weights=crash_weights[: q * alive],
+                        minlength=q * k,
+                    )
+        _M_WALKS.inc(n_trials * k)
+        _M_STEPS.inc(steps_local)
+        _M_CRASH_READS.inc(crash_local)
+        _M_ROW_HITS.inc(row_hits)
+        _M_ROW_MISSES.inc(row_misses)
         return totals
 
     # ------------------------------------------------------------------

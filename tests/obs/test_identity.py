@@ -1,0 +1,84 @@
+"""Observability is behaviourally inert: instrumented runs keep their bits.
+
+The observability layer's contract is that it never draws from an RNG and
+never reorders work, so a run with the registry live *and* a trace active
+must reproduce the exact float bit patterns pinned in
+``tests/fixtures/seed_behaviour.json`` — the same fixture the
+representation refactors answer to.  A failure here means instrumentation
+changed behaviour, which is a correctness bug regardless of overhead.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro import api, obs
+from repro.core.crashsim import crashsim
+from repro.core.params import CrashSimParams
+from repro.graph.generators import preferential_attachment
+
+FIXTURE = (
+    pathlib.Path(__file__).parent.parent / "fixtures" / "seed_behaviour.json"
+)
+PARAMS = CrashSimParams(n_r_override=64)
+
+
+@pytest.fixture(scope="module")
+def pinned():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return preferential_attachment(120, 3, directed=True, seed=5)
+
+
+@pytest.fixture
+def enabled():
+    previous = obs.set_enabled(True)
+    yield
+    obs.set_enabled(previous)
+
+
+def to_hex(values):
+    return [float.hex(float(v)) for v in values]
+
+
+class TestInstrumentedBitIdentity:
+    def test_enabled_registry_matches_pinned_fixture(
+        self, pinned, graph, enabled
+    ):
+        result = crashsim(graph, 0, params=PARAMS, seed=123)
+        assert to_hex(result.scores) == pinned["static"]["scores"]
+
+    def test_active_trace_matches_pinned_fixture(self, pinned, graph, enabled):
+        trace = obs.Trace("query", {"source": 0})
+        with trace.activate():
+            result = crashsim(graph, 0, params=PARAMS, seed=123)
+        assert to_hex(result.scores) == pinned["static"]["scores"]
+        # And the trace actually recorded the kernel phase — the run was
+        # instrumented, not silently skipped.
+        assert any(
+            span.name == "walk_kernel" for span in trace.root.walk()
+        )
+
+    def test_kill_switch_does_not_move_a_bit(self, graph):
+        previous = obs.set_enabled(True)
+        try:
+            instrumented = crashsim(graph, 0, params=PARAMS, seed=123)
+            obs.set_enabled(False)
+            plain = crashsim(graph, 0, params=PARAMS, seed=123)
+        finally:
+            obs.set_enabled(previous)
+        assert to_hex(instrumented.scores) == to_hex(plain.scores)
+
+    def test_api_attaches_ambient_trace_to_scores(self, graph, enabled):
+        trace = obs.Trace("query")
+        with trace.activate():
+            scores = api.single_source(graph, 0, n_r=32, seed=9)
+        assert scores.trace is trace
+        untraced = api.single_source(graph, 0, n_r=32, seed=9)
+        assert untraced.trace is None
+        # Tracing itself left the answer untouched.
+        assert scores.tobytes() == untraced.tobytes()

@@ -1,0 +1,247 @@
+"""The metrics registry: counters, gauges, histograms, exposition.
+
+Everything here is single-process and deterministic; the concurrency leg
+lives in ``tests/serve/test_soak.py`` (scrapes racing the dispatcher) and
+the behavioural-inertness leg in ``tests/obs/test_identity.py``.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def registry():
+    return obs.MetricsRegistry()
+
+
+@pytest.fixture
+def enabled():
+    """Force the kill switch on for the test, restoring it afterwards."""
+    previous = obs.set_enabled(True)
+    yield
+    obs.set_enabled(previous)
+
+
+class TestCounter:
+    def test_inc_defaults_to_one_and_accepts_amounts(self, registry, enabled):
+        counter = registry.counter("t_events_total", "events")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+        assert counter.snapshot_value() == 42
+
+    def test_negative_increment_rejected(self, registry, enabled):
+        counter = registry.counter("t_events_total")
+        with pytest.raises(ParameterError):
+            counter.inc(-1)
+
+    def test_invalid_metric_name_rejected(self, registry):
+        with pytest.raises(ParameterError):
+            registry.counter("0starts_with_digit")
+        with pytest.raises(ParameterError):
+            registry.counter("has space")
+
+    def test_concurrent_increments_do_not_lose_counts(self, registry, enabled):
+        counter = registry.counter("t_racy_total")
+        per_thread, n_threads = 5_000, 8
+
+        def hammer():
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [
+            threading.Thread(target=hammer, daemon=True)
+            for _ in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+        assert counter.value == per_thread * n_threads
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry, enabled):
+        gauge = registry.gauge("t_depth")
+        gauge.set(10)
+        gauge.inc(3)
+        gauge.dec(5)
+        assert gauge.value == 8
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self, registry, enabled):
+        hist = registry.histogram("t_sizes", buckets=(1, 4, 16))
+        for value in (1, 2, 3, 20):
+            hist.observe(value)
+        snap = hist.snapshot_value()
+        assert snap["count"] == 4
+        assert snap["sum"] == 26.0
+        # Per-bucket (non-cumulative) counts: <=1, <=4, <=16, +Inf.
+        assert snap["buckets"] == {"1.0": 1, "4.0": 2, "16.0": 0, "+Inf": 1}
+
+    def test_percentiles_interpolate_toward_bucket_bound(
+        self, registry, enabled
+    ):
+        hist = registry.histogram("t_lat", buckets=(1.0, 2.0, 4.0))
+        for _ in range(100):
+            hist.observe(2.0)
+        # All mass sits in the (1.0, 2.0] bucket: the estimator walks
+        # linearly through it, exact at the bucket's upper bound.
+        assert hist.p50 == pytest.approx(1.5)
+        assert hist.p99 == pytest.approx(1.99)
+        assert hist.percentile(100) == pytest.approx(2.0)
+
+    def test_percentile_interpolates_within_bucket(self, registry, enabled):
+        hist = registry.histogram("t_lat2", buckets=(1.0, 2.0))
+        hist.observe(1.5)
+        hist.observe(1.5)
+        # Both observations sit in the (1.0, 2.0] bucket; the median
+        # interpolates halfway into it.
+        assert 1.0 < hist.percentile(50) <= 2.0
+
+    def test_percentile_empty_and_bounds(self, registry, enabled):
+        hist = registry.histogram("t_lat3", buckets=(1.0,))
+        assert hist.percentile(99) == 0.0
+        with pytest.raises(ParameterError):
+            hist.percentile(101)
+        with pytest.raises(ParameterError):
+            hist.percentile(-1)
+
+    def test_overflow_reported_as_last_finite_bound(self, registry, enabled):
+        hist = registry.histogram("t_lat4", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.percentile(50) == 2.0
+
+    def test_buckets_must_be_increasing_and_nonempty(self, registry):
+        with pytest.raises(ParameterError):
+            registry.histogram("t_bad", buckets=())
+        with pytest.raises(ParameterError):
+            registry.histogram("t_bad2", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self, registry):
+        first = registry.counter("t_once_total")
+        second = registry.counter("t_once_total")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_kind_mismatch_raises(self, registry):
+        registry.counter("t_thing")
+        with pytest.raises(ParameterError):
+            registry.gauge("t_thing")
+        with pytest.raises(ParameterError):
+            registry.histogram("t_thing")
+
+    def test_get_returns_metric_or_none(self, registry):
+        counter = registry.counter("t_known_total")
+        assert registry.get("t_known_total") is counter
+        assert registry.get("t_unknown") is None
+
+    def test_snapshot_and_dump_json_round_trip(self, registry, enabled):
+        registry.counter("t_a_total").inc(3)
+        registry.gauge("t_b").set(1.5)
+        registry.histogram("t_c", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["t_a_total"] == 3
+        assert snap["t_b"] == 1.5
+        assert snap["t_c"]["count"] == 1
+        assert json.loads(registry.dump_json()) == json.loads(
+            json.dumps(snap)
+        )
+
+
+class TestKillSwitch:
+    def test_disabled_mutations_are_no_ops(self, registry):
+        counter = registry.counter("t_off_total")
+        gauge = registry.gauge("t_off_gauge")
+        hist = registry.histogram("t_off_hist", buckets=(1.0,))
+        previous = obs.set_enabled(False)
+        try:
+            assert not obs.obs_enabled()
+            counter.inc(5)
+            gauge.set(9)
+            hist.observe(0.5)
+        finally:
+            obs.set_enabled(previous)
+        assert counter.value == 0
+        assert gauge.value == 0.0
+        assert hist.count == 0
+
+    def test_set_enabled_returns_previous_state(self):
+        previous = obs.set_enabled(True)
+        try:
+            assert obs.set_enabled(False) is True
+            assert obs.set_enabled(True) is False
+        finally:
+            obs.set_enabled(previous)
+
+    def test_disabling_keeps_last_values_scrapable(self, registry, enabled):
+        counter = registry.counter("t_keep_total")
+        counter.inc(7)
+        previous = obs.set_enabled(False)
+        try:
+            assert counter.value == 7
+            assert "t_keep_total 7" in obs.render_prometheus(registry)
+        finally:
+            obs.set_enabled(previous)
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self, registry, enabled):
+        registry.counter("t_hits_total", "hit count").inc(3)
+        registry.gauge("t_depth", "queue depth").set(2)
+        text = obs.render_prometheus(registry)
+        assert "# HELP t_hits_total hit count" in text
+        assert "# TYPE t_hits_total counter" in text
+        assert "t_hits_total 3" in text.splitlines()
+        assert "# TYPE t_depth gauge" in text
+        assert "t_depth 2" in text.splitlines()
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_is_cumulative(self, registry, enabled):
+        hist = registry.histogram("t_lat", "latency", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 5.0):
+            hist.observe(value)
+        lines = obs.render_prometheus(registry).splitlines()
+        assert 't_lat_bucket{le="1"} 1' in lines
+        assert 't_lat_bucket{le="2"} 2' in lines
+        assert 't_lat_bucket{le="+Inf"} 3' in lines
+        assert "t_lat_sum 7" in lines
+        assert "t_lat_count 3" in lines
+
+    def test_multiple_registries_concatenate(self, enabled):
+        first, second = obs.MetricsRegistry(), obs.MetricsRegistry()
+        first.counter("t_one_total").inc()
+        second.counter("t_two_total").inc(2)
+        lines = obs.render_prometheus(first, second).splitlines()
+        assert "t_one_total 1" in lines
+        assert "t_two_total 2" in lines
+
+    def test_help_newlines_escaped(self, registry, enabled):
+        registry.counter("t_multi_total", "line one\nline two")
+        text = obs.render_prometheus(registry)
+        assert "# HELP t_multi_total line one\\nline two" in text
+
+
+class TestGlobalRegistry:
+    def test_module_import_registered_core_families(self):
+        # Importing the instrumented subsystems registers their metric
+        # families in the process-wide registry.
+        import repro.core.revreach  # noqa: F401
+        import repro.walks.kernel  # noqa: F401
+
+        for name in (
+            "repro_kernel_walks_total",
+            "repro_kernel_steps_total",
+            "repro_tree_builds_total",
+        ):
+            assert obs.REGISTRY.get(name) is not None, name
+        assert obs.get_registry() is obs.REGISTRY

@@ -1,0 +1,140 @@
+"""Ambient tracing: span trees, thread-local activation, null contexts."""
+
+import threading
+
+from repro import obs
+
+
+class TestSpanTree:
+    def test_nested_spans_build_a_tree(self):
+        trace = obs.Trace("query")
+        with trace.activate():
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+                with obs.span("sibling"):
+                    pass
+        root = trace.root
+        assert root.name == "query"
+        assert [child.name for child in root.children] == ["outer"]
+        outer = root.children[0]
+        assert [child.name for child in outer.children] == [
+            "inner",
+            "sibling",
+        ]
+        # Every span closed, and children finished within their parent.
+        for node in root.walk():
+            assert node.elapsed is not None
+        assert outer.elapsed >= outer.children[0].elapsed
+
+    def test_events_are_zero_duration_markers(self):
+        trace = obs.Trace()
+        with trace.activate():
+            with obs.span("phase"):
+                obs.event("retry", shard=3)
+        marker = trace.root.children[0].children[0]
+        assert marker.name == "retry"
+        assert marker.elapsed == 0.0
+        assert marker.meta == {"shard": 3}
+
+    def test_span_meta_recorded(self):
+        trace = obs.Trace("query", {"source": 7})
+        with trace.activate():
+            with obs.span("walk_kernel", n_trials=64) as span:
+                assert span.meta == {"n_trials": 64}
+        assert trace.root.meta == {"source": 7}
+
+    def test_out_of_order_exits_close_back_to_parent(self):
+        # An exception unwinding through several spans exits them out of
+        # order; the trace must pop back to the right parent and close
+        # everything in between.
+        trace = obs.Trace()
+        with trace.activate():
+            outer = trace.span("outer")
+            inner = trace.span("inner")
+            outer.__enter__()
+            inner.__enter__()
+            outer.__exit__(None, None, None)  # skips inner's exit
+            with obs.span("after"):
+                pass
+        names = [child.name for child in trace.root.children]
+        assert names == ["outer", "after"]
+        for node in trace.root.walk():
+            assert node.elapsed is not None
+
+
+class TestAmbientBinding:
+    def test_no_active_trace_is_a_shared_null_noop(self):
+        assert obs.current_trace() is None
+        context = obs.span("anything")
+        assert context is obs.span("something_else")  # the shared _NULL
+        with context as span:
+            assert span is None
+        obs.event("ignored")  # must not raise
+
+    def test_activation_is_scoped_and_restores_previous(self):
+        outer, inner = obs.Trace("outer"), obs.Trace("inner")
+        with outer.activate():
+            assert obs.current_trace() is outer
+            with inner.activate():
+                assert obs.current_trace() is inner
+            assert obs.current_trace() is outer
+        assert obs.current_trace() is None
+
+    def test_trace_is_thread_local(self):
+        trace = obs.Trace()
+        seen = []
+
+        def worker():
+            seen.append(obs.current_trace())
+
+        with trace.activate():
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join(timeout=30)
+        assert seen == [None]
+
+    def test_root_closes_on_deactivation(self):
+        trace = obs.Trace()
+        with trace.activate():
+            assert trace.root.elapsed is None
+            assert trace.elapsed >= 0.0  # live reading while open
+        assert trace.root.elapsed is not None
+        assert trace.elapsed == trace.root.elapsed
+
+
+class TestReporting:
+    def _traced(self):
+        trace = obs.Trace("query", {"source": 3})
+        with trace.activate():
+            with obs.span("tree_build"):
+                pass
+            with obs.span("walk_kernel", walks=8):
+                obs.event("retry")
+        return trace
+
+    def test_as_dict_round_trips_structure(self):
+        payload = self._traced().as_dict()
+        assert payload["name"] == "query"
+        assert payload["meta"] == {"source": 3}
+        children = payload["children"]
+        assert [child["name"] for child in children] == [
+            "tree_build",
+            "walk_kernel",
+        ]
+        assert children[1]["meta"] == {"walks": 8}
+        assert children[1]["children"][0]["name"] == "retry"
+
+    def test_render_is_an_indented_tree_with_meta(self):
+        lines = self._traced().render().splitlines()
+        assert lines[0].startswith("query")
+        assert "[source=3]" in lines[0]
+        assert lines[1].startswith("  tree_build")
+        assert "ms" in lines[1]
+        assert lines[2].startswith("  walk_kernel")
+        assert "[walks=8]" in lines[2]
+        assert lines[3].startswith("    retry")
+
+    def test_render_unit_scale(self):
+        text = self._traced().render(unit_scale=1.0, unit="s")
+        assert "s" in text and "ms" not in text

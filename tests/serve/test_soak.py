@@ -10,19 +10,27 @@ direct :func:`repro.api.single_source` oracle.
 The chaos leg reuses :mod:`repro.faults` to SIGKILL a pool worker while an
 engine batch is mid-flight and asserts the answer is still exact — the
 executor's rebuild-and-retry must be invisible through the serving layer.
+
+The observability leg runs the same soak behind the HTTP front door with
+scraper threads hammering ``GET /metrics`` and ``GET /stats`` the whole
+time: every scrape must be a valid Prometheus exposition, counters must
+never run backwards, and the final totals must reconcile with the work
+actually done.
 """
 
+import json
 import threading
 import time
+import urllib.request
 
 import numpy as np
 import pytest
 
-from repro import api, faults
+from repro import api, faults, obs
 from repro.core import CandidateTreeCache
 from repro.errors import EngineClosedError
 from repro.parallel import ParallelExecutor
-from repro.serve import Engine, EngineConfig, QueryRequest
+from repro.serve import Engine, EngineConfig, QueryRequest, create_server
 
 pytestmark = pytest.mark.timeout(300)
 
@@ -112,6 +120,205 @@ class TestThreadedSoak:
             return out
 
         assert run_once() == run_once()
+
+
+def _parse_exposition(text):
+    """Validate Prometheus text format 0.0.4; return ``{sample: value}``.
+
+    Checks the structural invariants a scraper relies on: every sample
+    line is ``name[{le="bound"}] value``, every sample's family carries a
+    ``# TYPE`` line, histogram buckets are cumulative (non-decreasing in
+    declaration order) with the ``+Inf`` bucket equal to ``_count``.
+    """
+    typed = {}
+    samples = {}
+    bucket_runs = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            assert kind in ("counter", "gauge", "histogram"), line
+            typed[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment line: {line!r}"
+        sample, _, raw = line.rpartition(" ")
+        value = float(raw)
+        samples[sample] = value
+        family = sample.split("{")[0]
+        for suffix in ("_bucket", "_sum", "_count"):
+            if family.endswith(suffix) and family[: -len(suffix)] in typed:
+                base = family[: -len(suffix)]
+                assert typed[base] == "histogram", line
+                if suffix == "_bucket":
+                    bucket_runs.setdefault(base, []).append(value)
+                break
+        else:
+            assert family in typed, f"sample without TYPE: {line!r}"
+    for base, run in bucket_runs.items():
+        assert run == sorted(run), f"{base} buckets not cumulative: {run}"
+        assert run[-1] == samples[f"{base}_count"], base
+    assert text.endswith("\n")
+    return samples
+
+
+class TestMetricsScrapeUnderLoad:
+    def test_concurrent_scrapes_valid_and_monotonic(
+        self, serve_graph, catalog
+    ):
+        previous = obs.set_enabled(True)
+        config = EngineConfig(
+            n_r=32, batch_window=0.002, tree_cache_size=32, seed=7
+        )
+        metrics_scrapes, stats_scrapes, errors = [], [], []
+        stop_scraping = threading.Event()
+        try:
+            with Engine(serve_graph, config) as engine:
+                server = create_server(engine, port=0)
+                host, port = server.server_address[:2]
+                base_url = f"http://{host}:{port}"
+                server_thread = threading.Thread(
+                    target=server.serve_forever,
+                    kwargs={"poll_interval": 0.05},
+                    daemon=True,
+                )
+                server_thread.start()
+                try:
+
+                    def scraper(path, out):
+                        try:
+                            while not stop_scraping.is_set():
+                                with urllib.request.urlopen(
+                                    base_url + path, timeout=30
+                                ) as response:
+                                    assert response.status == 200
+                                    out.append(
+                                        (
+                                            response.headers.get(
+                                                "Content-Type", ""
+                                            ),
+                                            response.read().decode("utf-8"),
+                                        )
+                                    )
+                                time.sleep(0.003)
+                        except BaseException as exc:  # pragma: no cover
+                            errors.append(exc)
+
+                    def client(thread_id):
+                        try:
+                            for source, seed, cands in _workload(
+                                thread_id, catalog
+                            ):
+                                engine.query(
+                                    source,
+                                    seed=seed,
+                                    candidates=cands,
+                                    timeout=60,
+                                )
+                        except BaseException as exc:  # pragma: no cover
+                            errors.append(exc)
+
+                    scrapers = [
+                        threading.Thread(
+                            target=scraper,
+                            args=("/metrics", metrics_scrapes),
+                            daemon=True,
+                        ),
+                        threading.Thread(
+                            target=scraper,
+                            args=("/stats", stats_scrapes),
+                            daemon=True,
+                        ),
+                    ]
+                    clients = [
+                        threading.Thread(
+                            target=client, args=(t,), daemon=True
+                        )
+                        for t in range(N_THREADS)
+                    ]
+                    for thread in scrapers + clients:
+                        thread.start()
+                    for thread in clients:
+                        thread.join(timeout=120)
+                        assert not thread.is_alive(), "soak client hung"
+                    stop_scraping.set()
+                    for thread in scrapers:
+                        thread.join(timeout=60)
+                        assert not thread.is_alive(), "scraper hung"
+                    assert not errors, errors
+                    # One quiescent scrape of each endpoint after every
+                    # query drained, for the final reconciliation.
+                    with urllib.request.urlopen(
+                        base_url + "/metrics", timeout=30
+                    ) as response:
+                        metrics_scrapes.append(
+                            (
+                                response.headers.get("Content-Type", ""),
+                                response.read().decode("utf-8"),
+                            )
+                        )
+                    with urllib.request.urlopen(
+                        base_url + "/stats", timeout=30
+                    ) as response:
+                        stats_scrapes.append(
+                            (
+                                response.headers.get("Content-Type", ""),
+                                response.read().decode("utf-8"),
+                            )
+                        )
+                finally:
+                    server.shutdown()
+                    server.server_close()
+        finally:
+            obs.set_enabled(previous)
+
+        # Every /metrics body is a structurally valid exposition with the
+        # right content type, covering all four metric families.
+        assert len(metrics_scrapes) >= 2
+        parsed = []
+        for content_type, body in metrics_scrapes:
+            assert content_type.startswith("text/plain; version=0.0.4")
+            parsed.append(_parse_exposition(body))
+        for family in (
+            "repro_kernel_walks_total",
+            "repro_tree_lru_hits_total",
+            "repro_executor_runs_total",
+            "repro_engine_queries_total",
+            "repro_engine_latency_seconds_count",
+        ):
+            assert family in parsed[-1], family
+
+        # Counters never run backwards across a scraper's ordered scrapes.
+        for name in (
+            "repro_engine_queries_total",
+            "repro_engine_batches_total",
+            "repro_kernel_walks_total",
+        ):
+            series = [sample[name] for sample in parsed]
+            assert series == sorted(series), (name, series)
+
+        # /stats mirrors the same registry: its counters are monotonic
+        # too, and both endpoints agree on the final totals.
+        payloads = [json.loads(body) for _, body in stats_scrapes]
+        queries_series = [payload["queries"] for payload in payloads]
+        assert queries_series == sorted(queries_series)
+        metric_series = [
+            payload["metrics"]["repro_engine_queries_total"]
+            for payload in payloads
+        ]
+        assert metric_series == sorted(metric_series)
+        expected = N_THREADS * QUERIES_PER_THREAD
+        assert parsed[-1]["repro_engine_queries_total"] == expected
+        assert payloads[-1]["queries"] == expected
+        assert payloads[-1]["metrics"]["repro_engine_queries_total"] == (
+            expected
+        )
+        # The dispatcher drained everything: the queue-depth gauge is
+        # back to zero and latency observations cover every query.
+        assert parsed[-1]["repro_engine_queue_depth"] == 0
+        assert parsed[-1]["repro_engine_latency_seconds_count"] == expected
 
 
 class TestShutdownUnderLoad:
