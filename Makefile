@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-parallel test-chaos test-serve bench bench-tree bench-kernel serve-bench obs-smoke perf-smoke selftest experiments report examples clean
+.PHONY: install test test-parallel test-chaos test-serve bench bench-tree bench-kernel bench-parallel serve-bench obs-smoke perf-smoke selftest experiments report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -39,6 +39,12 @@ bench-tree:
 # benchmarks/BENCH_kernel.json and fails below the 2x / 1.5x targets.
 bench-kernel:
 	$(PYTHON) benchmarks/bench_kernel.py
+
+# Parallel tiers (process + thread) vs serial on the 50k graph; writes
+# benchmarks/BENCH_parallel.json and fails if any (mode, workers) row
+# drifts from the workers=1 scores.  Scaling needs real cores to show.
+bench-parallel:
+	$(PYTHON) benchmarks/bench_parallel.py
 
 # Serving-engine load generator: 8 concurrent clients vs sequential
 # dispatch on the 50k PA graph; writes benchmarks/BENCH_serve.json and

@@ -1,17 +1,22 @@
-"""Parallel-executor benches: speedup and determinism vs. worker count.
+"""Parallel-executor benches: per-tier speedup and determinism vs. workers.
 
 Two entry points:
 
 * ``pytest benchmarks/bench_parallel.py --benchmark-only`` — records one
-  single-source parallel CrashSim query per worker count on a 50k-node
-  generated graph (the quantity the speedup claim is about);
+  single-source parallel CrashSim query per (mode, worker count) on a
+  50k-node generated graph (the quantity the speedup claim is about);
 * ``python benchmarks/bench_parallel.py`` — runs the full sweep once,
-  prints a speedup table, and verifies that every worker count produced
-  byte-identical scores for the same master seed.
+  prints a speedup table per execution tier, verifies that every
+  (mode, worker count) produced byte-identical scores for the same master
+  seed, and writes ``BENCH_parallel.json``.
 
-Speedup is bounded by physical cores: on a single-core container the
-parallel rows only measure pool + shared-memory overhead, so the ≥ 2×
-assertion is skipped below 4 CPUs.
+Speedup is bounded by the CPUs this process may actually use —
+``os.sched_getaffinity`` where available (cgroup/affinity-limited CI
+runners often expose fewer cores than ``os.cpu_count`` reports), falling
+back to ``os.cpu_count``.  On a single-core runner the parallel rows only
+measure pool + dispatch overhead, so the scaling assertions below *skip*
+(never fail) under 2 effective CPUs; the byte-identity assertions always
+run — determinism holds at any core count.
 """
 
 from __future__ import annotations
@@ -35,7 +40,16 @@ BENCH_EDGES = 150_000
 BENCH_N_R = 512
 BENCH_SEED = 0
 WORKER_COUNTS = (1, 2, 4)
+MODES = ("process", "thread")
 OUTPUT = pathlib.Path(__file__).with_name("BENCH_parallel.json")
+
+
+def effective_cpus() -> int:
+    """CPUs this process may run on (affinity-aware, ≥ 1)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
 
 
 def make_bench_graph(
@@ -47,39 +61,58 @@ def make_bench_graph(
 def run_sweep(
     graph: DiGraph,
     worker_counts: Sequence[int] = WORKER_COUNTS,
+    modes: Sequence[str] = MODES,
     *,
     n_r: int = BENCH_N_R,
     source: int = 0,
     seed: int = 1,
 ) -> List[Dict[str, object]]:
-    """Time one query per worker count; report speedup vs. ``workers=1``.
+    """Time one query per (mode, worker count); speedup vs. ``workers=1``.
 
-    Every row also records whether its scores are byte-identical to the
-    ``workers=1`` run — the seed-sharding determinism contract.
+    ``workers=1`` short-circuits to the serial in-process path on every
+    tier, so it is timed once (reported as ``mode="serial"``) and shared
+    as the baseline of both tiers' speedup columns.  Every row records
+    whether its scores are byte-identical to that baseline — the
+    determinism contract says the tier and the worker count never touch a
+    score bit.
     """
     params = CrashSimParams(n_r_override=n_r)
     rows: List[Dict[str, object]] = []
-    baseline_scores = None
-    baseline_seconds = None
-    for workers in worker_counts:
+
+    def timed(workers: int, mode: str):
         started = time.perf_counter()
         result = parallel_crashsim(
-            graph, source, params=params, seed=seed, workers=workers
+            graph, source, params=params, seed=seed, workers=workers,
+            mode=mode,
         )
-        seconds = time.perf_counter() - started
-        if baseline_scores is None:
-            baseline_scores = result.scores
-            baseline_seconds = seconds
-        rows.append(
-            {
-                "workers": workers,
-                "seconds": round(seconds, 4),
-                "speedup": round(baseline_seconds / seconds, 3),
-                "identical_to_w1": bool(
-                    np.array_equal(baseline_scores, result.scores)
-                ),
-            }
-        )
+        return result, time.perf_counter() - started
+
+    baseline, baseline_seconds = timed(1, "process")
+    rows.append(
+        {
+            "mode": "serial",
+            "workers": 1,
+            "seconds": round(baseline_seconds, 4),
+            "speedup": 1.0,
+            "identical_to_w1": True,
+        }
+    )
+    for mode in modes:
+        for workers in worker_counts:
+            if workers == 1:
+                continue
+            result, seconds = timed(workers, mode)
+            rows.append(
+                {
+                    "mode": mode,
+                    "workers": workers,
+                    "seconds": round(seconds, 4),
+                    "speedup": round(baseline_seconds / seconds, 3),
+                    "identical_to_w1": bool(
+                        np.array_equal(baseline.scores, result.scores)
+                    ),
+                }
+            )
     return rows
 
 
@@ -93,12 +126,14 @@ def parallel_graph():
     return make_bench_graph()
 
 
+@pytest.mark.parametrize("mode", list(MODES))
 @pytest.mark.parametrize("workers", list(WORKER_COUNTS))
-def test_parallel_crashsim_workers(benchmark, parallel_graph, workers):
+def test_parallel_crashsim_workers(benchmark, parallel_graph, workers, mode):
     params = CrashSimParams(n_r_override=BENCH_N_R)
     result = benchmark.pedantic(
         lambda: parallel_crashsim(
-            parallel_graph, 0, params=params, seed=1, workers=workers
+            parallel_graph, 0, params=params, seed=1, workers=workers,
+            mode=mode,
         ),
         iterations=1,
         rounds=1,
@@ -106,39 +141,51 @@ def test_parallel_crashsim_workers(benchmark, parallel_graph, workers):
     assert result.n_r == BENCH_N_R
 
 
-def test_scores_identical_across_worker_counts(parallel_graph):
+@pytest.mark.parametrize("mode", list(MODES))
+def test_scores_identical_across_worker_counts(parallel_graph, mode):
+    # Identity is not a scaling property: it must hold on any runner,
+    # including single-core containers where the pool is pure overhead.
     params = CrashSimParams(n_r_override=64)
-    reference = parallel_crashsim(parallel_graph, 0, params=params, seed=7, workers=1)
+    reference = parallel_crashsim(
+        parallel_graph, 0, params=params, seed=7, workers=1
+    )
     for workers in (2, 4):
         other = parallel_crashsim(
-            parallel_graph, 0, params=params, seed=7, workers=workers
+            parallel_graph, 0, params=params, seed=7, workers=workers,
+            mode=mode,
         )
         assert np.array_equal(reference.scores, other.scores)
 
 
-@pytest.mark.skipif(
-    (os.cpu_count() or 1) < 4,
-    reason="speedup needs >= 4 physical CPUs; fewer cores only measure overhead",
-)
 def test_speedup_at_four_workers(parallel_graph):
+    if effective_cpus() < 4:
+        pytest.skip(
+            f"speedup needs >= 4 effective CPUs (have {effective_cpus()}); "
+            "fewer cores only measure overhead"
+        )
     rows = run_sweep(parallel_graph, worker_counts=(1, 4))
     assert all(row["identical_to_w1"] for row in rows)
-    assert rows[-1]["speedup"] >= 2.0, rows
+    best = max(row["speedup"] for row in rows if row["workers"] == 4)
+    assert best >= 2.0, rows
 
 
 def main() -> int:
+    cpus = effective_cpus()
     print(
         f"generating graph: n={BENCH_NODES} m={BENCH_EDGES} "
-        f"(seed {BENCH_SEED}), n_r={BENCH_N_R}, cpus={os.cpu_count()}"
+        f"(seed {BENCH_SEED}), n_r={BENCH_N_R}, cpus={cpus}"
     )
     graph = make_bench_graph()
     rows = run_sweep(graph)
-    header = f"{'workers':>8} {'seconds':>10} {'speedup':>9} {'identical':>10}"
+    header = (
+        f"{'mode':>8} {'workers':>8} {'seconds':>10} {'speedup':>9} "
+        f"{'identical':>10}"
+    )
     print(header)
     print("-" * len(header))
     for row in rows:
         print(
-            f"{row['workers']:>8} {row['seconds']:>10} "
+            f"{row['mode']:>8} {row['workers']:>8} {row['seconds']:>10} "
             f"{row['speedup']:>9} {str(row['identical_to_w1']):>10}"
         )
     payload = {
@@ -149,14 +196,16 @@ def main() -> int:
             "seed": BENCH_SEED,
         },
         "n_r": BENCH_N_R,
-        "cpus": os.cpu_count(),
+        "cpus": cpus,
         "rows": rows,
     }
     OUTPUT.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     print(f"wrote {OUTPUT}")
     if not all(row["identical_to_w1"] for row in rows):
-        print("FAIL: scores drifted across worker counts")
+        print("FAIL: scores drifted across modes / worker counts")
         return 1
+    if cpus < 2:
+        print("single effective CPU: scaling not assessable, identity ok")
     return 0
 
 

@@ -1,8 +1,8 @@
 """CI perf-smoke: catch order-of-magnitude regressions cheaply.
 
-Runs the bench_tree, bench_kernel, bench_serve, and bench_obs sweeps on
-CI-sized graphs and compares wall-clock against the recorded baselines in
-``benchmarks/baselines/``.  Wall-clock gates are deliberately generous —
+Runs the bench_tree, bench_kernel, bench_serve, bench_obs, and
+bench_parallel sweeps on CI-sized graphs and compares wall-clock against
+the recorded baselines in ``benchmarks/baselines/``.  Wall-clock gates are deliberately generous —
 a timing fails only past ``PERF_SMOKE_MULTIPLIER`` (default 10×) of its
 recorded value — so shared runners' jitter never breaks the build, while
 a representation regression that reintroduces O(n)-per-level work still
@@ -25,6 +25,7 @@ import sys
 
 from bench_kernel import run_all as run_kernel
 from bench_obs import MAX_OVERHEAD_FRACTION, run_all as run_obs
+from bench_parallel import effective_cpus, make_bench_graph, run_sweep
 from bench_serve import run_all as run_serve
 from bench_tree import run_all
 
@@ -32,6 +33,9 @@ BASELINE = pathlib.Path(__file__).parent / "baselines" / "tree_smoke.json"
 KERNEL_BASELINE = pathlib.Path(__file__).parent / "baselines" / "kernel_smoke.json"
 SERVE_BASELINE = pathlib.Path(__file__).parent / "baselines" / "serve_smoke.json"
 OBS_BASELINE = pathlib.Path(__file__).parent / "baselines" / "obs_smoke.json"
+PARALLEL_BASELINE = (
+    pathlib.Path(__file__).parent / "baselines" / "parallel_smoke.json"
+)
 SMOKE_NODES = 30_000
 SMOKE_SOURCES = 32
 KERNEL_SMOKE_NODES = 20_000
@@ -56,6 +60,15 @@ MIN_SERVE_SPEEDUP = 1.2
 SERVE_REGRESSION_FRACTION = 0.5  # fail below half the recorded speedup
 OBS_SMOKE_NODES = 20_000
 OBS_SMOKE_PAIRS = 60
+PARALLEL_SMOKE_NODES = 12_000
+PARALLEL_SMOKE_EDGES = 36_000
+PARALLEL_SMOKE_N_R = 128
+# Parallel dispatch must actually win on a multi-core runner: best tier at
+# 4 workers ≥ 1.5x over serial when ≥ 4 effective CPUs are available, a
+# reduced floor on 2–3 CPUs, and the scaling gate *skips* (identity still
+# gated) below 2 — a single core can only measure pool overhead.
+MIN_PARALLEL_SPEEDUP_4CPU = 1.5
+MIN_PARALLEL_SPEEDUP_2CPU = 1.1
 
 
 def gate_tree(payload, argv):
@@ -225,6 +238,78 @@ def gate_obs(payload, argv):
     return failures
 
 
+def run_parallel():
+    graph = make_bench_graph(PARALLEL_SMOKE_NODES, PARALLEL_SMOKE_EDGES)
+    rows = run_sweep(graph, worker_counts=(1, 4), n_r=PARALLEL_SMOKE_N_R)
+    return {"rows": rows, "cpus": effective_cpus()}
+
+
+def gate_parallel(payload, argv):
+    rows = payload["rows"]
+    cpus = payload["cpus"]
+    w1_seconds = next(
+        row["seconds"] for row in rows if row["mode"] == "serial"
+    )
+
+    if "--record" in argv:
+        record = {
+            "nodes": PARALLEL_SMOKE_NODES,
+            "edges": PARALLEL_SMOKE_EDGES,
+            "n_r": PARALLEL_SMOKE_N_R,
+            "w1_seconds": w1_seconds,
+            "cpus_at_record": cpus,
+        }
+        PARALLEL_BASELINE.write_text(
+            json.dumps(record, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"recorded baseline: {PARALLEL_BASELINE}")
+        return []
+
+    baseline = json.loads(PARALLEL_BASELINE.read_text())
+    multiplier = float(os.environ.get("PERF_SMOKE_MULTIPLIER", "10"))
+    allowed_seconds = baseline["w1_seconds"] * multiplier
+    failures = []
+    for row in rows:
+        print(
+            f"parallel {row['mode']} w{row['workers']}: {row['seconds']}s, "
+            f"speedup {row['speedup']}x, identical={row['identical_to_w1']}"
+        )
+    # Identity is machine-independent and gated unconditionally: the tier
+    # and worker count must never touch a score bit.
+    for row in rows:
+        if not row["identical_to_w1"]:
+            failures.append(
+                f"parallel {row['mode']} w{row['workers']} scores drifted "
+                "from the workers=1 reference"
+            )
+    if w1_seconds > allowed_seconds:
+        failures.append(
+            f"parallel w1 {w1_seconds}s > {allowed_seconds:.4f}s allowed"
+        )
+    # Scaling is machine-dependent: gate by the CPUs actually available.
+    best = max(row["speedup"] for row in rows if row["workers"] == 4)
+    if cpus >= 4:
+        floor = MIN_PARALLEL_SPEEDUP_4CPU
+    elif cpus >= 2:
+        floor = MIN_PARALLEL_SPEEDUP_2CPU
+    else:
+        print(
+            f"parallel scaling: SKIPPED (only {cpus} effective CPU; "
+            "identity still gated)"
+        )
+        return failures
+    print(
+        f"parallel scaling: best {best}x at 4 workers "
+        f"(floor {floor}x on {cpus} CPUs)"
+    )
+    if best < floor:
+        failures.append(
+            f"parallel best speedup {best}x at 4 workers < {floor}x floor "
+            f"on {cpus} effective CPUs"
+        )
+    return failures
+
+
 def main(argv) -> int:
     BASELINE.parent.mkdir(parents=True, exist_ok=True)
     failures = gate_tree(
@@ -247,6 +332,7 @@ def main(argv) -> int:
     failures += gate_obs(
         run_obs(num_nodes=OBS_SMOKE_NODES, pairs=OBS_SMOKE_PAIRS), argv
     )
+    failures += gate_parallel(run_parallel(), argv)
     for failure in failures:
         print(f"FAIL: {failure}")
     if "--record" in argv:

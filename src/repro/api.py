@@ -106,6 +106,8 @@ def single_source(
     deadline: Optional[float] = None,
     sampler: str = "cdf",
     candidates: Optional[Iterable[int]] = None,
+    mode: str = "auto",
+    shards: Optional[int] = None,
 ) -> np.ndarray:
     """Single-source SimRank ``s(source, ·)`` by any implemented method.
 
@@ -126,10 +128,23 @@ def single_source(
         Anything :func:`repro.rng.ensure_rng` accepts.
     workers:
         ``crashsim`` only: shard the Monte-Carlo trials over this many
-        processes via :mod:`repro.parallel` (``None`` keeps the classic
+        workers via :mod:`repro.parallel` (``None`` keeps the classic
         serial estimator; any explicit count — including 1 — routes through
         the deterministic seed-sharded scheme, whose scores are identical
-        for the same seed at every worker count).
+        for the same seed at every worker count).  Repeated calls share
+        the process-wide persistent executor — the pool is paid for once
+        per process, not once per query.
+    mode:
+        ``crashsim`` only: execution tier for the sharded path —
+        ``"process"``, ``"thread"``, or ``"auto"`` (default; threads when
+        the nogil JIT is active, processes otherwise).  Never affects
+        scores, only where shards run.
+    shards:
+        ``crashsim`` only: trial-shard count override for the sharded
+        path.  ``None`` (default) autotunes via
+        :func:`repro.parallel.plan_shards`; the shard plan defines the RNG
+        stream layout, so fixing it (e.g. 16, the legacy layout) pins the
+        exact score bits across releases.
     deadline:
         ``crashsim`` only: wall-clock budget in seconds.  Routes through
         the resilient parallel driver (all CPUs unless ``workers`` says
@@ -175,6 +190,14 @@ def single_source(
         raise ParameterError(
             f"candidates= is only supported for method='crashsim', got {method!r}"
         )
+    if mode != "auto" and method != "crashsim":
+        raise ParameterError(
+            f"mode= is only supported for method='crashsim', got {method!r}"
+        )
+    if shards is not None and method != "crashsim":
+        raise ParameterError(
+            f"shards= is only supported for method='crashsim', got {method!r}"
+        )
     if method == "crashsim":
         params = CrashSimParams(
             c=c, epsilon=epsilon, delta=delta, n_r_override=n_r
@@ -200,6 +223,8 @@ def single_source(
                 workers=workers,
                 deadline=deadline,
                 sampler=sampler,
+                mode=mode,
+                shards=shards,
             )
         scores = np.zeros(graph.num_nodes)
         scores[result.candidates] = result.scores

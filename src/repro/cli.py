@@ -115,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
         "default: serial estimator, 0 = all CPUs)",
     )
     parser.add_argument(
+        "--mode",
+        choices=["auto", "thread", "process"],
+        default="auto",
+        help="parallel execution tier for 'query'/'serve' (default: auto — "
+        "threads when the nogil JIT is active, processes otherwise; "
+        "never affects scores)",
+    )
+    parser.add_argument(
         "--source",
         type=int,
         default=None,
@@ -243,6 +251,7 @@ def _run_query(args, profile) -> int:
             seed=profile.seed,
             workers=workers,
             deadline=args.deadline,
+            mode=args.mode,
         )
     except DeadlineExceededError as exc:
         print(f"deadline exceeded with nothing to salvage: {exc}")
@@ -347,6 +356,7 @@ def _run_serve(args, profile) -> int:
         batch_window=args.batch_window,
         tree_cache_size=args.tree_cache,
         workers=args.workers if args.workers else None,
+        mode=args.mode,
         seed=profile.seed,
     )
     engine = Engine(graph, config)

@@ -158,13 +158,27 @@ def inject(site: str, index: int) -> None:
     raise InjectedFault(f"injected failure at {site}[{index}]")
 
 
+def _reset_shared_pools() -> None:
+    # The persistent default executors hold worker pools whose processes
+    # read the fault-plan environment at pool creation (fork inherits it,
+    # spawn re-reads it).  A pool that predates the plan would never see
+    # it — and one that outlives the plan would keep firing it — so both
+    # edges of active() drop the shared pools; the next query lazily
+    # rebuilds them under the current environment.
+    from repro.parallel.executor import reset_default_executors
+
+    reset_default_executors()
+
+
 @contextlib.contextmanager
 def active(plan: dict, directory: Optional[str] = None) -> Iterator[str]:
     """Install ``plan`` (and a marker directory) for the duration of a test.
 
     Yields the marker directory so assertions can inspect which faults
     fired.  Restores both environment variables on exit; pools created
-    *inside* the block inherit the plan under fork and spawn alike.
+    *inside* the block inherit the plan under fork and spawn alike (the
+    process-wide default executors are reset on entry and exit so no
+    shared pool straddles the plan boundary).
     """
     saved = {key: os.environ.get(key) for key in (ENV_PLAN, ENV_DIR)}
     with contextlib.ExitStack() as stack:
@@ -172,6 +186,7 @@ def active(plan: dict, directory: Optional[str] = None) -> Iterator[str]:
             directory = stack.enter_context(
                 tempfile.TemporaryDirectory(prefix="repro-faults-")
             )
+        _reset_shared_pools()
         os.environ[ENV_PLAN] = json.dumps(plan)
         os.environ[ENV_DIR] = directory
         try:
@@ -182,3 +197,4 @@ def active(plan: dict, directory: Optional[str] = None) -> Iterator[str]:
                     os.environ.pop(key, None)
                 else:
                     os.environ[key] = value
+            _reset_shared_pools()

@@ -154,6 +154,10 @@ class DiGraph:
         "_edge_set",
         "_in_degrees64",
         "_alias_tables",
+        # Lazily attached by repro.parallel.runner: per-(c, sampler, jit)
+        # KernelPools so the executor's thread tier reuses warm per-thread
+        # kernel buffers across queries on the same graph.
+        "_kernel_pools",
     )
 
     def __init__(

@@ -97,17 +97,75 @@ def _check_name(name: str) -> str:
     return name
 
 
-class Counter:
+def _label_key(labelkv) -> Tuple[Tuple[str, str], ...]:
+    """Normalise ``labels(mode="thread")`` kwargs into a sorted key tuple."""
+    if not labelkv:
+        raise ParameterError("labels() requires at least one label")
+    items = []
+    for key, value in labelkv.items():
+        _check_name(key)
+        value = str(value)
+        if '"' in value or "\n" in value or "\\" in value:
+            raise ParameterError(
+                f"label value {value!r} for {key!r} may not contain "
+                'quotes, backslashes, or newlines'
+            )
+        items.append((key, value))
+    return tuple(sorted(items))
+
+
+def format_labels(key: Tuple[Tuple[str, str], ...]) -> str:
+    """``(("mode", "thread"),)`` -> ``{mode="thread"}``."""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+
+
+class _LabelledMixin:
+    """Shared ``labels()`` machinery for Counter and Gauge.
+
+    ``metric.labels(mode="thread")`` returns a *child* metric of the same
+    kind keyed by the sorted label set — created once, then reused — so a
+    hot path can cache the child and pay the same single-lock ``inc`` as
+    an unlabelled metric.  Children ride along with the parent: snapshots
+    key them as ``name{k="v"}`` and the Prometheus exposition renders them
+    after the parent's bare sample (the unlabelled parent keeps the
+    cross-label total, so existing dashboards never break).
+    """
+
+    __slots__ = ()
+
+    def labels(self, **labelkv):
+        key = _label_key(labelkv)
+        with self._lock:
+            if self._children is None:
+                self._children = {}
+            child = self._children.get(key)
+            if child is None:
+                child = type(self)(self.name, self.help)
+                child._labelset = key
+                self._children[key] = child
+        return child
+
+    def children(self) -> List[Tuple[Tuple[Tuple[str, str], ...], object]]:
+        """``[(label_key, child_metric), ...]`` sorted by label key."""
+        with self._lock:
+            if not self._children:
+                return []
+            return sorted(self._children.items())
+
+
+class Counter(_LabelledMixin):
     """A monotonically increasing count (events, items, bytes)."""
 
     kind = "counter"
-    __slots__ = ("name", "help", "_lock", "_value")
+    __slots__ = ("name", "help", "_lock", "_value", "_children", "_labelset")
 
     def __init__(self, name: str, help: str = ""):
         self.name = _check_name(name)
         self.help = help
         self._lock = threading.Lock()
         self._value = 0
+        self._children = None
+        self._labelset = None
 
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
@@ -129,17 +187,19 @@ class Counter:
         return self.value
 
 
-class Gauge:
+class Gauge(_LabelledMixin):
     """A value that goes up and down (queue depth, cache entries)."""
 
     kind = "gauge"
-    __slots__ = ("name", "help", "_lock", "_value")
+    __slots__ = ("name", "help", "_lock", "_value", "_children", "_labelset")
 
     def __init__(self, name: str, help: str = ""):
         self.name = _check_name(name)
         self.help = help
         self._lock = threading.Lock()
         self._value = 0.0
+        self._children = None
+        self._labelset = None
 
     def set(self, value: float) -> None:
         if not _ENABLED:
@@ -347,8 +407,18 @@ class MetricsRegistry:
 
         A point-in-time copy: safe to serialise, mutate, or diff against a
         later snapshot (counters are monotonic, so diffs are rates).
+        Labelled children appear under ``name{k="v"}`` keys next to the
+        parent's cross-label total.
         """
-        return {metric.name: metric.snapshot_value() for metric in self}
+        out: Dict[str, object] = {}
+        for metric in self:
+            out[metric.name] = metric.snapshot_value()
+            if isinstance(metric, _LabelledMixin):
+                for key, child in metric.children():
+                    out[metric.name + format_labels(key)] = (
+                        child.snapshot_value()
+                    )
+        return out
 
     def dump_json(self, *, indent: Optional[int] = 1) -> str:
         """The snapshot as a JSON document (for benches and ``--stats-out``)."""
@@ -395,6 +465,12 @@ def render_prometheus(*registries: MetricsRegistry) -> str:
                 lines.append(f"{metric.name}_count {total}")
             else:
                 lines.append(f"{metric.name} {_format_value(metric.value)}")
+                if isinstance(metric, _LabelledMixin):
+                    for key, child in metric.children():
+                        lines.append(
+                            f"{metric.name}{format_labels(key)} "
+                            f"{_format_value(child.value)}"
+                        )
     return "\n".join(lines) + "\n"
 
 

@@ -1,16 +1,27 @@
-"""Fault-tolerant process-pool execution with a serial in-process fallback.
+"""Fault-tolerant pooled execution: process tier, thread tier, serial fallback.
 
-:class:`ParallelExecutor` is the one place worker processes are created.
+:class:`ParallelExecutor` is the one place worker pools are created.
 Policy:
 
 * ``workers=1`` (or a platform where process pools cannot start) runs every
   task in-process, in order — the *same* shard decomposition as the
   parallel path, so results are bit-identical at any worker count;
-* otherwise a ``concurrent.futures.ProcessPoolExecutor`` is used, preferring
-  the cheap ``fork`` start method where available and falling back to
-  ``spawn``.  Worker functions must therefore be importable module-level
-  callables with picklable arguments (shard tasks carry shared-memory specs,
-  not graphs).
+* ``mode="process"`` uses a ``concurrent.futures.ProcessPoolExecutor``,
+  preferring the cheap ``fork`` start method where available and falling
+  back to ``spawn``.  Worker functions must therefore be importable
+  module-level callables with picklable arguments (shard tasks carry
+  shared-memory specs, not graphs);
+* ``mode="thread"`` uses a ``concurrent.futures.ThreadPoolExecutor`` in the
+  calling process.  Tasks are plain closures — no pickling, no
+  shared-memory shipping, no interpreter startup — which pays off when the
+  task body releases the GIL: the numba step loops in
+  :mod:`repro.walks._jit` are compiled ``nogil=True``, and the NumPy
+  fallback releases the GIL inside its larger array ops;
+* ``mode="auto"`` picks the thread tier when the nogil JIT is importable
+  *and* requested (``REPRO_JIT=1``), because then threads scale without
+  any process-tier overhead; otherwise it picks processes, which sidestep
+  the GIL entirely for the pure-NumPy kernel.  See
+  :func:`resolve_mode`.
 
 Two entry points share one future-based engine (:meth:`ParallelExecutor.run`):
 
@@ -70,16 +81,27 @@ from concurrent.futures import (
     FIRST_COMPLETED,
     CancelledError,
     ProcessPoolExecutor,
+    ThreadPoolExecutor,
     wait,
 )
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 from repro import obs
 from repro.errors import ParameterError
 
-__all__ = ["ParallelExecutor", "MapOutcome", "resolve_workers"]
+__all__ = [
+    "ParallelExecutor",
+    "MapOutcome",
+    "resolve_workers",
+    "resolve_mode",
+    "get_default_executor",
+    "reset_default_executors",
+]
+
+#: Accepted values for the ``mode`` parameter.
+EXECUTOR_MODES = ("process", "thread", "auto")
 
 # Executor accounting flows through MapOutcome already; run() flushes the
 # finished outcome into these process-wide counters in one pass, so the
@@ -129,6 +151,29 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
+def resolve_mode(mode: str) -> str:
+    """Resolve ``"auto"`` to a concrete tier; validate explicit choices.
+
+    ``auto`` prefers threads exactly when the nogil JIT step loops are both
+    importable and requested (``REPRO_JIT``): compiled ``nogil=True`` shard
+    bodies scale across threads with none of the process tier's pickling /
+    shared-memory / startup overhead.  Without the JIT the pure-NumPy
+    kernel holds the GIL for part of each step, so processes remain the
+    safer default for CPU-bound scaling.
+    """
+    if mode not in EXECUTOR_MODES:
+        raise ParameterError(
+            f"mode must be one of {', '.join(EXECUTOR_MODES)}; got {mode!r}"
+        )
+    if mode != "auto":
+        return mode
+    from repro.walks import _jit
+
+    if _jit.jit_requested() and _jit.available():
+        return "thread"
+    return "process"
+
+
 def _preferred_context() -> Optional[multiprocessing.context.BaseContext]:
     # REPRO_START_METHOD forces a specific start method (CI runs the parallel
     # suite under both fork and spawn this way); otherwise prefer fork.
@@ -147,7 +192,7 @@ def _preferred_context() -> Optional[multiprocessing.context.BaseContext]:
     return None  # pragma: no cover - every CPython platform has one
 
 
-def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+def _shutdown_pool(pool) -> None:
     """GC-time backstop: release workers without blocking the collector."""
     pool.shutdown(wait=False, cancel_futures=True)
 
@@ -188,23 +233,36 @@ class MapOutcome:
 
 
 class ParallelExecutor:
-    """Run picklable tasks over ``workers`` processes (or serially).
+    """Run tasks over ``workers`` processes or threads (or serially).
 
     Parameters
     ----------
     workers:
-        Process count; ``None`` uses the CPU count, ``1`` forces the serial
+        Worker count; ``None`` uses the CPU count, ``1`` forces the serial
         in-process path.
     start_method:
         Optional multiprocessing start-method override (``"fork"``,
         ``"spawn"``, ``"forkserver"``); default honours the
         ``REPRO_START_METHOD`` environment variable, then prefers ``fork``.
+        Ignored by the thread tier.
+    mode:
+        ``"process"`` (default, pickling worker functions into a process
+        pool), ``"thread"`` (a thread pool in this process; tasks may be
+        plain closures and should release the GIL to scale), or ``"auto"``
+        (see :func:`resolve_mode`).
     """
 
-    def __init__(self, workers: Optional[int] = None, *, start_method: Optional[str] = None):
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        start_method: Optional[str] = None,
+        mode: str = "process",
+    ):
         self.workers = resolve_workers(workers)
+        self.mode = resolve_mode(mode)
         self._start_method = start_method
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool = None  # ProcessPoolExecutor | ThreadPoolExecutor | None
         self._finalizer: Optional[weakref.finalize] = None
         # Pool lifecycle is shared mutable state; every transition happens
         # under this lock and bumps the generation so concurrent runs can
@@ -215,15 +273,17 @@ class ParallelExecutor:
         self._active_cancel_events: set = set()
         self._active_runs = 0
         self._pool_disabled = self.workers <= 1
+        self._context = None
         if not self._pool_disabled:
-            # Context resolution validates REPRO_START_METHOD / start_method
-            # eagerly — a typo must surface as ParameterError, not silently
-            # degrade to serial execution.
-            self._context = (
-                multiprocessing.get_context(start_method)
-                if start_method
-                else _preferred_context()
-            )
+            if self.mode == "process":
+                # Context resolution validates REPRO_START_METHOD /
+                # start_method eagerly — a typo must surface as
+                # ParameterError, not silently degrade to serial execution.
+                self._context = (
+                    multiprocessing.get_context(start_method)
+                    if start_method
+                    else _preferred_context()
+                )
             self._build_pool()
 
     # ------------------------------------------------------------------
@@ -231,18 +291,23 @@ class ParallelExecutor:
     # ------------------------------------------------------------------
 
     def _build_pool(self) -> bool:
-        """(Re)create the process pool; returns whether one is available."""
+        """(Re)create the worker pool; returns whether one is available."""
         with self._lock:
             if self._pool_disabled:
                 return False
-            try:
-                pool = ProcessPoolExecutor(
-                    max_workers=self.workers, mp_context=self._context
+            if self.mode == "thread":
+                pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-exec"
                 )
-            except (OSError, ValueError, ImportError):  # pragma: no cover
-                self._pool_disabled = True  # sandboxed platform: go serial
-                self._pool = None
-                return False
+            else:
+                try:
+                    pool = ProcessPoolExecutor(
+                        max_workers=self.workers, mp_context=self._context
+                    )
+                except (OSError, ValueError, ImportError):  # pragma: no cover
+                    self._pool_disabled = True  # sandboxed platform: go serial
+                    self._pool = None
+                    return False
             self._pool = pool
             self._generation += 1
             # Backstop for callers that skip the context manager: release
@@ -306,6 +371,21 @@ class ParallelExecutor:
     def serial(self) -> bool:
         """Whether tasks currently run in-process (no pool)."""
         return self._pool is None
+
+    @property
+    def uses_processes(self) -> bool:
+        """True when tasks cross a process boundary (must be picklable)."""
+        return not self.serial and self.mode == "process"
+
+    @property
+    def uses_threads(self) -> bool:
+        """True when tasks run on a thread pool in this process."""
+        return not self.serial and self.mode == "thread"
+
+    @property
+    def mode_label(self) -> str:
+        """The tier actually executing tasks: serial, thread, or process."""
+        return "serial" if self.serial else self.mode
 
     def close(self) -> None:
         """Shut the pool down (idempotent); the executor turns serial."""
@@ -430,15 +510,26 @@ class ParallelExecutor:
                 self._active_cancel_events.discard(cancel_event)
                 self._active_runs -= 1
         outcome.elapsed = time.monotonic() - started
+        # Flush once, twice per family: the bare parent keeps the
+        # cross-tier total and the mode-labelled child records which tier
+        # (serial / thread / process) actually served the run.
+        mode = self.mode_label
         _M_RUNS.inc()
+        _M_RUNS.labels(mode=mode).inc()
         _M_TASKS.inc(n)
+        _M_TASKS.labels(mode=mode).inc(n)
         _M_TASKS_COMPLETED.inc(outcome.num_completed)
+        _M_TASKS_COMPLETED.labels(mode=mode).inc(outcome.num_completed)
         _M_TASK_RETRIES.inc(outcome.task_retries)
+        _M_TASK_RETRIES.labels(mode=mode).inc(outcome.task_retries)
         _M_POOL_REBUILDS.inc(outcome.pool_rebuilds)
+        _M_POOL_REBUILDS.labels(mode=mode).inc(outcome.pool_rebuilds)
         if outcome.deadline_hit:
             _M_DEADLINE_EXPIRIES.inc()
+            _M_DEADLINE_EXPIRIES.labels(mode=mode).inc()
         if outcome.cancelled:
             _M_CANCELLED.inc()
+            _M_CANCELLED.labels(mode=mode).inc()
         return outcome
 
     # -- serial engine --------------------------------------------------
@@ -609,5 +700,74 @@ class ParallelExecutor:
         self.close()
 
     def __repr__(self) -> str:
-        mode = "serial" if self.serial else "process-pool"
-        return f"ParallelExecutor(workers={self.workers}, mode={mode})"
+        return (
+            f"ParallelExecutor(workers={self.workers}, "
+            f"mode={self.mode_label})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-wide default executors
+# ----------------------------------------------------------------------
+#
+# ``parallel_crashsim`` and friends used to build a fresh ParallelExecutor
+# per call when none was passed in — paying pool startup (tens to hundreds
+# of milliseconds for processes) on every query.  The default-executor
+# registry amortises that: one lazily-built executor per
+# (workers, resolved mode, start-method) key, shared by every driver call
+# in the process.  Teardown rides the executors' own ``weakref.finalize``
+# pool backstops, which the interpreter runs at exit for anything still
+# registered here.
+
+_DEFAULT_EXECUTORS: Dict[tuple, ParallelExecutor] = {}
+_DEFAULT_EXECUTORS_LOCK = threading.Lock()
+
+
+def get_default_executor(
+    workers: Optional[int] = None, *, mode: str = "auto"
+) -> ParallelExecutor:
+    """The process-wide shared executor for ``(workers, mode)``.
+
+    Built lazily on first use and kept for the life of the process, so
+    repeated ``parallel_*`` calls (and ``api.single_source(workers=...)``)
+    reuse one warm pool instead of paying pool construction per query.
+    Callers must **not** close the returned executor; use
+    :func:`reset_default_executors` (tests, fault plans) to drop and
+    rebuild the registry.
+
+    The cache key includes the *resolved* mode (``auto`` collapses to
+    thread/process via :func:`resolve_mode`) and the current
+    ``REPRO_START_METHOD``, so flipping either in the environment yields a
+    fresh, matching executor rather than a stale cached one.
+    """
+    resolved_workers = resolve_workers(workers)
+    resolved_mode = resolve_mode(mode)
+    key = (
+        resolved_workers,
+        resolved_mode,
+        os.environ.get("REPRO_START_METHOD"),
+    )
+    with _DEFAULT_EXECUTORS_LOCK:
+        executor = _DEFAULT_EXECUTORS.get(key)
+        stale = executor is not None and (
+            executor._pool_disabled and resolved_workers > 1
+        )
+        if executor is None or stale:
+            executor = ParallelExecutor(resolved_workers, mode=resolved_mode)
+            _DEFAULT_EXECUTORS[key] = executor
+        return executor
+
+
+def reset_default_executors() -> None:
+    """Close and forget every shared default executor (idempotent).
+
+    Needed wherever pool inheritance matters: fault-injection plans set
+    environment variables that **forked/spawned workers read at pool
+    creation**, so a pool that predates the plan would never see it.
+    :func:`repro.faults.active` calls this on entry and exit.
+    """
+    with _DEFAULT_EXECUTORS_LOCK:
+        executors = list(_DEFAULT_EXECUTORS.values())
+        _DEFAULT_EXECUTORS.clear()
+    for executor in executors:
+        executor.close()

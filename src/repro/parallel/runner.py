@@ -1,21 +1,32 @@
 """Parallel CrashSim drivers: shard trials, share memory, stay deterministic.
 
 Algorithm 1's ``n_r`` Monte-Carlo trials are mutually independent, so they
-split cleanly: the run is decomposed into a **fixed** number of trial shards
-(:data:`DEFAULT_SHARDS`, independent of the worker count), each shard gets
-its own child of the master :class:`~numpy.random.SeedSequence` via
-``spawn``, and shard totals are summed in shard order.  Because neither the
-shard boundaries nor the seed derivation depend on how many processes run
-them, **any** worker count — including the serial ``workers=1`` fallback —
-produces byte-identical scores for the same master seed.
+split cleanly: the run is decomposed into a fixed shard plan (autotuned by
+:func:`plan_shards` — a pure function of the query shape, never of the
+worker count or the clock), each shard gets its own child of the master
+:class:`~numpy.random.SeedSequence` via ``spawn``, and shard totals are
+summed in shard order.  Because neither the shard boundaries nor the seed
+derivation depend on how many workers run them, **any** worker count —
+including the serial ``workers=1`` fallback — produces byte-identical
+scores for the same master seed (and the same ``shards`` argument).
 
-Workers receive a :class:`_ShardTask` carrying only shared-memory specs
-(graph CSR, the source tree's sparse level arrays, walk targets) plus a
-trial count and a seed — a few hundred bytes per task; the megabyte-scale
-arrays are attached zero-copy via :mod:`repro.parallel.shared_graph`.  The
-single-source path publishes the :class:`~repro.core.revreach.SparseReverseTree`
-as its three packed arrays (``O(touched)`` bytes) rather than the dense
-``(l_max + 1, n)`` matrix it replaced.
+Two execution tiers share the plan (see
+:class:`~repro.parallel.executor.ParallelExecutor`):
+
+* **process** — workers receive a :class:`_ShardTask` carrying only
+  shared-memory specs (graph CSR, the source tree's sparse level arrays,
+  walk targets) plus a trial count and a seed — a few hundred bytes per
+  task; the megabyte-scale arrays are attached zero-copy via
+  :mod:`repro.parallel.shared_graph`;
+* **thread** (and the serial fallback) — shards run as in-process closures
+  over the original graph, each pool thread scoring through its own
+  preallocated :class:`~repro.walks.kernel.WalkCrashKernel` from a
+  :class:`~repro.walks.kernel.KernelPool` (kernels are not thread-safe);
+  no pickling, no shared memory, no interpreter startup.
+
+When no executor is passed in, drivers share the process-wide persistent
+default executor (:func:`~repro.parallel.executor.get_default_executor`)
+instead of paying pool construction per query.
 
 :func:`parallel_crashsim_multi_source` shards the same way but keeps the
 multi-source walk-sharing amortisation: every shard scores its walks against
@@ -27,6 +38,7 @@ from __future__ import annotations
 
 import logging
 import math
+import threading
 import time
 import warnings
 from dataclasses import dataclass
@@ -48,7 +60,11 @@ from repro.errors import (
     ParameterError,
 )
 from repro.graph.digraph import DiGraph
-from repro.parallel.executor import MapOutcome, ParallelExecutor
+from repro.parallel.executor import (
+    MapOutcome,
+    ParallelExecutor,
+    get_default_executor,
+)
 from repro.parallel.shared_graph import (
     ArraySpec,
     SharedArray,
@@ -64,16 +80,36 @@ from repro.rng import RngLike, as_seed_sequence
 
 __all__ = [
     "DEFAULT_SHARDS",
+    "MAX_SHARDS",
     "shard_sizes",
+    "plan_shards",
     "parallel_crashsim",
     "parallel_crashsim_multi_source",
 ]
 
-#: Number of trial shards a run is cut into.  A constant (not the worker
-#: count!) so the RNG stream assignment — and therefore every score — is
-#: identical no matter how many processes execute the shards.  16 keeps all
-#: cores of typical machines busy with ≥ 2 shards each for load balancing.
+#: The legacy fixed shard count.  Kept as the explicit-``shards=``
+#: reference layout (the pinned seed fixtures and the chaos suite use it);
+#: the drivers' default is now the autotuned :func:`plan_shards`.
 DEFAULT_SHARDS = 16
+
+#: Upper bound on an autotuned plan.  Determinism requires the plan to be
+#: a pure function of the query shape, so load balancing cannot adapt to
+#: the machine — 64 shards keep ≥ 2 shards per worker up to 32 workers
+#: while bounding per-shard dispatch overhead.
+MAX_SHARDS = 64
+
+#: Nominal wall-clock target per shard (seconds).  Below ~20ms a shard's
+#: dispatch cost (submit, pickle or closure call, future wake-up) is no
+#: longer negligible against its compute, which is exactly what made the
+#: fixed 16-shard plan *slower* than serial on small queries.
+TARGET_SHARD_SECONDS = 0.02
+
+#: Nominal cost of one trial-walk per target (seconds), calibrated from
+#: the recorded kernel benchmarks (~20ms per 50k-target trial).  A fixed
+#: constant — **never** a measured probe — so the shard plan, and with it
+#: the RNG stream layout and every score bit, is identical on every
+#: machine and every run.
+NOMINAL_TARGET_TRIAL_SECONDS = 4e-7
 
 logger = logging.getLogger(__name__)
 
@@ -84,6 +120,10 @@ _M_DEGRADED = obs.REGISTRY.counter(
 _M_SHARDS_LOST = obs.REGISTRY.counter(
     "repro_shards_lost_total",
     "Trial shards that never produced a total (deadline, cancel, failure).",
+)
+_M_SHARD_PLAN = obs.REGISTRY.gauge(
+    "repro_shard_plan_size",
+    "Shard count of the most recent parallel query's trial plan.",
 )
 
 
@@ -102,6 +142,41 @@ def shard_sizes(n_trials: int, shards: int = DEFAULT_SHARDS) -> List[int]:
         return []
     base, remainder = divmod(n_trials, count)
     return [base + 1] * remainder + [base] * (count - remainder)
+
+
+def plan_shards(
+    n_trials: int, num_targets: int, *, n_r: Optional[int] = None
+) -> List[int]:
+    """Autotuned trial-shard plan: each shard worth ≥ ~20ms of walking.
+
+    A **pure function** of the query shape ``(n_trials, num_targets,
+    n_r)`` — never of the worker count, the CPU count, or a wall-clock
+    probe — because the shard boundaries define the per-shard RNG streams:
+    any machine-dependence here would break the byte-identical-at-any-
+    worker-count contract and make results irreproducible across hosts.
+
+    The estimate is nominal, not measured: one trial walks every target
+    for ~``1/(1-√c)`` steps, costed at
+    :data:`NOMINAL_TARGET_TRIAL_SECONDS` per target.  Small queries (the
+    120-node test graphs, single-candidate scoring) collapse to one shard
+    — parallel dispatch cannot win there — while big ones split until
+    either every shard meets :data:`TARGET_SHARD_SECONDS` or the
+    :data:`MAX_SHARDS` cap is hit.
+
+    ``n_r`` (the planned full-quality trial count, defaulting to
+    ``n_trials``) keeps the *shard size* stable if a caller ever plans a
+    partial re-run: sizing from the full run means a resumed remainder
+    splits on the same ≥ 20ms granularity.
+    """
+    if n_trials < 0:
+        raise ParameterError(f"n_trials must be non-negative, got {n_trials}")
+    if n_trials == 0:
+        return []
+    planned = n_trials if n_r is None else max(int(n_r), 1)
+    per_trial = max(int(num_targets), 1) * NOMINAL_TARGET_TRIAL_SECONDS
+    trials_per_shard = max(1, int(TARGET_SHARD_SECONDS / per_trial))
+    count = min(MAX_SHARDS, math.ceil(planned / trials_per_shard), n_trials)
+    return shard_sizes(n_trials, max(count, 1))
 
 
 @dataclass(frozen=True)
@@ -175,6 +250,44 @@ def _run_shard_multi(task: _ShardTask) -> np.ndarray:
 
 _WALK_CHUNK = 1 << 20
 
+# KernelPools are cached on the DiGraph itself (a dedicated slot), keyed by
+# (c, sampler, jit) — the graph's lifetime bounds the pools', and a
+# persistent executor's threads keep their warm kernel buffers across
+# queries on the same graph.  The lock only guards pool registration.
+_KERNEL_POOL_LOCK = threading.Lock()
+
+
+def _kernel_pool(graph, *, c: float, sampler: str) -> "KernelPool":
+    """The per-thread kernel pool for ``graph`` under this configuration.
+
+    Kernels resolve the JIT toggle at construction, so the cache key folds
+    the current effective setting in — flipping ``REPRO_JIT`` mid-process
+    yields fresh kernels instead of stale ones.  Graphs that cannot carry
+    the cache slot (foreign protocol objects) get an uncached pool, which
+    still provides the per-thread isolation the thread tier needs.
+    """
+    from repro.walks import _jit
+    from repro.walks.kernel import KernelPool, WalkCrashKernel
+
+    key = (float(c), sampler, _jit.jit_requested() and _jit.available())
+
+    def factory():
+        return WalkCrashKernel(graph, c, sampler=sampler)
+
+    with _KERNEL_POOL_LOCK:
+        pools = getattr(graph, "_kernel_pools", None)
+        if pools is None:
+            pools = {}
+            try:
+                graph._kernel_pools = pools
+            except AttributeError:
+                return KernelPool(factory)
+        pool = pools.get(key)
+        if pool is None:
+            pool = KernelPool(factory)
+            pools[key] = pool
+        return pool
+
 
 def _accumulate_multi(
     graph,
@@ -217,74 +330,86 @@ def _map_shards(
     multi: bool,
     deadline: Optional[float] = None,
     sampler: str = "cdf",
+    mode: str = "auto",
 ) -> Tuple[List[Optional[np.ndarray]], MapOutcome]:
-    """Run every shard, serially or through the pool, in shard order.
+    """Run every shard through the executor's tier, in shard order.
 
     ``tree`` is a :class:`~repro.core.revreach.SparseReverseTree` for the
     single-source path (shipped as its packed sparse arrays) or the stacked
     dense matrices for the multi-source path (shipped as one 3-D array).
+
+    With no ``executor`` the process-wide persistent default for
+    ``(workers, mode)`` is shared (and never closed here); an explicit
+    executor is used as-is and ``mode`` is ignored.  The serial fallback
+    and the thread tier run shards as closures over the original arrays —
+    each pool thread through its own :class:`KernelPool` kernel — while
+    the process tier ships shared-memory specs to module-level workers.
 
     Returns the per-shard totals (``None`` where a shard was lost) plus the
     executor's :class:`~repro.parallel.executor.MapOutcome`; the caller
     decides whether a partial outcome is acceptable.  Lost or failed shards
     were retried per the executor's policy before being given up on.
     """
-    own_executor = executor is None
-    if own_executor:
-        executor = ParallelExecutor(workers)
-    try:
-        if executor.serial:
-            accumulate = _accumulate_multi if multi else accumulate_crash_totals
+    if executor is None:
+        executor = get_default_executor(workers, mode=mode)
+    if not executor.uses_processes:
+        # Serial or thread tier: shards are in-process closures.  Every
+        # pool thread scores through its own preallocated kernel (kernels
+        # are not thread-safe); the serial path reuses one kernel across
+        # shards.  Both are bit-identical to a fresh-kernel-per-shard run
+        # — buffers carry no state between accumulate calls.
+        kernels = _kernel_pool(graph, c=c, sampler=sampler)
+        matrices = list(tree) if multi else None
 
-            def run_serial_shard(item):
-                index, trials, seed = item
-                faults.inject("shard", index)
-                return accumulate(
-                    graph,
-                    tree,
-                    targets,
-                    trials,
-                    c=c,
-                    l_max=l_max,
-                    rng=np.random.default_rng(seed),
-                    sampler=sampler,
+        def run_local_shard(item):
+            index, trials, seed = item
+            faults.inject("shard", index)
+            kernel = kernels.get()
+            rng = np.random.default_rng(seed)
+            if multi:
+                return kernel.accumulate_multi(
+                    matrices, targets, trials, l_max=l_max, rng=rng,
+                    walk_chunk=_WALK_CHUNK,
                 )
+            return kernel.accumulate(
+                tree, targets, trials, l_max=l_max, rng=rng,
+                walk_chunk=_WALK_CHUNK,
+            )
 
-            items = list(zip(range(len(shards)), shards, seeds))
-            with obs.span("shard_dispatch", shards=len(shards), mode="serial"):
-                outcome = executor.run(run_serial_shard, items, deadline=deadline)
-            _log_shard_recovery(outcome, len(shards))
-            return outcome.results, outcome
-        shared_tree = SharedArray(tree) if multi else SharedTree(tree)
-        publish_alias = sampler == "alias" and getattr(graph, "is_weighted", False)
-        with SharedGraph(
-            graph, publish_alias=publish_alias
-        ) as shared_graph, shared_tree, SharedArray(
-            targets
-        ) as shared_targets:
-            tasks = [
-                _ShardTask(
-                    graph=shared_graph.spec(),
-                    matrix=shared_tree.spec if multi else None,
-                    tree=None if multi else shared_tree.spec(),
-                    targets=shared_targets.spec,
-                    trials=trials,
-                    c=c,
-                    l_max=l_max,
-                    seed=seed,
-                    shard_index=index,
-                    sampler=sampler,
-                )
-                for index, (trials, seed) in enumerate(zip(shards, seeds))
-            ]
-            worker = _run_shard_multi if multi else _run_shard
-            with obs.span("shard_dispatch", shards=len(shards), mode="pooled"):
-                outcome = executor.run(worker, tasks, deadline=deadline)
-            _log_shard_recovery(outcome, len(shards))
-            return outcome.results, outcome
-    finally:
-        if own_executor:
-            executor.close()
+        items = list(zip(range(len(shards)), shards, seeds))
+        with obs.span(
+            "shard_dispatch", shards=len(shards), mode=executor.mode_label
+        ):
+            outcome = executor.run(run_local_shard, items, deadline=deadline)
+        _log_shard_recovery(outcome, len(shards))
+        return outcome.results, outcome
+    shared_tree = SharedArray(tree) if multi else SharedTree(tree)
+    publish_alias = sampler == "alias" and getattr(graph, "is_weighted", False)
+    with SharedGraph(
+        graph, publish_alias=publish_alias
+    ) as shared_graph, shared_tree, SharedArray(
+        targets
+    ) as shared_targets:
+        tasks = [
+            _ShardTask(
+                graph=shared_graph.spec(),
+                matrix=shared_tree.spec if multi else None,
+                tree=None if multi else shared_tree.spec(),
+                targets=shared_targets.spec,
+                trials=trials,
+                c=c,
+                l_max=l_max,
+                seed=seed,
+                shard_index=index,
+                sampler=sampler,
+            )
+            for index, (trials, seed) in enumerate(zip(shards, seeds))
+        ]
+        worker = _run_shard_multi if multi else _run_shard
+        with obs.span("shard_dispatch", shards=len(shards), mode="process"):
+            outcome = executor.run(worker, tasks, deadline=deadline)
+        _log_shard_recovery(outcome, len(shards))
+        return outcome.results, outcome
 
 
 def _log_shard_recovery(outcome: MapOutcome, shards: int) -> None:
@@ -423,20 +548,29 @@ def parallel_crashsim(
     seed: RngLike = None,
     workers: Optional[int] = None,
     executor: Optional[ParallelExecutor] = None,
-    shards: int = DEFAULT_SHARDS,
+    shards: Optional[int] = None,
     deadline: Optional[float] = None,
     sampler: str = "cdf",
     tree=None,
+    mode: str = "auto",
 ) -> CrashSimResult:
-    """Single-source CrashSim with the ``n_r`` trials sharded over processes.
+    """Single-source CrashSim with the ``n_r`` trials sharded over workers.
 
     Parameters mirror :func:`repro.core.crashsim.crashsim`, plus:
 
     workers:
-        Process count (``None`` → CPU count, ``1`` → serial in-process).
+        Worker count (``None`` → CPU count, ``1`` → serial in-process).
     executor:
-        Reuse an existing :class:`ParallelExecutor` across queries to
-        amortise pool start-up; the caller keeps ownership.
+        Reuse an existing :class:`ParallelExecutor` across queries; the
+        caller keeps ownership.  When omitted, the process-wide persistent
+        default executor for ``(workers, mode)`` is shared — pool start-up
+        is paid once per process, not once per query.
+    mode:
+        Execution tier when no ``executor`` is passed: ``"process"``,
+        ``"thread"``, or ``"auto"`` (default — threads when the nogil JIT
+        is active, processes otherwise; see
+        :func:`~repro.parallel.executor.resolve_mode`).  The tier never
+        affects scores, only where shards run.
     tree:
         A prebuilt :class:`~repro.core.revreach.SparseReverseTree` for
         ``source`` (e.g. from a serving engine's LRU), validated against
@@ -445,10 +579,14 @@ def parallel_crashsim(
         ``deadline`` budget, since the budget clock only meters work done
         inside this call.
     shards:
-        Trial-shard count.  Results depend on ``shards`` (it defines the
-        RNG stream layout) but **not** on ``workers`` — the determinism
-        contract is: same master seed + same shards ⇒ identical scores at
-        any worker count.
+        Trial-shard count; ``None`` (default) autotunes via
+        :func:`plan_shards` (each shard worth ≥ ~20ms of walking, capped
+        at :data:`MAX_SHARDS`).  Results depend on the shard plan (it
+        defines the RNG stream layout) but **not** on ``workers`` or
+        ``mode`` — the determinism contract is: same master seed + same
+        plan ⇒ identical scores at any worker count, on any tier.  Pass
+        ``shards=DEFAULT_SHARDS`` (16) to reproduce the legacy layout the
+        pinned fixtures use.
     deadline:
         Wall-clock budget in seconds for the whole query (tree build
         included).  On expiry the estimate averages whichever trial shards
@@ -510,7 +648,11 @@ def parallel_crashsim(
     achieved = params.achieved_epsilon(num_nodes, n_r)
     totals = np.zeros(walk_targets.size, dtype=np.float64)
     if walk_targets.size:
-        shard_plan = shard_sizes(n_r, shards)
+        if shards is None:
+            shard_plan = plan_shards(n_r, walk_targets.size, n_r=n_r)
+        else:
+            shard_plan = shard_sizes(n_r, shards)
+        _M_SHARD_PLAN.set(len(shard_plan))
         seeds = seed_seq.spawn(len(shard_plan))
         remaining = _remaining_budget(deadline, started)
         shard_totals, outcome = _map_shards(
@@ -526,6 +668,7 @@ def parallel_crashsim(
             multi=False,
             deadline=remaining,
             sampler=sampler,
+            mode=mode,
         )
         trials_completed, degraded, achieved = _settle_shards(
             shard_plan, outcome, params, num_nodes, n_r, deadline,
@@ -566,11 +709,12 @@ def parallel_crashsim_multi_source(
     seed: RngLike = None,
     workers: Optional[int] = None,
     executor: Optional[ParallelExecutor] = None,
-    shards: int = DEFAULT_SHARDS,
+    shards: Optional[int] = None,
     deadline: Optional[float] = None,
     sampler: str = "cdf",
+    mode: str = "auto",
 ) -> List[CrashSimResult]:
-    """Multi-source CrashSim with trial shards fanned out over processes.
+    """Multi-source CrashSim with trial shards fanned out over workers.
 
     Keeps :func:`~repro.core.multi_source.crashsim_multi_source`'s
     amortisation — each sampled walk is scored against every source's tree —
@@ -619,7 +763,15 @@ def parallel_crashsim_multi_source(
     achieved = params.achieved_epsilon(num_nodes, n_r)
     totals = np.zeros((len(source_list), walk_targets.size), dtype=np.float64)
     if walk_targets.size:
-        shard_plan = shard_sizes(n_r, shards)
+        if shards is None:
+            # Every walk is scored against all q trees, so a trial costs
+            # ~q× the single-source nominal — fold that into the plan.
+            shard_plan = plan_shards(
+                n_r, walk_targets.size * len(source_list), n_r=n_r
+            )
+        else:
+            shard_plan = shard_sizes(n_r, shards)
+        _M_SHARD_PLAN.set(len(shard_plan))
         seeds = seed_seq.spawn(len(shard_plan))
         remaining = _remaining_budget(deadline, started)
         shard_totals, outcome = _map_shards(
@@ -635,6 +787,7 @@ def parallel_crashsim_multi_source(
             multi=True,
             deadline=remaining,
             sampler=sampler,
+            mode=mode,
         )
         trials_completed, degraded, achieved = _settle_shards(
             shard_plan, outcome, params, num_nodes, n_r, deadline,

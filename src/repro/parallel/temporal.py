@@ -51,7 +51,7 @@ from repro.errors import (
     QueryError,
 )
 from repro.graph.temporal import TemporalGraph
-from repro.parallel.executor import ParallelExecutor
+from repro.parallel.executor import ParallelExecutor, get_default_executor
 from repro.parallel.runner import _remaining_budget
 from repro.parallel.shared_graph import SharedGraph, SharedGraphSpec, attach_graph
 from repro.rng import RngLike, as_seed_sequence
@@ -107,13 +107,17 @@ def parallel_crashsim_t(
     workers: Optional[int] = None,
     executor: Optional[ParallelExecutor] = None,
     deadline: Optional[float] = None,
+    mode: str = "auto",
 ) -> TemporalQueryResult:
     """Temporal SimRank query with concurrently evaluated snapshots.
 
     Parameters mirror :func:`repro.core.crashsim_t.crashsim_t` minus the
     pruning switches (this driver recomputes every snapshot — see module
-    docstring), plus ``workers`` / ``executor`` as in
-    :func:`repro.parallel.parallel_crashsim`, and ``deadline`` — a
+    docstring), plus ``workers`` / ``executor`` / ``mode`` as in
+    :func:`repro.parallel.parallel_crashsim` (with no ``executor`` the
+    process-wide persistent default for ``(workers, mode)`` is shared; on
+    the thread tier snapshots run as in-process closures with no
+    shared-memory publication), and ``deadline`` — a
     wall-clock budget in seconds.  Snapshot evaluations lost to the
     deadline (or to worker death surviving past the executor's retries)
     truncate the query to the longest completed snapshot *prefix*: every
@@ -144,61 +148,64 @@ def parallel_crashsim_t(
     indices = list(range(start, stop))
     seeds = seed_seq.spawn(len(indices))
 
-    own_executor = executor is None
-    if own_executor:
-        executor = ParallelExecutor(workers)
-    try:
-        if executor.serial:
+    if executor is None:
+        executor = get_default_executor(workers, mode=mode)
+    if not executor.uses_processes:
+        # Serial or thread tier: each snapshot evaluation is an in-process
+        # closure (snapshots are different graphs, so there is no kernel
+        # pool to share — crashsim builds its own per-snapshot kernel).
+        # Snapshots are materialised here, before dispatch: the temporal
+        # graph's snapshot LRU is not safe to mutate from pool threads.
+        snapshots = {index: temporal.snapshot(index) for index in indices}
 
-            def run_serial_snapshot(item):
-                index, snapshot_seed = item
-                faults.inject("snapshot", index)
-                result = crashsim(
-                    temporal.snapshot(index),
-                    source,
-                    params=params,
-                    tree_variant=tree_variant,
-                    seed=np.random.default_rng(snapshot_seed),
+        def run_local_snapshot(item):
+            index, snapshot_seed = item
+            faults.inject("snapshot", index)
+            result = crashsim(
+                snapshots[index],
+                source,
+                params=params,
+                tree_variant=tree_variant,
+                seed=np.random.default_rng(snapshot_seed),
+            )
+            return result.candidates, result.scores
+
+        with obs.span(
+            "shard_dispatch", snapshots=len(indices), mode=executor.mode_label
+        ):
+            outcome = executor.run(
+                run_local_snapshot,
+                list(zip(indices, seeds)),
+                deadline=_remaining_budget(deadline, started),
+            )
+    else:
+        shared: List[SharedGraph] = []
+        try:
+            tasks = []
+            for index, snapshot_seed in zip(indices, seeds):
+                shared_graph = SharedGraph(temporal.snapshot(index))
+                shared.append(shared_graph)
+                tasks.append(
+                    _SnapshotTask(
+                        graph=shared_graph.spec(),
+                        source=source,
+                        params=params,
+                        tree_variant=tree_variant,
+                        seed=snapshot_seed,
+                        snapshot_index=index,
+                    )
                 )
-                return result.candidates, result.scores
-
-            with obs.span("shard_dispatch", snapshots=len(indices), mode="serial"):
+            with obs.span(
+                "shard_dispatch", snapshots=len(indices), mode="process"
+            ):
                 outcome = executor.run(
-                    run_serial_snapshot,
-                    list(zip(indices, seeds)),
+                    _run_snapshot,
+                    tasks,
                     deadline=_remaining_budget(deadline, started),
                 )
-        else:
-            shared: List[SharedGraph] = []
-            try:
-                tasks = []
-                for index, snapshot_seed in zip(indices, seeds):
-                    shared_graph = SharedGraph(temporal.snapshot(index))
-                    shared.append(shared_graph)
-                    tasks.append(
-                        _SnapshotTask(
-                            graph=shared_graph.spec(),
-                            source=source,
-                            params=params,
-                            tree_variant=tree_variant,
-                            seed=snapshot_seed,
-                            snapshot_index=index,
-                        )
-                    )
-                with obs.span(
-                    "shard_dispatch", snapshots=len(indices), mode="pooled"
-                ):
-                    outcome = executor.run(
-                        _run_snapshot,
-                        tasks,
-                        deadline=_remaining_budget(deadline, started),
-                    )
-            finally:
-                for shared_graph in shared:
-                    shared_graph.close()
-    finally:
-        if own_executor:
-            executor.close()
+        finally:
+            for shared_graph in shared:
+                shared_graph.close()
 
     # The Ω replay consumes snapshots strictly in order, so only the
     # longest completed prefix is usable; completions after a hole were

@@ -178,8 +178,10 @@ class EngineConfig:
     dispatcher waits for companions after the first request of a batch
     arrives (0 serves whatever is already queued, never sleeping);
     ``max_batch`` caps a batch.  ``tree_cache_size`` bounds the source-tree
-    LRU.  ``workers`` is the persistent executor's process count for
-    deadline queries (``None`` → CPU count).
+    LRU.  ``workers`` is the persistent executor's worker count for
+    deadline queries (``None`` → CPU count); ``mode`` picks its execution
+    tier (``"process"``, ``"thread"``, or the default ``"auto"`` — see
+    :func:`repro.parallel.resolve_mode`).
     """
 
     c: float = 0.6
@@ -192,6 +194,7 @@ class EngineConfig:
     tree_cache_size: int = 256
     workers: Optional[int] = None
     seed: Optional[int] = None
+    mode: str = "auto"
 
     def __post_init__(self):
         if self.batch_window < 0:
@@ -202,6 +205,9 @@ class EngineConfig:
             raise ParameterError(
                 f"max_batch must be positive, got {self.max_batch}"
             )
+        from repro.parallel import resolve_mode
+
+        resolve_mode(self.mode)  # validate eagerly; raises ParameterError
 
 
 @dataclass(frozen=True)
@@ -631,7 +637,9 @@ class Engine:
 
         with self._lock:
             if self._executor is None:
-                self._executor = ParallelExecutor(self.config.workers)
+                self._executor = ParallelExecutor(
+                    self.config.workers, mode=self.config.mode
+                )
             return self._executor
 
     def _finish(

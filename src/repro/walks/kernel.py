@@ -53,7 +53,8 @@ path; nothing in the default install imports numba.
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional, Sequence
+import threading
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -65,6 +66,7 @@ from repro.walks import _jit
 
 __all__ = [
     "WalkCrashKernel",
+    "KernelPool",
     "fused_accumulate_crash_totals",
     "DEFAULT_WALK_CHUNK",
     "DEFAULT_DENSE_ROW_BUDGET",
@@ -610,6 +612,44 @@ class WalkCrashKernel:
                 )
 
         return step
+
+
+class KernelPool:
+    """Per-thread :class:`WalkCrashKernel` instances for one graph.
+
+    A kernel's preallocated buffers are shared mutable state — one kernel
+    serves one thread at a time.  The executor's thread tier runs shards
+    concurrently in one process, so each pool thread needs its own buffer
+    set: :meth:`get` returns a kernel owned by the *calling* thread,
+    building it through ``factory`` on first use.  Construction is
+    serialised under the pool lock, so lazily cached graph state (int64
+    degrees, weight totals, alias tables) is materialised by exactly one
+    thread; after warm-up ``get()`` is a single dict hit.
+
+    Kernels are keyed by thread ident and kept for the pool's lifetime —
+    a persistent executor's worker threads reuse warm buffers across
+    queries instead of reallocating per shard.
+    """
+
+    def __init__(self, factory: Callable[[], "WalkCrashKernel"]):
+        self._factory = factory
+        self._lock = threading.Lock()
+        self._kernels: Dict[int, "WalkCrashKernel"] = {}
+
+    def get(self) -> "WalkCrashKernel":
+        ident = threading.get_ident()
+        kernel = self._kernels.get(ident)
+        if kernel is None:
+            with self._lock:
+                kernel = self._kernels.get(ident)
+                if kernel is None:
+                    kernel = self._factory()
+                    self._kernels[ident] = kernel
+        return kernel
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._kernels)
 
 
 def fused_accumulate_crash_totals(

@@ -36,10 +36,22 @@ def main() -> None:
         "n_r": static.n_r,
     }
 
-    par = parallel_crashsim(graph, 0, params=params, seed=123, workers=1)
+    # Legacy 16-shard layout (predates shard autotuning; the shard plan
+    # defines the RNG streams, so it is pinned explicitly).
+    par = parallel_crashsim(
+        graph, 0, params=params, seed=123, workers=1, shards=16
+    )
     out["parallel_w1"] = {
         "candidates": par.candidates.tolist(),
         "scores": f2h(par.scores),
+    }
+
+    # Autotuned shard plan (the default since shard autotuning landed) —
+    # a pure function of the query shape, so equally pinnable.
+    par_auto = parallel_crashsim(graph, 0, params=params, seed=123, workers=1)
+    out["parallel_auto"] = {
+        "candidates": par_auto.candidates.tolist(),
+        "scores": f2h(par_auto.scores),
     }
 
     temporal = evolve_snapshots(graph, 6, churn_rate=0.01, seed=9)

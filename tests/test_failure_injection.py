@@ -190,6 +190,9 @@ class TestSingleNodeGraph:
 
 FIXTURE = pathlib.Path(__file__).parent / "fixtures" / "seed_behaviour.json"
 PARAMS64 = CrashSimParams(n_r_override=64)
+# The chaos plans name shard indices from the legacy 16-shard layout (4
+# trials per shard), so every sharded run below pins shards=16 explicitly —
+# the autotuned plan would collapse this small query to a single shard.
 
 
 def to_hex(values):
@@ -239,7 +242,8 @@ class TestChaosStatic:
         # scores match the pinned undisturbed bits exactly.
         with faults.active({"shard": {"3": {"kind": "kill"}}}) as markers:
             result = parallel_crashsim(
-                chaos_graph, 0, params=PARAMS64, seed=123, workers=2
+                chaos_graph, 0, params=PARAMS64, seed=123, workers=2,
+                shards=16,
             )
             assert (pathlib.Path(markers) / "shard-3-0").exists()
         assert not result.degraded
@@ -255,7 +259,8 @@ class TestChaosStatic:
         plan = {"shard": {"5": {"kind": "raise", "times": 2}}}
         with faults.active(plan):
             result = parallel_crashsim(
-                chaos_graph, 0, params=PARAMS64, seed=123, workers=2
+                chaos_graph, 0, params=PARAMS64, seed=123, workers=2,
+                shards=16,
             )
         assert not result.degraded
         assert to_hex(result.scores) == pinned["parallel_w1"]["scores"]
@@ -269,7 +274,8 @@ class TestChaosStatic:
         with faults.active(plan):
             with pytest.warns(DegradedResultWarning):
                 result = parallel_crashsim(
-                    chaos_graph, 0, params=PARAMS64, seed=123, workers=2
+                    chaos_graph, 0, params=PARAMS64, seed=123, workers=2,
+                    shards=16,
                 )
         assert result.degraded
         assert result.trials_completed == 60  # 64 trials over 16 shards
@@ -294,6 +300,7 @@ class TestChaosStatic:
                     seed=123,
                     workers=2,
                     deadline=4.0,
+                    shards=16,
                 )
             elapsed = time.monotonic() - started
         assert elapsed < 9.0
@@ -319,6 +326,7 @@ class TestChaosStatic:
                     seed=123,
                     workers=2,
                     deadline=30.0,
+                    shards=16,
                 )
             elapsed = time.monotonic() - started
         assert elapsed < 30.0
@@ -340,6 +348,7 @@ class TestChaosStatic:
                     seed=123,
                     workers=1,
                     deadline=1.0,
+                    shards=16,
                 )
         assert result.degraded
         assert result.trials_completed == 4  # only shard 0 completed

@@ -59,12 +59,26 @@ class TestStatic:
     @pytest.mark.parametrize("workers", [1, 2, 4])
     def test_parallel_matches_pinned_bits(self, pinned, graph, workers):
         # Seed-sharded execution is worker-count invariant, so every
-        # worker count must reproduce the pinned workers=1 bits.
+        # worker count must reproduce the pinned workers=1 bits.  The
+        # fixture predates shard autotuning, so the legacy 16-shard
+        # layout is pinned explicitly (the plan defines the RNG streams).
         result = parallel_crashsim(
-            graph, 0, params=PARAMS, seed=123, workers=workers
+            graph, 0, params=PARAMS, seed=123, workers=workers, shards=16
         )
         assert result.candidates.tolist() == pinned["parallel_w1"]["candidates"]
         assert to_hex(result.scores) == pinned["parallel_w1"]["scores"]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_parallel_autotuned_matches_pinned_bits(self, pinned, graph, workers):
+        # The autotuned plan is a pure function of the query shape, so it
+        # too is pinned — at any worker count.
+        result = parallel_crashsim(
+            graph, 0, params=PARAMS, seed=123, workers=workers
+        )
+        assert (
+            result.candidates.tolist() == pinned["parallel_auto"]["candidates"]
+        )
+        assert to_hex(result.scores) == pinned["parallel_auto"]["scores"]
 
 
 class TestTemporal:
