@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-parallel test-chaos test-serve bench bench-tree bench-kernel bench-parallel serve-bench obs-smoke perf-smoke selftest experiments report examples clean
+.PHONY: install test test-parallel test-chaos test-serve test-overload bench bench-tree bench-kernel bench-parallel serve-bench bench-overload obs-smoke perf-smoke selftest experiments report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -26,6 +26,13 @@ test-chaos:
 # Honours REPRO_START_METHOD; CI runs it under both fork and spawn.
 test-serve:
 	$(PYTHON) -m pytest tests/serve/
+
+# Overload-resilience suite (docs/internals.md §14): bounded-queue
+# admission, circuit-breaker walk under executor stalls, dispatcher
+# kill/hang recovery, concurrent close, HTTP 429/503/504 mapping.
+# Honours REPRO_START_METHOD; CI runs it under both fork and spawn.
+test-overload:
+	$(PYTHON) -m pytest tests/serve/test_overload.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -51,6 +58,13 @@ bench-parallel:
 # fails below the 1.5x batched-throughput target.
 serve-bench:
 	cd benchmarks && $(PYTHON) bench_serve.py
+
+# Overload load generator: 2x-capacity open-loop offered load, shed
+# (bounded queue) vs unbounded; writes benchmarks/BENCH_overload.json and
+# fails if shed-mode goodput drops below 0.8x the at-capacity goodput or
+# the queue bound is violated.
+bench-overload:
+	cd benchmarks && $(PYTHON) bench_overload.py
 
 # Observability overhead gate: instrumented vs kill-switched kernel on
 # the 50k PA graph; writes benchmarks/BENCH_obs.json and fails if the

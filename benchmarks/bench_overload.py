@@ -1,0 +1,291 @@
+"""Overload bench: goodput and tail latency at 2x capacity, shed vs unbounded.
+
+Three phases:
+
+1. **capacity** — a closed loop of ``N_CLIENTS`` threads measures the
+   engine's at-capacity goodput (queries/second with clients waiting for
+   each answer — the sustainable service rate).
+2. **shed** — an *open* loop offers requests at twice that rate against a
+   bounded queue (``max_queue_depth``, ``shed_policy="reject"``).  The
+   engine sheds what it cannot serve: rejected submissions cost the
+   client a cheap :class:`~repro.errors.EngineOverloadedError` instead of
+   an unbounded wait, and the accepted ones keep a bounded p99.
+3. **unbounded** — the same offered load with the legacy unbounded queue:
+   everything is accepted, the queue grows to ~capacity x duration, and
+   the p99 inflates toward the full backlog drain time.
+
+The headline gate is machine-independent: shed-mode goodput must stay
+within ``MIN_GOODPUT_FRACTION`` of the measured at-capacity goodput —
+shedding protects latency, it must not collapse throughput — and the
+observed queue depth must respect the configured bound.
+
+Entry points: ``python benchmarks/bench_overload.py`` (full size, writes
+``BENCH_overload.json``, non-zero exit on gate failure) and ``run_all()``
+(smoke size, consumed by ``perf_smoke.py``'s ``gate_overload``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+from typing import Dict, List, Tuple
+
+try:
+    from bench_kernel import make_bench_graph
+except ImportError:  # collected by pytest as benchmarks.bench_overload
+    from benchmarks.bench_kernel import make_bench_graph
+from repro.errors import EngineOverloadedError
+from repro.metrics.timing import TimingStats
+from repro.serve import Engine, EngineConfig, QueryRequest
+
+BENCH_NODES = 20_000
+N_CLIENTS = 8
+CAPACITY_QUERIES_PER_CLIENT = 6
+N_R = 48
+CATALOG_SIZE = 2_000
+OVERLOAD_FACTOR = 2.0
+OPEN_LOOP_DURATION = 6.0
+MAX_QUEUE_DEPTH = 2 * N_CLIENTS
+MIN_GOODPUT_FRACTION = 0.8
+
+OUTPUT = pathlib.Path(__file__).with_name("BENCH_overload.json")
+
+
+def _source_for(num_nodes: int, k: int) -> int:
+    """Deterministic query sources from the upper (non-catalogue) half."""
+    base = num_nodes // 2
+    return base + (k * 131 + 17) % (num_nodes - base)
+
+
+def _engine_config(n_r: int, max_queue_depth) -> EngineConfig:
+    return EngineConfig(
+        n_r=n_r,
+        batch_window=0.005,
+        max_batch=64,
+        seed=0,
+        max_queue_depth=max_queue_depth,
+        shed_policy="reject",
+    )
+
+
+def measure_capacity(
+    graph, catalog, *, n_r: int, clients: int, per_client: int
+) -> Dict[str, float]:
+    """Closed-loop goodput: every client waits for its answer."""
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(clients + 1)
+    with Engine(graph, _engine_config(n_r, None)) as engine:
+
+        def client(slot: int):
+            try:
+                barrier.wait()
+                for i in range(per_client):
+                    k = slot * per_client + i
+                    engine.query(
+                        _source_for(graph.num_nodes, k),
+                        candidates=catalog,
+                        seed=k + 1,
+                        timeout=600,
+                    )
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(slot,), daemon=True)
+            for slot in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    total = clients * per_client
+    return {
+        "queries": total,
+        "total_seconds": round(wall, 4),
+        "goodput_qps": round(total / wall, 2),
+    }
+
+
+def run_open_loop(
+    graph,
+    catalog,
+    *,
+    n_r: int,
+    rate: float,
+    duration: float,
+    max_queue_depth,
+) -> Dict[str, object]:
+    """Offer ``rate`` requests/second for ``duration`` seconds, no waiting.
+
+    One pacing thread submits on schedule (futures are collected, never
+    awaited in-loop, so submission pressure is independent of service
+    speed); afterwards every accepted future is drained and measured via
+    the engine's own submission-to-answer ``elapsed``.
+    """
+    total = max(1, int(rate * duration))
+    accepted: List[Tuple[int, object]] = []
+    rejected = 0
+    max_depth_seen = 0
+    with Engine(graph, _engine_config(n_r, max_queue_depth)) as engine:
+        started = time.perf_counter()
+        for k in range(total):
+            target = started + k / rate
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            request = QueryRequest.make(
+                _source_for(graph.num_nodes, k),
+                candidates=catalog,
+                seed=k + 1,
+            )
+            try:
+                accepted.append((k, engine.submit(request)))
+            except EngineOverloadedError:
+                rejected += 1
+            depth = engine.stats()["queue_depth"]
+            if depth > max_depth_seen:
+                max_depth_seen = depth
+        offered_wall = time.perf_counter() - started
+        latencies = [
+            future.result(timeout=600).elapsed for _, future in accepted
+        ]
+        drain_wall = time.perf_counter() - started
+    stats = TimingStats(samples=latencies)
+    return {
+        "offered": total,
+        "offered_qps": round(total / offered_wall, 2),
+        "accepted": len(accepted),
+        "rejected": rejected,
+        "goodput_qps": round(len(accepted) / drain_wall, 2),
+        "p50_ms": round(stats.p50 * 1000, 2),
+        "p99_ms": round(stats.p99 * 1000, 2),
+        "max_queue_depth_seen": max_depth_seen,
+        "max_queue_depth": max_queue_depth,
+        "total_seconds": round(drain_wall, 4),
+    }
+
+
+def run_all(
+    *,
+    num_nodes: int = BENCH_NODES,
+    n_clients: int = N_CLIENTS,
+    capacity_queries_per_client: int = CAPACITY_QUERIES_PER_CLIENT,
+    catalog_size: int = CATALOG_SIZE,
+    n_r: int = N_R,
+    duration: float = OPEN_LOOP_DURATION,
+    max_queue_depth: int = MAX_QUEUE_DEPTH,
+) -> Dict[str, object]:
+    graph = make_bench_graph(num_nodes)
+    catalog = tuple(range(catalog_size))
+    capacity = measure_capacity(
+        graph,
+        catalog,
+        n_r=n_r,
+        clients=n_clients,
+        per_client=capacity_queries_per_client,
+    )
+    rate = OVERLOAD_FACTOR * capacity["goodput_qps"]
+    shed = run_open_loop(
+        graph,
+        catalog,
+        n_r=n_r,
+        rate=rate,
+        duration=duration,
+        max_queue_depth=max_queue_depth,
+    )
+    unbounded = run_open_loop(
+        graph,
+        catalog,
+        n_r=n_r,
+        rate=rate,
+        duration=duration,
+        max_queue_depth=None,
+    )
+    return {
+        "graph": {
+            "generator": "preferential_attachment",
+            "num_nodes": graph.num_nodes,
+            "num_edges": int(graph.in_indices.size),
+        },
+        "workload": {
+            "n_clients": n_clients,
+            "catalog_size": catalog_size,
+            "n_r": n_r,
+            "overload_factor": OVERLOAD_FACTOR,
+            "open_loop_duration": duration,
+            "max_queue_depth": max_queue_depth,
+        },
+        "capacity": capacity,
+        "shed": shed,
+        "unbounded": unbounded,
+        "shed_goodput_ratio": round(
+            shed["goodput_qps"] / capacity["goodput_qps"], 3
+        ),
+    }
+
+
+def check(payload: Dict[str, object]) -> List[str]:
+    """Machine-independent overload invariants; empty list means pass."""
+    failures = []
+    ratio = payload["shed_goodput_ratio"]
+    if ratio < MIN_GOODPUT_FRACTION:
+        failures.append(
+            f"shed goodput {payload['shed']['goodput_qps']} q/s is "
+            f"{ratio}x of capacity "
+            f"{payload['capacity']['goodput_qps']} q/s "
+            f"(floor {MIN_GOODPUT_FRACTION}x)"
+        )
+    shed = payload["shed"]
+    if shed["max_queue_depth_seen"] > shed["max_queue_depth"]:
+        failures.append(
+            f"bounded queue reached depth {shed['max_queue_depth_seen']} "
+            f"> configured {shed['max_queue_depth']}"
+        )
+    if shed["rejected"] == 0:
+        failures.append(
+            "2x-capacity offered load never tripped admission control"
+        )
+    return failures
+
+
+def main() -> int:
+    print(
+        f"overload bench: n={BENCH_NODES}, n_r={N_R}, "
+        f"catalog={CATALOG_SIZE}, {OVERLOAD_FACTOR}x offered load for "
+        f"{OPEN_LOOP_DURATION}s, max_queue_depth={MAX_QUEUE_DEPTH}"
+    )
+    payload = run_all()
+    capacity = payload["capacity"]
+    print(
+        f"capacity (closed loop): {capacity['goodput_qps']} q/s over "
+        f"{capacity['queries']} queries"
+    )
+    for leg in ("shed", "unbounded"):
+        row = payload[leg]
+        print(
+            f"{leg}: offered {row['offered_qps']} q/s, accepted "
+            f"{row['accepted']}, rejected {row['rejected']}, goodput "
+            f"{row['goodput_qps']} q/s, p99 {row['p99_ms']}ms, "
+            f"max queue depth {row['max_queue_depth_seen']}"
+        )
+    print(
+        f"shed goodput ratio: {payload['shed_goodput_ratio']}x of capacity "
+        f"(floor {MIN_GOODPUT_FRACTION}x)"
+    )
+    OUTPUT.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
+    failures = check(payload)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,7 @@
 """CI perf-smoke: catch order-of-magnitude regressions cheaply.
 
-Runs the bench_tree, bench_kernel, bench_serve, bench_obs, and
-bench_parallel sweeps on CI-sized graphs and compares wall-clock against
+Runs the bench_tree, bench_kernel, bench_serve, bench_obs, bench_overload,
+and bench_parallel sweeps on CI-sized graphs and compares wall-clock against
 the recorded baselines in ``benchmarks/baselines/``.  Wall-clock gates are deliberately generous —
 a timing fails only past ``PERF_SMOKE_MULTIPLIER`` (default 10×) of its
 recorded value — so shared runners' jitter never breaks the build, while
@@ -25,6 +25,11 @@ import sys
 
 from bench_kernel import run_all as run_kernel
 from bench_obs import MAX_OVERHEAD_FRACTION, run_all as run_obs
+from bench_overload import (
+    MIN_GOODPUT_FRACTION,
+    check as check_overload,
+    run_all as run_overload,
+)
 from bench_parallel import effective_cpus, make_bench_graph, run_sweep
 from bench_serve import run_all as run_serve
 from bench_tree import run_all
@@ -35,6 +40,9 @@ SERVE_BASELINE = pathlib.Path(__file__).parent / "baselines" / "serve_smoke.json
 OBS_BASELINE = pathlib.Path(__file__).parent / "baselines" / "obs_smoke.json"
 PARALLEL_BASELINE = (
     pathlib.Path(__file__).parent / "baselines" / "parallel_smoke.json"
+)
+OVERLOAD_BASELINE = (
+    pathlib.Path(__file__).parent / "baselines" / "overload_smoke.json"
 )
 SMOKE_NODES = 30_000
 SMOKE_SOURCES = 32
@@ -63,6 +71,17 @@ OBS_SMOKE_PAIRS = 60
 PARALLEL_SMOKE_NODES = 12_000
 PARALLEL_SMOKE_EDGES = 36_000
 PARALLEL_SMOKE_N_R = 128
+# Overload smoke: tiny graph, short open-loop window.  The goodput-ratio
+# and queue-bound gates come from bench_overload.check() and are
+# machine-independent; only the capacity phase's wall-clock is gated
+# against the recorded baseline (with the usual generous multiplier).
+OVERLOAD_SMOKE_NODES = 10_000
+OVERLOAD_SMOKE_CLIENTS = 8
+OVERLOAD_SMOKE_CAPACITY_QUERIES = 4
+OVERLOAD_SMOKE_CATALOG = 1_000
+OVERLOAD_SMOKE_N_R = 32
+OVERLOAD_SMOKE_DURATION = 2.5
+OVERLOAD_SMOKE_QUEUE_DEPTH = 16
 # Parallel dispatch must actually win on a multi-core runner: best tier at
 # 4 workers ≥ 1.5x over serial when ≥ 4 effective CPUs are available, a
 # reduced floor on 2–3 CPUs, and the scaling gate *skips* (identity still
@@ -238,6 +257,46 @@ def gate_obs(payload, argv):
     return failures
 
 
+def gate_overload(payload, argv):
+    capacity = payload["capacity"]
+    shed = payload["shed"]
+    unbounded = payload["unbounded"]
+
+    if "--record" in argv:
+        record = {
+            "nodes": OVERLOAD_SMOKE_NODES,
+            "clients": OVERLOAD_SMOKE_CLIENTS,
+            "capacity_seconds": capacity["total_seconds"],
+            "capacity_qps": capacity["goodput_qps"],
+            "shed_goodput_ratio": payload["shed_goodput_ratio"],
+        }
+        OVERLOAD_BASELINE.write_text(
+            json.dumps(record, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"recorded baseline: {OVERLOAD_BASELINE}")
+        return []
+
+    baseline = json.loads(OVERLOAD_BASELINE.read_text())
+    multiplier = float(os.environ.get("PERF_SMOKE_MULTIPLIER", "10"))
+    allowed_seconds = baseline["capacity_seconds"] * multiplier
+    print(
+        f"overload: capacity {capacity['goodput_qps']} q/s "
+        f"({capacity['total_seconds']}s, allowed {allowed_seconds:.4f}s); "
+        f"shed goodput {shed['goodput_qps']} q/s "
+        f"(ratio {payload['shed_goodput_ratio']}x, floor "
+        f"{MIN_GOODPUT_FRACTION}x), p99 {shed['p99_ms']}ms, "
+        f"rejected {shed['rejected']}; unbounded p99 "
+        f"{unbounded['p99_ms']}ms, max queue {unbounded['max_queue_depth_seen']}"
+    )
+    failures = check_overload(payload)
+    if capacity["total_seconds"] > allowed_seconds:
+        failures.append(
+            f"overload capacity phase {capacity['total_seconds']}s > "
+            f"{allowed_seconds:.4f}s allowed"
+        )
+    return failures
+
+
 def run_parallel():
     graph = make_bench_graph(PARALLEL_SMOKE_NODES, PARALLEL_SMOKE_EDGES)
     rows = run_sweep(graph, worker_counts=(1, 4), n_r=PARALLEL_SMOKE_N_R)
@@ -331,6 +390,18 @@ def main(argv) -> int:
     )
     failures += gate_obs(
         run_obs(num_nodes=OBS_SMOKE_NODES, pairs=OBS_SMOKE_PAIRS), argv
+    )
+    failures += gate_overload(
+        run_overload(
+            num_nodes=OVERLOAD_SMOKE_NODES,
+            n_clients=OVERLOAD_SMOKE_CLIENTS,
+            capacity_queries_per_client=OVERLOAD_SMOKE_CAPACITY_QUERIES,
+            catalog_size=OVERLOAD_SMOKE_CATALOG,
+            n_r=OVERLOAD_SMOKE_N_R,
+            duration=OVERLOAD_SMOKE_DURATION,
+            max_queue_depth=OVERLOAD_SMOKE_QUEUE_DEPTH,
+        ),
+        argv,
     )
     failures += gate_parallel(run_parallel(), argv)
     for failure in failures:

@@ -68,10 +68,12 @@ from repro.core import (
 from repro.errors import (
     DeadlineExceededError,
     DegradedResultWarning,
+    DispatcherError,
     EngineClosedError,
+    EngineOverloadedError,
     ReproError,
 )
-from repro.serve import Engine, EngineConfig
+from repro.serve import BreakerState, Engine, EngineConfig
 from repro.graph import (
     DiGraph,
     EdgeDelta,
@@ -118,6 +120,7 @@ __all__ = [
     # serving
     "Engine",
     "EngineConfig",
+    "BreakerState",
     # baselines
     "power_method_all_pairs",
     "power_method_single_source",
@@ -130,4 +133,6 @@ __all__ = [
     "DeadlineExceededError",
     "DegradedResultWarning",
     "EngineClosedError",
+    "EngineOverloadedError",
+    "DispatcherError",
 ]

@@ -172,6 +172,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="source reverse-tree LRU capacity for 'serve' (default: 256)",
     )
     parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="bound on queued requests for 'serve'; at capacity the shed "
+        "policy applies (default: unbounded)",
+    )
+    parser.add_argument(
+        "--shed-policy",
+        choices=["reject", "shed-oldest"],
+        default="reject",
+        help="what 'serve' does when the queue is full: reject the "
+        "newcomer with HTTP 429, or shed the oldest queued deadline-less "
+        "request (default: reject)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=0,
+        help="consecutive deadline-exceeded/degraded outcomes that trip "
+        "'serve's circuit breaker into cheap degraded mode (default: 0 = "
+        "disabled)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=1.0,
+        help="seconds the tripped breaker stays open before a half-open "
+        "probe (default: 1.0)",
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="log each HTTP request ('serve' only)",
@@ -358,6 +388,10 @@ def _run_serve(args, profile) -> int:
         workers=args.workers if args.workers else None,
         mode=args.mode,
         seed=profile.seed,
+        max_queue_depth=args.max_queue_depth,
+        shed_policy=args.shed_policy,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
     engine = Engine(graph, config)
     server = create_server(
@@ -366,8 +400,8 @@ def _run_serve(args, profile) -> int:
     host, port = server.server_address[:2]
     print(
         f"serving {name} (n={graph.num_nodes}, m={graph.num_edges}) on "
-        f"http://{host}:{port} — POST /v1/query, GET /healthz, GET /stats, "
-        "GET /metrics; Ctrl-C to stop"
+        f"http://{host}:{port} — POST /v1/query, GET /healthz, GET /readyz, "
+        "GET /stats, GET /metrics; Ctrl-C to stop"
     )
     serve_forever(server)
     print("drained; engine stats:", engine.stats())

@@ -24,6 +24,8 @@ __all__ = [
     "DeadlineExceededError",
     "DegradedResultWarning",
     "EngineClosedError",
+    "EngineOverloadedError",
+    "DispatcherError",
 ]
 
 
@@ -111,6 +113,36 @@ class EngineClosedError(ReproError, RuntimeError):
     Requests already admitted when shutdown began are drained and answered;
     this error marks only submissions that arrived after (or raced past)
     the close.  Callers in a retry loop should treat it as permanent.
+    """
+
+
+class EngineOverloadedError(ReproError, RuntimeError):
+    """A submission was shed because the engine's admission queue was full.
+
+    Raised by :meth:`repro.serve.Engine.submit` when
+    ``EngineConfig.max_queue_depth`` is set and the queue is at capacity
+    (``shed_policy="reject"``), or set on the future of an already-queued
+    deadline-less request displaced by a newer one
+    (``shed_policy="shed-oldest"``).  Unlike
+    :class:`EngineClosedError` this is *transient*: ``retry_after`` is the
+    engine's estimate (seconds) of when capacity will free up, and the
+    HTTP front door maps it to ``429`` with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DispatcherError(ReproError, RuntimeError):
+    """The engine's dispatcher thread died or hung while serving a request.
+
+    Set on the futures of the requests that were in flight when the
+    watchdog detected the dead/stalled dispatcher and restarted it.
+    Queued-but-not-yet-dispatched requests are *not* failed — the restarted
+    dispatcher serves them normally — so callers seeing this error know
+    their specific request was the one being served when the thread died
+    and may safely resubmit.
     """
 
 

@@ -42,6 +42,21 @@ Sites currently instrumented:
 * ``"advance"`` — a :class:`~repro.core.streaming.TemporalQuerySession`
   push, after pruning but before scoring; index = the snapshot ordinal
   being pushed.
+* ``"queue_delay"`` — an :meth:`~repro.serve.Engine.submit` call, in the
+  submitting thread, *before* admission control runs; index = the
+  engine's submission ordinal.  A ``delay`` here burns the request's
+  deadline the way a slow client or saturated accept loop would.
+* ``"dispatcher"`` — the top of each engine dispatcher iteration, before
+  any request is popped; index = a per-engine iteration counter that
+  survives watchdog restarts.  ``raise`` kills the dispatcher thread
+  (nothing queued is lost — the watchdog restarts it), ``delay`` hangs it
+  for stall detection.  ``kill`` would take down the whole process —
+  these two sites run in the serving process, not a worker.
+* ``"executor_stall"`` — the top of each
+  :meth:`~repro.parallel.ParallelExecutor.run` call, after the deadline
+  clock starts; index = the executor's run ordinal.  A ``delay`` here
+  deterministically converts the run into a deadline expiry, which is how
+  the overload suite trips the engine's circuit breaker.
 
 Tests should prefer the :func:`active` context manager, which installs a
 plan plus a fresh marker directory and restores the environment on exit.

@@ -20,6 +20,7 @@ The subsystem has three layers (docs/internals.md §7 and §13):
 from repro.parallel.executor import (
     MapOutcome,
     ParallelExecutor,
+    RetryBudget,
     get_default_executor,
     reset_default_executors,
     resolve_mode,
@@ -50,6 +51,7 @@ from repro.parallel.temporal import parallel_crashsim_t
 __all__ = [
     "ParallelExecutor",
     "MapOutcome",
+    "RetryBudget",
     "resolve_workers",
     "resolve_mode",
     "get_default_executor",

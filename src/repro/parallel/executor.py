@@ -88,12 +88,13 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
-from repro import obs
+from repro import faults, obs
 from repro.errors import ParameterError
 
 __all__ = [
     "ParallelExecutor",
     "MapOutcome",
+    "RetryBudget",
     "resolve_workers",
     "resolve_mode",
     "get_default_executor",
@@ -139,6 +140,89 @@ DEFAULT_TASK_RETRIES = 2
 
 #: Default number of times a broken pool is rebuilt within one run.
 DEFAULT_POOL_REBUILDS = 2
+
+#: Hard cap on any single retry-backoff sleep (seconds).
+RETRY_BACKOFF_CAP = 2.0
+
+_M_RETRY_BUDGET_EXHAUSTED = obs.REGISTRY.counter(
+    "repro_executor_retry_budget_exhausted_total",
+    "Resubmissions denied because the retry budget had no tokens.",
+)
+
+
+def retry_delay(base: float, attempt: int, index: int) -> float:
+    """Exponential backoff with deterministic jitter for one resubmission.
+
+    ``base * 2**(attempt-1)`` scaled by a jitter factor in ``[1, 2)``
+    derived from an integer hash of ``(index, attempt)`` — no RNG, so the
+    executor's byte-identity contract is untouched and the same retry
+    schedule replays under any scheduling.  Capped at
+    :data:`RETRY_BACKOFF_CAP`.
+    """
+    if base <= 0:
+        return 0.0
+    jitter = ((index * 2654435761 + attempt * 40503 + 12345) % 1024) / 1024.0
+    return min(RETRY_BACKOFF_CAP, base * (2 ** (attempt - 1)) * (1.0 + jitter))
+
+
+class RetryBudget:
+    """A token-style bound on retry amplification across an executor's life.
+
+    Unbounded resubmission turns a sick pool into a retry storm: every
+    failing task earns ``task_retries`` more submissions, multiplying load
+    exactly when the system can least afford it.  The budget caps the
+    *ratio*: each submitted task deposits ``ratio`` tokens (so a healthy
+    workload accrues headroom) and each resubmission spends one.  When the
+    bucket is empty the task's original error is recorded instead of
+    retrying — per-run ``task_retries`` still applies on top.
+
+    Thread-safe; one budget may be shared by every run on an executor
+    (that is how :class:`~repro.serve.Engine` uses it).
+    """
+
+    def __init__(
+        self,
+        ratio: float = 0.25,
+        min_tokens: int = 16,
+        max_tokens: int = 256,
+    ):
+        if ratio < 0:
+            raise ParameterError(f"ratio must be non-negative, got {ratio}")
+        if min_tokens < 1:
+            raise ParameterError(
+                f"min_tokens must be positive, got {min_tokens}"
+            )
+        if max_tokens < min_tokens:
+            raise ParameterError(
+                f"max_tokens ({max_tokens}) must be >= min_tokens "
+                f"({min_tokens})"
+            )
+        self.ratio = float(ratio)
+        self.min_tokens = int(min_tokens)
+        self.max_tokens = int(max_tokens)
+        self._tokens = float(min_tokens)
+        self._lock = threading.Lock()
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def deposit(self, submitted_tasks: int) -> None:
+        """Earn ``ratio`` tokens per task submitted, up to ``max_tokens``."""
+        with self._lock:
+            self._tokens = min(
+                float(self.max_tokens),
+                self._tokens + self.ratio * max(0, submitted_tasks),
+            )
+
+    def try_spend(self) -> bool:
+        """Consume one token for a resubmission; ``False`` when exhausted."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -250,6 +334,15 @@ class ParallelExecutor:
         pool), ``"thread"`` (a thread pool in this process; tasks may be
         plain closures and should release the GIL to scale), or ``"auto"``
         (see :func:`resolve_mode`).
+    retry_backoff:
+        Base (seconds) of the exponential, deterministically-jittered
+        sleep before each task resubmission (see :func:`retry_delay`).
+        The default ``0.0`` keeps the legacy immediate-retry behaviour.
+        Sleeps are clipped to the run's remaining deadline.
+    retry_budget:
+        Optional shared :class:`RetryBudget` bounding total resubmissions
+        across every run on this executor; ``None`` (default) keeps
+        retries bounded only by the per-run ``task_retries``.
     """
 
     def __init__(
@@ -258,9 +351,18 @@ class ParallelExecutor:
         *,
         start_method: Optional[str] = None,
         mode: str = "process",
+        retry_backoff: float = 0.0,
+        retry_budget: Optional[RetryBudget] = None,
     ):
         self.workers = resolve_workers(workers)
         self.mode = resolve_mode(mode)
+        if retry_backoff < 0:
+            raise ParameterError(
+                f"retry_backoff must be non-negative, got {retry_backoff}"
+            )
+        self.retry_backoff = float(retry_backoff)
+        self.retry_budget = retry_budget
+        self._run_ordinal = 0
         self._start_method = start_method
         self._pool = None  # ProcessPoolExecutor | ThreadPoolExecutor | None
         self._finalizer: Optional[weakref.finalize] = None
@@ -477,6 +579,16 @@ class ParallelExecutor:
         )
         started = time.monotonic()
         deadline_at = None if deadline is None else started + deadline
+        with self._lock:
+            run_ordinal = self._run_ordinal
+            self._run_ordinal += 1
+        if self.retry_budget is not None:
+            self.retry_budget.deposit(n)
+        # Chaos site, indexed by this executor's run ordinal.  The stall is
+        # charged against the deadline (deadline_at is already fixed), so a
+        # "delay" here deterministically turns the run into a deadline
+        # expiry — how the serve suite trips the engine's circuit breaker.
+        faults.inject("executor_stall", run_ordinal)
         # Each run owns its cancellation event; cancel() snapshots the set
         # of live runs, so concurrent runs never clear each other's flag.
         cancel_event = threading.Event()
@@ -491,8 +603,8 @@ class ParallelExecutor:
             pool = self._ensure_pool()
             if pool is None:
                 self._run_serial(
-                    fn, task_list, outcome, out_of_time, task_retries,
-                    cancel_event,
+                    fn, task_list, outcome, deadline_at, out_of_time,
+                    task_retries, cancel_event,
                 )
             else:
                 self._run_pooled(
@@ -532,6 +644,27 @@ class ParallelExecutor:
             _M_CANCELLED.labels(mode=mode).inc()
         return outcome
 
+    # -- retry policy ----------------------------------------------------
+
+    def _may_retry(self) -> bool:
+        """Charge one resubmission to the shared budget (if any)."""
+        if self.retry_budget is None:
+            return True
+        if self.retry_budget.try_spend():
+            return True
+        _M_RETRY_BUDGET_EXHAUSTED.inc()
+        return False
+
+    def _backoff(self, index: int, attempt: int, deadline_at: Optional[float]) -> None:
+        """Sleep the deterministic backoff, clipped to the run's deadline."""
+        delay = retry_delay(self.retry_backoff, attempt, index)
+        if delay <= 0:
+            return
+        if deadline_at is not None:
+            delay = min(delay, max(0.0, deadline_at - time.monotonic()))
+        if delay > 0:
+            time.sleep(delay)
+
     # -- serial engine --------------------------------------------------
 
     def _run_serial(
@@ -539,6 +672,7 @@ class ParallelExecutor:
         fn: Callable[[T], R],
         task_list: Sequence[T],
         outcome: MapOutcome,
+        deadline_at: Optional[float],
         out_of_time: Callable[[], bool],
         task_retries: int,
         cancel_event: threading.Event,
@@ -558,11 +692,16 @@ class ParallelExecutor:
                     break
                 except Exception as exc:
                     attempts += 1
-                    if attempts > task_retries:
+                    if attempts > task_retries or not self._may_retry():
                         outcome.errors[index] = exc
                         break
                     outcome.task_retries += 1
                     obs.event("retry", task=index, attempt=attempts)
+                    self._backoff(index, attempts, deadline_at)
+                    if out_of_time():
+                        outcome.errors[index] = exc
+                        outcome.deadline_hit = True
+                        return
 
     # -- pooled engine --------------------------------------------------
 
@@ -631,7 +770,7 @@ class ParallelExecutor:
                     lost.append(index)
                 except Exception as exc:
                     attempts[index] += 1
-                    if attempts[index] > task_retries:
+                    if attempts[index] > task_retries or not self._may_retry():
                         outcome.errors[index] = exc
                     else:
                         outcome.task_retries += 1
@@ -664,7 +803,7 @@ class ParallelExecutor:
                 # worker every time must not break pools forever.
                 for index in sorted(lost):
                     attempts[index] += 1
-                    if attempts[index] > task_retries:
+                    if attempts[index] > task_retries or not self._may_retry():
                         outcome.errors[index] = BrokenProcessPool(
                             f"task {index} lost to {attempts[index]} pool breakages"
                         )
@@ -674,6 +813,13 @@ class ParallelExecutor:
                 outcome.deadline_hit = True
                 break
             for index in sorted(resubmit):
+                self._backoff(index, attempts[index], deadline_at)
+                if out_of_time():
+                    # The budget ran out mid-backoff; whatever was not
+                    # resubmitted is simply cut off, like any other
+                    # deadline expiry.
+                    outcome.deadline_hit = True
+                    break
                 if not submit(index):
                     outcome.errors[index] = BrokenProcessPool(
                         "process pool unavailable for retry"

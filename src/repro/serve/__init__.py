@@ -21,7 +21,15 @@ call, regardless of what else happened to share its batch (pinned by
 ``tests/serve/test_batching_properties.py``).
 """
 
-from repro.serve.engine import Engine, EngineConfig, QueryRequest, QueryResult, TreeLRU
+from repro.serve.breaker import BreakerState, CircuitBreaker
+from repro.serve.engine import (
+    SHED_POLICIES,
+    Engine,
+    EngineConfig,
+    QueryRequest,
+    QueryResult,
+    TreeLRU,
+)
 from repro.serve.http import create_server
 
 __all__ = [
@@ -30,5 +38,8 @@ __all__ = [
     "QueryRequest",
     "QueryResult",
     "TreeLRU",
+    "BreakerState",
+    "CircuitBreaker",
+    "SHED_POLICIES",
     "create_server",
 ]

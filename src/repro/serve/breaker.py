@@ -1,0 +1,185 @@
+"""A circuit breaker for the engine's deadline path.
+
+When the executor is saturated, every deadline query burns its full budget
+only to come back degraded (or not at all) — and the work spent on those
+doomed queries is exactly what keeps the executor saturated.  The breaker
+cuts that feedback loop: after ``threshold`` *consecutive* bad outcomes
+(deadline exceeded, or degraded below the planned trial count) it trips
+**open**, and the engine answers subsequent deadline queries from a cheap
+low-``n_r`` degraded mode — honest wider-ε estimates in microseconds of
+kernel time — instead of feeding more full-size queries to a struggling
+executor.  After ``cooldown`` seconds the breaker goes **half-open**: the
+next query runs at full size as a probe.  A good probe closes the breaker;
+a bad one reopens it for another cooldown.
+
+State machine::
+
+                 threshold consecutive failures
+        CLOSED ────────────────────────────────────▶ OPEN
+          ▲                                           │
+          │ probe succeeds                            │ cooldown elapses
+          │                                           ▼
+          └─────────────────────────────────────── HALF_OPEN
+                                                      │
+                                OPEN ◀────────────────┘
+                                       probe fails
+
+The class is deliberately engine-agnostic: it never sleeps, spawns no
+threads, and takes an injectable ``clock`` so tests can drive the state
+machine without real waiting.  All methods are thread-safe, though the
+engine only calls them from its single dispatcher thread.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Callable
+
+from repro.errors import ParameterError
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    """The three circuit-breaker states; ``value`` is the wire label."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a half-open probe.
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive failures that trip the breaker.  ``0`` disables it
+        entirely: :meth:`before_query` always answers ``CLOSED`` and the
+        record methods are no-ops.
+    cooldown:
+        Seconds the breaker stays open before offering a half-open probe.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 0,
+        cooldown: float = 1.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 0:
+            raise ParameterError(
+                f"breaker threshold must be >= 0, got {threshold}"
+            )
+        if cooldown <= 0:
+            raise ParameterError(
+                f"breaker cooldown must be positive, got {cooldown}"
+            )
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._opened_at: float = 0.0
+        self._probe_inflight = False
+        self.consecutive_failures = 0
+        self.trips = 0  # CLOSED->OPEN transitions plus probe-failed reopens
+        self.probes = 0  # half-open probes issued
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    @property
+    def state(self) -> BreakerState:
+        """The current state, promoting OPEN→HALF_OPEN once cooled down.
+
+        Read-only peek: unlike :meth:`before_query` it never claims the
+        probe slot, so a ``/readyz`` poll cannot eat the probe a real
+        query should run.
+        """
+        with self._lock:
+            if (
+                self._state is BreakerState.OPEN
+                and self._clock() - self._opened_at >= self.cooldown
+            ):
+                return BreakerState.HALF_OPEN
+            return self._state
+
+    def retry_after(self) -> float:
+        """Seconds until a probe will be offered (0 when not open)."""
+        with self._lock:
+            if self._state is not BreakerState.OPEN:
+                return 0.0
+            return max(0.0, self.cooldown - (self._clock() - self._opened_at))
+
+    def before_query(self) -> BreakerState:
+        """Route one query: how should the engine serve it *right now*?
+
+        ``CLOSED`` → serve at full size; ``OPEN`` → serve from the cheap
+        degraded mode; ``HALF_OPEN`` → serve at full size *as the probe*
+        (the caller must report the outcome via :meth:`record_success` /
+        :meth:`record_failure`).  While a probe is in flight, other
+        queries get ``OPEN`` so exactly one probe decides the transition.
+        """
+        if not self.enabled:
+            return BreakerState.CLOSED
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return BreakerState.CLOSED
+            if self._state is BreakerState.OPEN:
+                if self._clock() - self._opened_at < self.cooldown:
+                    return BreakerState.OPEN
+                self._state = BreakerState.HALF_OPEN
+                self._probe_inflight = True
+                self.probes += 1
+                return BreakerState.HALF_OPEN
+            # HALF_OPEN: one probe at a time.
+            if self._probe_inflight:
+                return BreakerState.OPEN
+            self._probe_inflight = True
+            self.probes += 1
+            return BreakerState.HALF_OPEN
+
+    def record_success(self) -> BreakerState:
+        """A full-size query came back clean; closes a half-open breaker."""
+        if not self.enabled:
+            return BreakerState.CLOSED
+        with self._lock:
+            self.consecutive_failures = 0
+            if self._state is BreakerState.HALF_OPEN:
+                self._state = BreakerState.CLOSED
+                self._probe_inflight = False
+            return self._state
+
+    def record_failure(self) -> BreakerState:
+        """A full-size query missed its deadline or degraded.
+
+        Returns the state *after* accounting the failure, so the caller
+        can tell a fresh trip (``OPEN`` with a bumped ``trips``) apart
+        from one more failure while already open.
+        """
+        if not self.enabled:
+            return BreakerState.CLOSED
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                # The probe failed: reopen for another cooldown.
+                self._state = BreakerState.OPEN
+                self._opened_at = self._clock()
+                self._probe_inflight = False
+                self.trips += 1
+                return self._state
+            self.consecutive_failures += 1
+            if (
+                self._state is BreakerState.CLOSED
+                and self.consecutive_failures >= self.threshold
+            ):
+                self._state = BreakerState.OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+            return self._state

@@ -11,13 +11,29 @@ Endpoints
 ``POST /v1/query``
     Body: ``{"source": 3, "candidates": [..]?, "seed": 42?,
     "deadline": 0.5?, "sampler": "cdf"?, "top_k": 10?}``.
-    Response carries the resilience metadata and either the dense
+    The ``X-Repro-Deadline`` request header (seconds, float) is an
+    alternative way to carry the end-to-end budget — proxies can stamp it
+    without parsing the body; when both are present the *tighter* budget
+    wins.  Response carries the resilience metadata and either the dense
     ``scores`` list (small graphs / explicit ``"dense": true``) or the
     ``top`` ranking.  Requests without ``top_k`` on graphs larger than
     ``DENSE_RESPONSE_LIMIT`` nodes default to ``top_k=100`` rather than
     shipping a multi-megabyte vector.
+
+    Status codes: ``200`` answered (possibly degraded — check the body);
+    ``400`` malformed; ``429`` shed by admission control, with a
+    ``Retry-After`` header from the engine's measured service rate;
+    ``503`` engine shut down; ``504`` deadline expired with nothing to
+    salvage.
 ``GET /healthz``
-    ``200 {"status": "ok"}`` while the engine accepts queries.
+    Liveness only: ``200 {"status": "ok"}`` whenever the process can
+    answer HTTP at all — even while draining.  Restart-deciders watch
+    this; routing-deciders watch ``/readyz``.
+``GET /readyz``
+    Readiness: ``200 {"status": "ready"}`` while the engine accepts and
+    serves at full quality; ``503`` (with ``Retry-After`` when known)
+    while the engine is draining in ``close()`` or the circuit breaker is
+    open — so load balancers stop routing before shutdown drops requests.
 ``GET /stats``
     The engine's serving counters, plus a ``metrics`` object carrying the
     merged registry snapshot (counters, gauges, histogram percentiles).
@@ -30,6 +46,7 @@ Endpoints
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
@@ -38,10 +55,19 @@ from repro import obs
 from repro import parallel as _parallel  # noqa: F401 - registers the
 # executor/runner metric families so a /metrics scrape covers them even
 # before the engine's first deadline query forces the lazy import.
-from repro.errors import DeadlineExceededError, EngineClosedError, ReproError
+from repro.errors import (
+    DeadlineExceededError,
+    DispatcherError,
+    EngineClosedError,
+    EngineOverloadedError,
+    ReproError,
+)
 from repro.serve.engine import Engine
 
-__all__ = ["create_server", "serve_forever", "DENSE_RESPONSE_LIMIT"]
+__all__ = ["create_server", "serve_forever", "DENSE_RESPONSE_LIMIT", "DEADLINE_HEADER"]
+
+#: Request header carrying the end-to-end deadline budget in seconds.
+DEADLINE_HEADER = "X-Repro-Deadline"
 
 #: Above this node count, responses default to a top-k ranking instead of
 #: the dense vector (which would be ~1 MB of JSON per 50k-node query).
@@ -61,20 +87,39 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(
+        self,
+        status: int,
+        payload: dict,
+        *,
+        retry_after: Optional[float] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # Retry-After is whole seconds on the wire; round up so a
+            # compliant client never comes back before capacity frees.
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
         self.end_headers()
         self.wfile.write(body)
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         if self.path == "/healthz":
-            if self.engine.closed:
-                self._reply(503, {"status": "closed"})
+            # Liveness: this handler running *is* the health signal.  A
+            # draining engine still answers 200 here — /readyz is what
+            # tells the load balancer to stop routing.
+            self._reply(200, {"status": "ok"})
+            return
+        if self.path == "/readyz":
+            ready, reason, retry_after = self.engine.readiness()
+            if ready:
+                self._reply(200, {"status": "ready"})
             else:
-                self._reply(200, {"status": "ok"})
+                self._reply(
+                    503, {"status": reason}, retry_after=retry_after
+                )
             return
         if self.path == "/stats":
             payload = self.engine.stats()
@@ -116,20 +161,61 @@ class _Handler(BaseHTTPRequestHandler):
             and self.engine.graph.num_nodes > DENSE_RESPONSE_LIMIT
         ):
             top_k = 100
+        deadline = payload.get("deadline")
+        header_deadline = self.headers.get(DEADLINE_HEADER)
+        if header_deadline is not None:
+            try:
+                header_deadline = float(header_deadline)
+            except ValueError:
+                self._reply(
+                    400,
+                    {
+                        "error": f"malformed {DEADLINE_HEADER} header: "
+                        f"{header_deadline!r} is not a number"
+                    },
+                )
+                return
+            if header_deadline <= 0:
+                # The proxy says the budget is already gone: answer like
+                # any other expired deadline, without engine round-trip.
+                self._reply(
+                    504,
+                    {
+                        "error": f"{DEADLINE_HEADER} budget already expired",
+                        "deadline": header_deadline,
+                    },
+                )
+                return
+            deadline = (
+                header_deadline
+                if deadline is None
+                else min(float(deadline), header_deadline)
+            )
         try:
             result = self.engine.query(
                 int(payload["source"]),
                 candidates=payload.get("candidates"),
                 seed=payload.get("seed"),
-                deadline=payload.get("deadline"),
+                deadline=deadline,
                 sampler=payload.get("sampler", "cdf"),
                 top_k=top_k,
             )
+        except EngineOverloadedError as exc:
+            self._reply(
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                retry_after=exc.retry_after or 1.0,
+            )
+            return
         except EngineClosedError as exc:
             self._reply(503, {"error": str(exc)})
             return
         except DeadlineExceededError as exc:
             self._reply(504, {"error": str(exc), "deadline": exc.deadline})
+            return
+        except DispatcherError as exc:
+            # Server-side failure, not the client's: resubmittable.
+            self._reply(500, {"error": str(exc)})
             return
         except (ReproError, TypeError) as exc:
             self._reply(400, {"error": str(exc)})
@@ -143,6 +229,7 @@ class _Handler(BaseHTTPRequestHandler):
             "achieved_epsilon": result.scores.achieved_epsilon,
             "batch_size": result.batch_size,
             "coalesced": result.coalesced,
+            "breaker_state": result.breaker_state,
         }
         if result.top is not None:
             response["top"] = [[node, score] for node, score in result.top]
