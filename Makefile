@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-parallel test-chaos test-serve test-overload bench bench-tree bench-kernel bench-parallel serve-bench bench-overload obs-smoke perf-smoke selftest experiments report examples clean
+.PHONY: install test test-parallel test-chaos test-serve test-overload bench bench-tree bench-kernel bench-parallel serve-bench bench-overload bench-adaptive obs-smoke perf-smoke selftest experiments report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -65,6 +65,12 @@ serve-bench:
 # the queue bound is violated.
 bench-overload:
 	cd benchmarks && $(PYTHON) bench_overload.py
+
+# Adaptive sampling vs fixed n_r on the pinned 50k power-law fixture;
+# writes benchmarks/BENCH_adaptive.json and fails below 2x trials saved
+# or past ε=0.05 exact error on the adaptive leg.
+bench-adaptive:
+	cd benchmarks && $(PYTHON) bench_adaptive.py
 
 # Observability overhead gate: instrumented vs kill-switched kernel on
 # the 50k PA graph; writes benchmarks/BENCH_obs.json and fails if the

@@ -1,0 +1,167 @@
+"""Adaptive-sampling bench: trials saved and wall-clock vs fixed n_r.
+
+Runs single-source CrashSim twice on the pinned 50k-node power-law fixture
+(:func:`repro.datasets.powerlaw_fixture`) at ε=0.05 — once with the fixed
+Theorem-1 trial count, once with ``adaptive=True`` (empirical-Bernstein
+early stopping + hub-contribution caching) — and reports
+
+* ``trials_saved_ratio`` = fixed ``n_r`` / adaptive ``trials_used``
+  (the headline number; the perf-smoke gate demands ≥ 1.5x),
+* wall-clock for both legs and the resulting speedup,
+* the *exact* maximum estimation error of each leg, measured against
+  :func:`repro.core.adaptive.exact_expectation` — the closed-form
+  expectation of the truncated estimator, computable in O(l_max·m) —
+  which must stay within ε for the adaptive leg.
+
+Everything is deterministic for the pinned seeds, so the error figures
+are reproducible numbers, not flaky samples.
+
+Usage:
+    python benchmarks/bench_adaptive.py          # full fixture, writes
+                                                 # BENCH_adaptive.json
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.adaptive import exact_expectation
+from repro.core.crashsim import crashsim
+from repro.core.params import CrashSimParams
+from repro.core.revreach import revreach_levels
+from repro.datasets.powerlaw import POWERLAW_FIXTURE_SEED, zipf_powerlaw
+
+BENCH_NODES = 50_000
+BENCH_EDGES = 300_000
+BENCH_EPSILON = 0.05
+BENCH_SEED = 42
+OUTPUT = pathlib.Path(__file__).with_name("BENCH_adaptive.json")
+
+
+def run_all(
+    num_nodes: int = BENCH_NODES,
+    num_edges: int = BENCH_EDGES,
+    *,
+    epsilon: float = BENCH_EPSILON,
+    num_candidates: Optional[int] = None,
+    seed: int = BENCH_SEED,
+) -> Dict[str, object]:
+    """Time fixed vs adaptive CrashSim; exact errors via closed form.
+
+    ``num_candidates`` restricts the query to the first that many
+    walkable nodes (id order) — the CI smoke leg uses this to keep the
+    fixed reference cheap while *n_r stays priced for the full graph*,
+    which is exactly the regime the adaptive stopper exploits.  The
+    source is node 0, the fixture's heaviest hub.
+    """
+    graph = zipf_powerlaw(num_nodes, num_edges, seed=POWERLAW_FIXTURE_SEED)
+    params = CrashSimParams(epsilon=epsilon)
+    source = 0
+    walkable = np.flatnonzero(graph.in_degrees() > 0)
+    walkable = walkable[walkable != source]
+    if num_candidates is not None:
+        candidates: Optional[Sequence[int]] = walkable[:num_candidates]
+    else:
+        candidates = None
+    tree = revreach_levels(graph, source, params.l_max, params.c)
+
+    def timed(adaptive: bool):
+        started = time.perf_counter()
+        result = crashsim(
+            graph,
+            source,
+            candidates=candidates,
+            params=params,
+            tree=tree,
+            seed=seed,
+            adaptive=adaptive,
+        )
+        return result, time.perf_counter() - started
+
+    fixed, fixed_seconds = timed(False)
+    adaptive, adaptive_seconds = timed(True)
+
+    # Exact expectation of the truncated estimator — the quantity both
+    # estimators are unbiased for — gives exact (not sampled) error.
+    exact = exact_expectation(graph, tree, l_max=params.l_max, c=params.c)
+
+    def max_error(result) -> float:
+        mask = result.candidates != source
+        dense = np.zeros(graph.num_nodes)
+        dense[result.candidates] = result.scores
+        nodes = (
+            np.asarray(candidates) if candidates is not None else walkable
+        )
+        return float(np.abs(dense[nodes] - exact[nodes]).max())
+
+    n_r = fixed.n_r
+    trials_used = adaptive.trials_completed
+    payload = {
+        "graph": {
+            "generator": "zipf_powerlaw",
+            "num_nodes": num_nodes,
+            "num_edges_requested": num_edges,
+            "num_edges": graph.num_edges,
+            "seed": POWERLAW_FIXTURE_SEED,
+        },
+        "epsilon": epsilon,
+        "source": source,
+        "num_candidates": (
+            int(len(candidates)) if candidates is not None else int(walkable.size)
+        ),
+        "n_r": int(n_r),
+        "trials_used": int(trials_used),
+        "trials_saved_ratio": round(n_r / max(trials_used, 1), 3),
+        "stopped_early": bool(adaptive.stopped_early),
+        "achieved_epsilon": round(float(adaptive.achieved_epsilon), 6),
+        "fixed_seconds": round(fixed_seconds, 4),
+        "adaptive_seconds": round(adaptive_seconds, 4),
+        "speedup": round(fixed_seconds / max(adaptive_seconds, 1e-9), 3),
+        "fixed_max_error": round(max_error(fixed), 6),
+        "adaptive_max_error": round(max_error(adaptive), 6),
+    }
+    return payload
+
+
+def main() -> int:
+    print(
+        f"adaptive bench: n={BENCH_NODES} fixture, ε={BENCH_EPSILON}, "
+        f"seed {BENCH_SEED}"
+    )
+    payload = run_all()
+    print(
+        f"fixed:    {payload['n_r']} trials, {payload['fixed_seconds']}s, "
+        f"max error {payload['fixed_max_error']}"
+    )
+    print(
+        f"adaptive: {payload['trials_used']} trials "
+        f"({payload['trials_saved_ratio']}x saved), "
+        f"{payload['adaptive_seconds']}s ({payload['speedup']}x), "
+        f"max error {payload['adaptive_max_error']}, "
+        f"achieved ε={payload['achieved_epsilon']}"
+    )
+    OUTPUT.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
+    failures = []
+    if payload["trials_saved_ratio"] < 2.0:
+        failures.append(
+            f"trials saved {payload['trials_saved_ratio']}x < 2.0x "
+            "(full-size target)"
+        )
+    if payload["adaptive_max_error"] > BENCH_EPSILON:
+        failures.append(
+            f"adaptive max error {payload['adaptive_max_error']} > "
+            f"ε={BENCH_EPSILON}"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

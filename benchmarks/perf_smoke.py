@@ -23,6 +23,7 @@ import os
 import pathlib
 import sys
 
+from bench_adaptive import BENCH_EPSILON, run_all as run_adaptive
 from bench_kernel import run_all as run_kernel
 from bench_obs import MAX_OVERHEAD_FRACTION, run_all as run_obs
 from bench_overload import (
@@ -43,6 +44,9 @@ PARALLEL_BASELINE = (
 )
 OVERLOAD_BASELINE = (
     pathlib.Path(__file__).parent / "baselines" / "overload_smoke.json"
+)
+ADAPTIVE_BASELINE = (
+    pathlib.Path(__file__).parent / "baselines" / "adaptive_smoke.json"
 )
 SMOKE_NODES = 30_000
 SMOKE_SOURCES = 32
@@ -88,6 +92,14 @@ OVERLOAD_SMOKE_QUEUE_DEPTH = 16
 # gated) below 2 — a single core can only measure pool overhead.
 MIN_PARALLEL_SPEEDUP_4CPU = 1.5
 MIN_PARALLEL_SPEEDUP_2CPU = 1.1
+# Adaptive smoke: the pinned power-law fixture with the candidate set cut
+# to 2000 nodes (n_r stays priced for the full 50k graph, the exact regime
+# early stopping exploits).  The trials-saved ratio and the exact max
+# error are fully deterministic for the pinned seeds, so both gate
+# unconditionally; only the adaptive leg's wall-clock uses the generous
+# baseline multiplier.
+ADAPTIVE_SMOKE_CANDIDATES = 2_000
+MIN_TRIALS_SAVED = 1.5
 
 
 def gate_tree(payload, argv):
@@ -369,6 +381,49 @@ def gate_parallel(payload, argv):
     return failures
 
 
+def gate_adaptive(payload, argv):
+    saved = payload["trials_saved_ratio"]
+    error = payload["adaptive_max_error"]
+    seconds = payload["adaptive_seconds"]
+
+    if "--record" in argv:
+        record = {
+            "num_candidates": ADAPTIVE_SMOKE_CANDIDATES,
+            "epsilon": payload["epsilon"],
+            "adaptive_seconds": seconds,
+            "trials_saved_ratio": saved,
+        }
+        ADAPTIVE_BASELINE.write_text(
+            json.dumps(record, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"recorded baseline: {ADAPTIVE_BASELINE}")
+        return []
+
+    baseline = json.loads(ADAPTIVE_BASELINE.read_text())
+    multiplier = float(os.environ.get("PERF_SMOKE_MULTIPLIER", "10"))
+    allowed_seconds = baseline["adaptive_seconds"] * multiplier
+    failures = []
+    print(
+        f"adaptive: {payload['trials_used']}/{payload['n_r']} trials "
+        f"({saved}x saved, floor {MIN_TRIALS_SAVED}x), max error {error} "
+        f"(bound {BENCH_EPSILON}), {seconds}s (allowed {allowed_seconds:.4f}s)"
+    )
+    if saved < MIN_TRIALS_SAVED:
+        failures.append(
+            f"adaptive trials saved {saved}x < {MIN_TRIALS_SAVED}x floor "
+            f"(recorded {baseline['trials_saved_ratio']}x)"
+        )
+    if error > BENCH_EPSILON:
+        failures.append(
+            f"adaptive max error {error} > ε={BENCH_EPSILON} bound"
+        )
+    if seconds > allowed_seconds:
+        failures.append(
+            f"adaptive leg {seconds}s > {allowed_seconds:.4f}s allowed"
+        )
+    return failures
+
+
 def main(argv) -> int:
     BASELINE.parent.mkdir(parents=True, exist_ok=True)
     failures = gate_tree(
@@ -404,6 +459,9 @@ def main(argv) -> int:
         argv,
     )
     failures += gate_parallel(run_parallel(), argv)
+    failures += gate_adaptive(
+        run_adaptive(num_candidates=ADAPTIVE_SMOKE_CANDIDATES), argv
+    )
     for failure in failures:
         print(f"FAIL: {failure}")
     if "--record" in argv:

@@ -46,6 +46,7 @@ from repro.baselines import (
 )
 from repro.api import ScoreVector, single_pair, single_source
 from repro.core import (
+    AdaptiveStopper,
     BatchQuery,
     CompositeQuery,
     CrashSimParams,
@@ -64,6 +65,8 @@ from repro.core import (
     durable_topk,
     revreach_levels,
     revreach_queue,
+    build_hub_cache,
+    exact_expectation,
 )
 from repro.errors import (
     DeadlineExceededError,
@@ -112,6 +115,9 @@ __all__ = [
     "TemporalQuerySession",
     "revreach_levels",
     "revreach_queue",
+    "AdaptiveStopper",
+    "build_hub_cache",
+    "exact_expectation",
     "WalkCrashKernel",
     # facade
     "single_source",

@@ -46,7 +46,11 @@ class ScoreVector(np.ndarray):
     * ``trials_completed`` — Monte-Carlo trials actually averaged
       (``None`` for non-Monte-Carlo methods);
     * ``achieved_epsilon`` — the honest Lemma-3 bound at that trial count
-      (``None`` when not computed, e.g. the exact oracle);
+      (``None`` when not computed, e.g. the exact oracle); for adaptive
+      runs the better of that bound and the empirical-Bernstein bound;
+    * ``stopped_early`` — adaptive runs only: the empirical-Bernstein
+      stopper converged before ``n_r`` trials, a *full-quality* early stop
+      (not a degradation);
     * ``trace`` — the :class:`repro.obs.Trace` recorded while the query
       ran (``None`` unless a trace was active — the serving engine and
       ``repro stats --trace`` activate one).
@@ -55,6 +59,7 @@ class ScoreVector(np.ndarray):
     degraded: bool
     trials_completed: Optional[int]
     achieved_epsilon: Optional[float]
+    stopped_early: bool
     trace: Optional[object]
 
     @classmethod
@@ -65,12 +70,14 @@ class ScoreVector(np.ndarray):
         degraded: bool = False,
         trials_completed: Optional[int] = None,
         achieved_epsilon: Optional[float] = None,
+        stopped_early: bool = False,
         trace: Optional[object] = None,
     ) -> "ScoreVector":
         vector = np.asarray(scores).view(cls)
         vector.degraded = degraded
         vector.trials_completed = trials_completed
         vector.achieved_epsilon = achieved_epsilon
+        vector.stopped_early = stopped_early
         vector.trace = trace
         return vector
 
@@ -80,6 +87,7 @@ class ScoreVector(np.ndarray):
         self.degraded = getattr(source, "degraded", False)
         self.trials_completed = getattr(source, "trials_completed", None)
         self.achieved_epsilon = getattr(source, "achieved_epsilon", None)
+        self.stopped_early = getattr(source, "stopped_early", False)
         self.trace = getattr(source, "trace", None)
 
 SINGLE_SOURCE_METHODS = (
@@ -108,6 +116,7 @@ def single_source(
     candidates: Optional[Iterable[int]] = None,
     mode: str = "auto",
     shards: Optional[int] = None,
+    adaptive: bool = False,
 ) -> np.ndarray:
     """Single-source SimRank ``s(source, ·)`` by any implemented method.
 
@@ -165,6 +174,15 @@ def single_source(
         the returned vector (except the source itself, which is always 1).
         A fixed candidate set is also what makes engine-side cross-query
         walk sharing possible — see :func:`repro.core.batch.crashsim_batch`.
+    adaptive:
+        ``crashsim`` only: run the trials in geometrically growing rounds
+        with empirical-Bernstein early stopping
+        (:mod:`repro.core.adaptive`).  The returned vector's
+        ``trials_completed`` / ``achieved_epsilon`` / ``stopped_early``
+        report the honest outcome; scores are deterministic per seed and
+        identical at any worker count or tier, but use a different RNG
+        stream than the fixed-``n_r`` path.  Composes with ``deadline=``:
+        whichever bound is better is reported, never worse metadata.
 
     Returns
     -------
@@ -198,6 +216,10 @@ def single_source(
         raise ParameterError(
             f"shards= is only supported for method='crashsim', got {method!r}"
         )
+    if adaptive and method != "crashsim":
+        raise ParameterError(
+            f"adaptive= is only supported for method='crashsim', got {method!r}"
+        )
     if method == "crashsim":
         params = CrashSimParams(
             c=c, epsilon=epsilon, delta=delta, n_r_override=n_r
@@ -210,6 +232,7 @@ def single_source(
                 params=params,
                 seed=rng,
                 sampler=sampler,
+                adaptive=adaptive,
             )
         else:
             from repro.parallel import parallel_crashsim
@@ -225,6 +248,7 @@ def single_source(
                 sampler=sampler,
                 mode=mode,
                 shards=shards,
+                adaptive=adaptive,
             )
         scores = np.zeros(graph.num_nodes)
         scores[result.candidates] = result.scores
@@ -234,6 +258,7 @@ def single_source(
             degraded=result.degraded,
             trials_completed=result.trials_completed,
             achieved_epsilon=result.achieved_epsilon,
+            stopped_early=result.stopped_early,
             trace=obs.current_trace(),
         )
     if method == "probesim":

@@ -148,6 +148,14 @@ def build_parser() -> argparse.ArgumentParser:
         "degraded, wider-ε result is labelled as such",
     )
     parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="adaptive sampling for 'query'/'serve' (crashsim only): run "
+        "trials in geometrically growing rounds and stop early once the "
+        "empirical-Bernstein error bound is within ε; prints/reports the "
+        "trials actually used and the honest achieved ε",
+    )
+    parser.add_argument(
         "--host",
         default="127.0.0.1",
         help="bind address for 'serve' (default: 127.0.0.1)",
@@ -282,6 +290,7 @@ def _run_query(args, profile) -> int:
             workers=workers,
             deadline=args.deadline,
             mode=args.mode,
+            adaptive=args.adaptive,
         )
     except DeadlineExceededError as exc:
         print(f"deadline exceeded with nothing to salvage: {exc}")
@@ -290,6 +299,8 @@ def _run_query(args, profile) -> int:
     mode = f"workers={workers}" if workers is not None else "serial"
     if args.deadline is not None:
         mode += f", deadline={args.deadline}s"
+    if args.adaptive:
+        mode += ", adaptive"
     print(
         f"{args.method} on {name} (n={graph.num_nodes}, m={graph.num_edges}): "
         f"source {source}, {mode}, {elapsed:.3f}s"
@@ -299,6 +310,12 @@ def _run_query(args, profile) -> int:
             f"  DEGRADED result: {scores.trials_completed} trials completed; "
             f"achieved ε={scores.achieved_epsilon:.4g} (wider than the target "
             "bound; scores remain unbiased)"
+        )
+    elif getattr(scores, "stopped_early", False):
+        print(
+            f"  stopped early: {scores.trials_completed} trials sufficed; "
+            f"achieved ε={scores.achieved_epsilon:.4g} (within the target "
+            "bound)"
         )
     order = np.lexsort((np.arange(scores.size), -scores))
     shown = 0
@@ -392,6 +409,7 @@ def _run_serve(args, profile) -> int:
         shed_policy=args.shed_policy,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
+        adaptive=args.adaptive,
     )
     engine = Engine(graph, config)
     server = create_server(

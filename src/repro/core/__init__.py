@@ -15,6 +15,14 @@ Public surface:
   returning a :class:`TemporalQueryResult`.
 """
 
+from repro.core.adaptive import (
+    AdaptiveStopper,
+    HubCache,
+    build_hub_cache,
+    exact_expectation,
+    plan_rounds,
+    walk_value_bound,
+)
 from repro.core.batch import BatchQuery, crashsim_batch
 from repro.core.crashsim import CrashSimResult, crashsim
 from repro.core.crashsim_t import CrashSimTStats, TemporalQueryResult, crashsim_t
@@ -45,6 +53,12 @@ from repro.core.temporal_topk import DurableTopKResult, durable_topk
 from repro.core.topk import TopKResult, crashsim_topk
 
 __all__ = [
+    "AdaptiveStopper",
+    "HubCache",
+    "build_hub_cache",
+    "exact_expectation",
+    "plan_rounds",
+    "walk_value_bound",
     "BatchQuery",
     "CrashSimParams",
     "CrashSimResult",

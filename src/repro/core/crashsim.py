@@ -32,6 +32,7 @@ from typing import Dict, Iterable, List, Literal, Optional, Tuple
 
 import numpy as np
 
+from repro.core.adaptive import adaptive_crash_totals
 from repro.core.params import CrashSimParams
 from repro.core.revreach import ReverseReachableTree, revreach_levels
 from repro.errors import ParameterError
@@ -78,8 +79,15 @@ class CrashSimResult:
         scores are still unbiased, just with the wider Lemma-3 bound below.
     achieved_epsilon:
         Lemma 3 inverted at ``trials_completed``
-        (:meth:`CrashSimParams.achieved_epsilon`); ``None`` when the driver
-        did not compute it (plain serial :func:`crashsim`).
+        (:meth:`CrashSimParams.achieved_epsilon`); for adaptive runs the
+        *better* of that bound and the final empirical-Bernstein bound;
+        ``None`` when the driver did not compute it (plain serial
+        :func:`crashsim`).
+    stopped_early:
+        Adaptive runs only: the empirical-Bernstein stopper converged
+        before ``n_r`` trials, so the run skipped the rest.  Unlike
+        ``degraded`` this is a *full-quality* outcome — the ε guarantee is
+        met by the data, not cut short by a deadline.
     """
 
     source: int
@@ -91,6 +99,7 @@ class CrashSimResult:
     trials_completed: Optional[int] = None
     degraded: bool = False
     achieved_epsilon: Optional[float] = None
+    stopped_early: bool = False
 
     def __post_init__(self):
         if self.trials_completed is None:
@@ -158,6 +167,7 @@ def crashsim(
     first_meeting: FirstMeeting = "none",
     seed: RngLike = None,
     sampler: str = "cdf",
+    adaptive: bool = False,
 ) -> CrashSimResult:
     """Run CrashSim from ``source`` over candidate set ``Ω`` (Algorithm 1).
 
@@ -189,6 +199,17 @@ def crashsim(
         scores differ bit-wise while the estimator stays exact).  Ignored
         for unweighted graphs.  Incompatible with ``first_meeting="dp"``,
         which walks through the generator engine.
+    adaptive:
+        Run trials in geometrically growing rounds and stop as soon as the
+        empirical-Bernstein half-width plus the truncation slack is ≤ ε
+        for every candidate (:mod:`repro.core.adaptive`).  Deterministic
+        for a fixed seed and byte-identical to the parallel adaptive
+        drivers at any worker count, but a *different* RNG-stream use than
+        the fixed-``n_r`` path, so adaptive scores are not bit-comparable
+        to non-adaptive runs.  The result carries honest
+        ``trials_completed`` / ``achieved_epsilon`` / ``stopped_early``
+        metadata with ``degraded=False``.  Requires
+        ``first_meeting="none"``.
 
     Returns
     -------
@@ -223,6 +244,39 @@ def crashsim(
     # A candidate with no in-neighbours cannot take a single walk step, so
     # its estimator is exactly 0 — drop it before paying n_r walks for it.
     walk_targets = walk_targets[graph.in_degrees()[walk_targets] > 0]
+    if adaptive:
+        if first_meeting != "none":
+            raise ParameterError(
+                'adaptive=True supports only first_meeting="none", '
+                f"got {first_meeting!r}"
+            )
+        outcome = adaptive_crash_totals(
+            graph,
+            tree,
+            walk_targets,
+            params,
+            num_nodes=max(graph.num_nodes, 2),
+            seed=seed,
+            sampler=sampler,
+        )
+        divisor = max(outcome.trials_used, 1)
+        scores = np.zeros(candidate_array.size, dtype=np.float64)
+        walk_positions = np.searchsorted(candidate_array, walk_targets)
+        scores[walk_positions] = outcome.totals / divisor
+        scores[candidate_array == source] = 1.0
+        scores = np.clip(scores, 0.0, 1.0)
+        return CrashSimResult(
+            source=source,
+            candidates=candidate_array,
+            scores=scores,
+            n_r=n_r,
+            params=params,
+            tree=tree,
+            trials_completed=outcome.trials_used,
+            degraded=outcome.degraded,
+            achieved_epsilon=outcome.achieved_epsilon,
+            stopped_early=outcome.stopped_early,
+        )
     if first_meeting == "none":
         totals = _accumulate_crashes(
             graph, tree, walk_targets, n_r, params, rng, sampler=sampler

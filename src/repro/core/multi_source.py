@@ -45,6 +45,7 @@ def crashsim_multi_source(
     tree_variant: str = "corrected",
     seed: RngLike = None,
     sampler: str = "cdf",
+    adaptive: bool = False,
 ) -> List[CrashSimResult]:
     """Single-source CrashSim for several sources, sharing candidate walks.
 
@@ -56,6 +57,15 @@ def crashsim_multi_source(
     :class:`~repro.walks.kernel.WalkCrashKernel`: the per-step cost is one
     walk advance plus a *single* segmented bincount over combined
     ``(source, candidate)`` keys instead of ``q`` separate bincounts.
+
+    ``adaptive=True`` runs the trials in geometrically growing rounds with
+    empirical-Bernstein early stopping (:mod:`repro.core.adaptive`).  The
+    shared walk stream *is* a common-random-number design — all ``q``
+    per-source estimates are driven by the same walks — so the stopper
+    watches every ``(source, candidate)`` marginal variance on one walk
+    budget and stops when the worst half-width is within ε.  All results
+    share one honest ``trials_completed`` / ``achieved_epsilon`` /
+    ``stopped_early``.
     """
     params = params or CrashSimParams()
     source_list = [int(s) for s in sources]
@@ -86,8 +96,29 @@ def crashsim_multi_source(
 
     # Walk once for every candidate that can walk at all.
     walk_targets = candidate_array[graph.in_degrees()[candidate_array] > 0]
+    trials_completed = n_r
+    degraded = False
+    achieved: Optional[float] = None
+    stopped_early = False
     totals = np.zeros((len(source_list), walk_targets.size), dtype=np.float64)
-    if walk_targets.size:
+    if adaptive:
+        from repro.core.adaptive import adaptive_crash_totals_multi
+
+        outcome = adaptive_crash_totals_multi(
+            graph,
+            trees,
+            walk_targets,
+            params,
+            num_nodes=max(graph.num_nodes, 2),
+            seed=seed,
+            sampler=sampler,
+        )
+        trials_completed = outcome.trials_used
+        degraded = outcome.degraded
+        achieved = outcome.achieved_epsilon
+        stopped_early = outcome.stopped_early
+        totals = outcome.totals.reshape(len(source_list), walk_targets.size)
+    elif walk_targets.size:
         kernel = WalkCrashKernel(graph, params.c, sampler=sampler)
         totals = kernel.accumulate_multi(
             trees, walk_targets, n_r, l_max=l_max, rng=rng, walk_chunk=_WALK_CHUNK
@@ -98,7 +129,7 @@ def crashsim_multi_source(
     for row, (source, tree) in enumerate(zip(source_list, trees)):
         per_source = candidate_array[candidate_array != source]
         scores = np.zeros(candidate_array.size, dtype=np.float64)
-        scores[walk_positions] = totals[row] / n_r
+        scores[walk_positions] = totals[row] / max(trials_completed, 1)
         scores[candidate_array == source] = 1.0
         keep = candidate_array != source
         results.append(
@@ -109,6 +140,10 @@ def crashsim_multi_source(
                 n_r=n_r,
                 params=params,
                 tree=tree,
+                trials_completed=trials_completed,
+                degraded=degraded,
+                achieved_epsilon=achieved,
+                stopped_early=stopped_early,
             )
         )
     return results

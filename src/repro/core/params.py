@@ -145,13 +145,21 @@ class CrashSimParams:
         error bound: any prefix of trial shards is still an unbiased
         estimator, just with a wider ε.  Clamped to 1.0 — SimRank lives in
         ``[0, 1]`` so no absolute error can exceed 1.
+
+        Running *more* trials than Lemma 3 demands (an ``n_r_override``
+        above the theoretical count, or capped runs on tiny graphs) is
+        clamped the other way: the formula would then advertise an ε
+        tighter than the δ the Chernoff argument actually supports at the
+        nominal confidence, so the nominal ε is returned instead.
         """
         if num_nodes < 1:
             raise ParameterError(f"num_nodes must be positive, got {num_nodes}")
-        if trials_completed < 1:
+        if trials_completed <= 0:
             raise ParameterError(
                 f"trials_completed must be positive, got {trials_completed}"
             )
+        if trials_completed > self.n_r_theoretical(num_nodes):
+            return self.epsilon
         epsilon = (
             math.sqrt(
                 3.0 * self.c * math.log(num_nodes / self.delta) / trials_completed

@@ -12,6 +12,11 @@ from repro.datasets.example_graph import (
     example_graph,
     example_temporal_graph,
 )
+from repro.datasets.powerlaw import (
+    POWERLAW_FIXTURE_SEED,
+    powerlaw_fixture,
+    zipf_powerlaw,
+)
 from repro.datasets.registry import (
     DATASETS,
     DatasetSpec,
@@ -27,4 +32,7 @@ __all__ = [
     "example_graph",
     "example_temporal_graph",
     "EXAMPLE_NODES",
+    "POWERLAW_FIXTURE_SEED",
+    "powerlaw_fixture",
+    "zipf_powerlaw",
 ]

@@ -199,6 +199,25 @@ class _ShardTask:
     matrix: Optional[ArraySpec] = None
     shard_index: int = 0
     sampler: str = "cdf"
+    # Adaptive (moments) shards: return stacked (totals, sumsq) instead of
+    # totals.  The hub cache rides along by value — kilobytes of tails, not
+    # worth a shared-memory segment.
+    moments: bool = False
+    hub_hubs: Optional[np.ndarray] = None
+    hub_tails: Optional[np.ndarray] = None
+
+
+def _task_hub_cache(task: _ShardTask, num_nodes: int):
+    """Rebuild the :class:`~repro.core.adaptive.HubCache` a task carries."""
+    if task.hub_hubs is None:
+        return None
+    from repro.core.adaptive import HubCache
+
+    return HubCache(
+        hubs=task.hub_hubs,
+        tails=task.hub_tails,
+        num_nodes=num_nodes,
+    )
 
 
 def _run_shard(task: _ShardTask) -> np.ndarray:
@@ -208,6 +227,19 @@ def _run_shard(task: _ShardTask) -> np.ndarray:
     tree, tree_handles = attach_tree(task.tree)
     targets, targets_handle = attach_array(task.targets)
     try:
+        if task.moments:
+            from repro.walks.kernel import WalkCrashKernel
+
+            kernel = WalkCrashKernel(view, task.c, sampler=task.sampler)
+            totals, sumsq = kernel.accumulate_moments(
+                tree,
+                targets,
+                task.trials,
+                l_max=task.l_max,
+                rng=np.random.default_rng(task.seed),
+                hub_cache=_task_hub_cache(task, view.num_nodes),
+            )
+            return np.stack((totals, sumsq))
         return accumulate_crash_totals(
             view,
             tree,
@@ -232,6 +264,18 @@ def _run_shard_multi(task: _ShardTask) -> np.ndarray:
     matrices, matrix_handle = attach_array(task.matrix)
     targets, targets_handle = attach_array(task.targets)
     try:
+        if task.moments:
+            from repro.walks.kernel import WalkCrashKernel
+
+            kernel = WalkCrashKernel(view, task.c, sampler=task.sampler)
+            totals, sumsq = kernel.accumulate_multi_moments(
+                list(matrices),
+                targets,
+                task.trials,
+                l_max=task.l_max,
+                rng=np.random.default_rng(task.seed),
+            )
+            return np.stack((totals, sumsq))
         return _accumulate_multi(
             view,
             matrices,
@@ -331,6 +375,9 @@ def _map_shards(
     deadline: Optional[float] = None,
     sampler: str = "cdf",
     mode: str = "auto",
+    moments: bool = False,
+    hub_cache=None,
+    index_offset: int = 0,
 ) -> Tuple[List[Optional[np.ndarray]], MapOutcome]:
     """Run every shard through the executor's tier, in shard order.
 
@@ -349,6 +396,12 @@ def _map_shards(
     executor's :class:`~repro.parallel.executor.MapOutcome`; the caller
     decides whether a partial outcome is acceptable.  Lost or failed shards
     were retried per the executor's policy before being given up on.
+
+    ``moments=True`` runs the adaptive entry points instead: each shard
+    returns stacked ``(totals, sumsq)`` (shape ``(2, k)`` single-source,
+    ``(2, q, k)`` multi), optionally retiring walks through ``hub_cache``.
+    ``index_offset`` keeps global shard indices (fault-injection identity)
+    stable when the adaptive round loop maps one plan slice at a time.
     """
     if executor is None:
         executor = get_default_executor(workers, mode=mode)
@@ -366,6 +419,18 @@ def _map_shards(
             faults.inject("shard", index)
             kernel = kernels.get()
             rng = np.random.default_rng(seed)
+            if moments:
+                if multi:
+                    totals, sumsq = kernel.accumulate_multi_moments(
+                        matrices, targets, trials, l_max=l_max, rng=rng,
+                        walk_chunk=_WALK_CHUNK,
+                    )
+                else:
+                    totals, sumsq = kernel.accumulate_moments(
+                        tree, targets, trials, l_max=l_max, rng=rng,
+                        walk_chunk=_WALK_CHUNK, hub_cache=hub_cache,
+                    )
+                return np.stack((totals, sumsq))
             if multi:
                 return kernel.accumulate_multi(
                     matrices, targets, trials, l_max=l_max, rng=rng,
@@ -376,7 +441,9 @@ def _map_shards(
                 walk_chunk=_WALK_CHUNK,
             )
 
-        items = list(zip(range(len(shards)), shards, seeds))
+        items = list(
+            zip(range(index_offset, index_offset + len(shards)), shards, seeds)
+        )
         with obs.span(
             "shard_dispatch", shards=len(shards), mode=executor.mode_label
         ):
@@ -400,8 +467,11 @@ def _map_shards(
                 c=c,
                 l_max=l_max,
                 seed=seed,
-                shard_index=index,
+                shard_index=index_offset + index,
                 sampler=sampler,
+                moments=moments,
+                hub_hubs=None if hub_cache is None else hub_cache.hubs,
+                hub_tails=None if hub_cache is None else hub_cache.tails,
             )
             for index, (trials, seed) in enumerate(zip(shards, seeds))
         ]
@@ -538,6 +608,196 @@ def _settle_shards(
     return trials_completed, degraded, achieved
 
 
+def _settle_adaptive(
+    outcome,
+    params: CrashSimParams,
+    shard_plan: Sequence[int],
+    deadline: Optional[float],
+    elapsed: float,
+    log_context: Optional[dict] = None,
+    first_error: Optional[BaseException] = None,
+) -> None:
+    """Post-run accounting for an adaptive round loop.
+
+    Mirrors :func:`_settle_shards`: zero completed trials raise (nothing to
+    degrade to); an interrupted run that had *not* converged warns as
+    degraded, with the honest bound — which for adaptive runs is the better
+    of the inverted Lemma-3 bound and the empirical-Bernstein bound, so the
+    metadata is never worse than a fixed run of the same length would
+    report.  A run that converged before the interruption is a full-quality
+    early stop, not a degradation.
+    """
+    context = " ".join(
+        f"{key}={value}" for key, value in (log_context or {}).items()
+    )
+    if outcome.trials_used == 0 and len(shard_plan) > 0:
+        if first_error is not None:
+            raise first_error
+        logger.error(
+            "adaptive query lost every trial shard: shards_planned=%d "
+            "elapsed=%.3fs %s",
+            len(shard_plan),
+            elapsed,
+            context,
+        )
+        raise DeadlineExceededError(
+            f"no trial shard completed before the deadline ({elapsed:.3f}s "
+            f"elapsed, {len(shard_plan)} shards planned); no estimate "
+            "exists to degrade to",
+            deadline=deadline,
+            elapsed=elapsed,
+        )
+    if not outcome.degraded:
+        return
+    _M_DEGRADED.inc()
+    if outcome.shards_lost:
+        _M_SHARDS_LOST.inc(outcome.shards_lost)
+    obs.event(
+        "degrade",
+        cause="deadline",
+        shards_lost=outcome.shards_lost,
+        trials_completed=outcome.trials_used,
+    )
+    logger.warning(
+        "degraded adaptive CrashSim estimate: trials_completed=%d/%d "
+        "rounds_run=%d achieved_epsilon=%.4g target_epsilon=%g %s",
+        outcome.trials_used,
+        outcome.n_r,
+        outcome.rounds_run,
+        outcome.achieved_epsilon,
+        params.epsilon,
+        context,
+    )
+    warnings.warn(
+        f"degraded adaptive CrashSim estimate: interrupted after "
+        f"{outcome.trials_used}/{outcome.n_r} trials "
+        f"({outcome.rounds_run} rounds) before the stopper converged; "
+        f"honest bound ε={outcome.achieved_epsilon:.4g} "
+        f"(target ε={params.epsilon})",
+        DegradedResultWarning,
+        stacklevel=4,
+    )
+
+
+def _parallel_adaptive(
+    graph: DiGraph,
+    tree,
+    walk_targets: np.ndarray,
+    params: CrashSimParams,
+    *,
+    num_nodes: int,
+    seed_seq: np.random.SeedSequence,
+    executor: Optional[ParallelExecutor],
+    workers: Optional[int],
+    shards: Optional[int],
+    deadline: Optional[float],
+    started: float,
+    sampler: str,
+    mode: str,
+    multi: bool,
+    num_sources: int = 1,
+    value_bound=None,
+    log_context: Optional[dict] = None,
+):
+    """Adaptive round loop over the parallel tiers.
+
+    One deterministic shard plan + seed spawn covers the whole potential
+    run; rounds are plan *slices* mapped through :func:`_map_shards`
+    (``index_offset`` keeps global shard identities), the stopper folds
+    completed shard moments in shard order, and the stop decision happens
+    between rounds — so the result is byte-identical to the serial
+    adaptive driver at any worker count, on any tier.  The deadline budget
+    is re-measured before every round; an expiry mid-run keeps whatever
+    rounds completed.
+    """
+    from repro.core.adaptive import (
+        AdaptiveStopper,
+        build_hub_cache,
+        drive_adaptive_rounds,
+        plan_rounds,
+        walk_value_bound,
+    )
+
+    l_max = params.l_max
+    n_r = params.n_r(num_nodes)
+    if walk_targets.size == 0:
+        stopper = AdaptiveStopper(params, 0, 0.0, 1)
+        return drive_adaptive_rounds(
+            [], [], stopper, lambda *_: ([], False),
+            num_nodes=num_nodes, n_r=n_r,
+        )
+    if shards is None:
+        shard_plan = plan_shards(
+            n_r, walk_targets.size * num_sources, n_r=n_r
+        )
+    else:
+        shard_plan = shard_sizes(n_r, shards)
+    _M_SHARD_PLAN.set(len(shard_plan))
+    seeds = seed_seq.spawn(len(shard_plan))
+    hub_cache = (
+        None if multi else build_hub_cache(graph, tree, l_max=l_max, c=params.c)
+    )
+    if value_bound is None:
+        value_bound = walk_value_bound(tree, l_max)
+    stopper = AdaptiveStopper(
+        params,
+        walk_targets.size * num_sources,
+        value_bound,
+        len(plan_rounds(len(shard_plan))),
+    )
+
+    errors: List[BaseException] = []
+
+    def run_round(start, sizes, round_seeds):
+        try:
+            remaining = _remaining_budget(deadline, started)
+        except DeadlineExceededError:
+            if stopper.trials > 0:
+                return [None] * len(sizes), True
+            raise
+        shard_totals, outcome = _map_shards(
+            executor,
+            workers,
+            graph,
+            tree,
+            walk_targets,
+            sizes,
+            round_seeds,
+            c=params.c,
+            l_max=l_max,
+            multi=multi,
+            deadline=remaining,
+            sampler=sampler,
+            mode=mode,
+            moments=True,
+            hub_cache=hub_cache,
+            index_offset=start,
+        )
+        if not errors:
+            error = outcome.first_error()
+            if error is not None:
+                errors.append(error)
+        results = [
+            (stacked[0], stacked[1]) if done and stacked is not None else None
+            for stacked, done in zip(shard_totals, outcome.completed)
+        ]
+        return results, outcome.deadline_hit or outcome.cancelled
+
+    adaptive_outcome = drive_adaptive_rounds(
+        shard_plan, seeds, stopper, run_round, num_nodes=num_nodes, n_r=n_r
+    )
+    _settle_adaptive(
+        adaptive_outcome,
+        params,
+        shard_plan,
+        deadline,
+        time.monotonic() - started,
+        log_context,
+        first_error=errors[0] if errors else None,
+    )
+    return adaptive_outcome
+
+
 def parallel_crashsim(
     graph: DiGraph,
     source: int,
@@ -553,6 +813,7 @@ def parallel_crashsim(
     sampler: str = "cdf",
     tree=None,
     mode: str = "auto",
+    adaptive: bool = False,
 ) -> CrashSimResult:
     """Single-source CrashSim with the ``n_r`` trials sharded over workers.
 
@@ -599,6 +860,16 @@ def parallel_crashsim(
         ``"alias"`` opt-in), forwarded to every shard's fused kernel; with
         ``"alias"`` the per-node alias tables are published zero-copy
         through the shared graph so workers skip the O(m) rebuild.
+    adaptive:
+        Run the trials in geometrically growing rounds with empirical-
+        Bernstein early stopping (:mod:`repro.core.adaptive`): rounds are
+        slices of the same deterministic shard plan, the stop decision
+        happens between rounds, and shard moments are folded in shard
+        order — byte-identical to the serial ``crashsim(adaptive=True)``
+        at any worker count, on any tier.  Composes with ``deadline``: an
+        expiry mid-run keeps completed rounds and reports whichever bound
+        is better (inverted Lemma 3 or empirical Bernstein) — adaptive
+        metadata is never worse than the fixed-path equivalent.
 
     Lost shards (worker death, in-shard exceptions) are retried with a
     rebuilt pool before being given up on; a run in which every shard
@@ -642,6 +913,42 @@ def parallel_crashsim(
 
     walk_targets = candidate_array[candidate_array != source]
     walk_targets = walk_targets[graph.in_degrees()[walk_targets] > 0]
+
+    if adaptive:
+        outcome = _parallel_adaptive(
+            graph,
+            tree,
+            walk_targets,
+            params,
+            num_nodes=num_nodes,
+            seed_seq=seed_seq,
+            executor=executor,
+            workers=workers,
+            shards=shards,
+            deadline=deadline,
+            started=started,
+            sampler=sampler,
+            mode=mode,
+            multi=False,
+            log_context={"source": source, "seed": seed},
+        )
+        scores = np.zeros(candidate_array.size, dtype=np.float64)
+        walk_positions = np.searchsorted(candidate_array, walk_targets)
+        scores[walk_positions] = outcome.totals / max(outcome.trials_used, 1)
+        scores[candidate_array == source] = 1.0
+        scores = np.clip(scores, 0.0, 1.0)
+        return CrashSimResult(
+            source=source,
+            candidates=candidate_array,
+            scores=scores,
+            n_r=n_r,
+            params=params,
+            tree=tree,
+            trials_completed=outcome.trials_used,
+            degraded=outcome.degraded,
+            achieved_epsilon=outcome.achieved_epsilon,
+            stopped_early=outcome.stopped_early,
+        )
 
     trials_completed = n_r
     degraded = False
@@ -713,6 +1020,7 @@ def parallel_crashsim_multi_source(
     deadline: Optional[float] = None,
     sampler: str = "cdf",
     mode: str = "auto",
+    adaptive: bool = False,
 ) -> List[CrashSimResult]:
     """Multi-source CrashSim with trial shards fanned out over workers.
 
@@ -724,6 +1032,12 @@ def parallel_crashsim_multi_source(
     sources uniformly: every returned result shares one
     ``trials_completed`` / ``achieved_epsilon``.
     Returns one :class:`CrashSimResult` per source, in input order.
+
+    ``adaptive=True`` adds empirical-Bernstein early stopping over the same
+    rounds-of-shards layout as :func:`parallel_crashsim`; the shared walk
+    stream is the common-random-number design, so one walk budget serves
+    every source's stop decision (the run stops when the worst
+    ``(source, candidate)`` half-width is within ε).
     """
     params = params or CrashSimParams()
     started = time.monotonic()
@@ -758,11 +1072,46 @@ def parallel_crashsim_multi_source(
     stacked = np.stack([tree.matrix for tree in trees])
 
     walk_targets = candidate_array[graph.in_degrees()[candidate_array] > 0]
-    trials_completed = n_r
-    degraded = False
-    achieved = params.achieved_epsilon(num_nodes, n_r)
-    totals = np.zeros((len(source_list), walk_targets.size), dtype=np.float64)
-    if walk_targets.size:
+    stopped_early = False
+    if adaptive:
+        from repro.core.adaptive import walk_value_bound
+
+        bounds = np.repeat(
+            [walk_value_bound(tree, l_max) for tree in trees],
+            walk_targets.size,
+        )
+        outcome = _parallel_adaptive(
+            graph,
+            stacked,
+            walk_targets,
+            params,
+            num_nodes=num_nodes,
+            seed_seq=seed_seq,
+            executor=executor,
+            workers=workers,
+            shards=shards,
+            deadline=deadline,
+            started=started,
+            sampler=sampler,
+            mode=mode,
+            multi=True,
+            num_sources=len(source_list),
+            value_bound=bounds,
+            log_context={"sources": source_list, "seed": seed},
+        )
+        trials_completed = outcome.trials_used
+        degraded = outcome.degraded
+        achieved = outcome.achieved_epsilon
+        stopped_early = outcome.stopped_early
+        totals = outcome.totals.reshape(len(source_list), walk_targets.size)
+    else:
+        trials_completed = n_r
+        degraded = False
+        achieved = params.achieved_epsilon(num_nodes, n_r)
+        totals = np.zeros(
+            (len(source_list), walk_targets.size), dtype=np.float64
+        )
+    if not adaptive and walk_targets.size:
         if shards is None:
             # Every walk is scored against all q trees, so a trial costs
             # ~q× the single-source nominal — fold that into the plan.
@@ -802,7 +1151,7 @@ def parallel_crashsim_multi_source(
     for row, (source, tree) in enumerate(zip(source_list, trees)):
         per_source = candidate_array[candidate_array != source]
         scores = np.zeros(candidate_array.size, dtype=np.float64)
-        scores[walk_positions] = totals[row] / trials_completed
+        scores[walk_positions] = totals[row] / max(trials_completed, 1)
         scores[candidate_array == source] = 1.0
         keep = candidate_array != source
         results.append(
@@ -816,6 +1165,7 @@ def parallel_crashsim_multi_source(
                 trials_completed=trials_completed,
                 degraded=degraded,
                 achieved_epsilon=achieved,
+                stopped_early=stopped_early,
             )
         )
     return results

@@ -84,6 +84,7 @@ import numpy as np
 from repro import faults, obs
 from repro.api import ScoreVector
 from repro.core.batch import BatchQuery, crashsim_batch
+from repro.core.crashsim import crashsim
 from repro.core.params import CrashSimParams
 from repro.core.revreach import revreach_levels
 from repro.errors import (
@@ -283,6 +284,17 @@ class EngineConfig:
         (``None`` = unbounded, the legacy behaviour) and the base of the
         exponential, deterministically-jittered backoff slept before each
         resubmission.
+    ``adaptive``
+        Serve every query with empirical-Bernstein early stopping
+        (:mod:`repro.core.adaptive`): trials run in geometrically growing
+        rounds and stop as soon as the estimated error is within ε.
+        Deadline queries pass ``adaptive=True`` into
+        :func:`~repro.parallel.parallel_crashsim`; deadline-less queries
+        are served individually through the adaptive serial path instead
+        of ``crashsim_batch`` (adaptive rounds cannot share a coalesced
+        walk stream across different sources' stopping decisions).
+        Answers carry ``ScoreVector.stopped_early`` plus the honest
+        ``trials_completed`` / ``achieved_epsilon``.
     """
 
     c: float = 0.6
@@ -305,6 +317,7 @@ class EngineConfig:
     dispatcher_stall_timeout: Optional[float] = None
     retry_budget: Optional[int] = 64
     retry_backoff: float = 0.01
+    adaptive: bool = False
 
     def __post_init__(self):
         if self.batch_window < 0:
@@ -837,7 +850,16 @@ class Engine:
         for pending in coalescible:
             by_sampler.setdefault(pending.request.sampler, []).append(pending)
         for sampler, group in by_sampler.items():
-            self._serve_coalesced(sampler, group)
+            if self.config.adaptive:
+                # Adaptive rounds stop per-query; a coalesced walk stream
+                # would force every batch-mate to the slowest stopper, so
+                # each request gets its own adaptive serial run on the
+                # warm tree cache instead.
+                self._assign_seeds(group)
+                for pending in group:
+                    self._serve_adaptive(sampler, pending, len(group))
+            else:
+                self._serve_coalesced(sampler, group)
         # Feed the measured per-request service time into the EWMA that
         # prices Retry-After for shed/rejected submissions.
         per_request = (time.monotonic() - served_at) / len(batch)
@@ -916,6 +938,44 @@ class Engine:
                 trace=trace,
             )
 
+    def _serve_adaptive(
+        self, sampler: str, pending: _Pending, batch_size: int
+    ) -> None:
+        """Serve one deadline-less request with adaptive early stopping.
+
+        Byte-identical to ``single_source(..., adaptive=True)`` with the
+        same seed: the warm LRU tree feeds the same serial adaptive driver
+        the direct call uses.  ``batch_size`` is the dispatch group's size
+        (diagnostics only — adaptive requests never coalesce).
+        """
+        request = pending.request
+        trace = obs.Trace(
+            "query", {"source": request.source, "adaptive": True}
+        )
+        try:
+            with trace.activate():
+                tree = self.trees.get(request.source)
+                result = crashsim(
+                    self.graph,
+                    request.source,
+                    candidates=request.candidates,
+                    params=self.params,
+                    tree=tree,
+                    seed=pending.seed,
+                    sampler=sampler,
+                    adaptive=True,
+                )
+        except Exception:
+            _fail_future(pending.future, _current_exception())
+            return
+        self._finish(
+            pending,
+            result,
+            batch_size=batch_size,
+            coalesced=False,
+            trace=trace,
+        )
+
     def _serve_deadline(self, pending: _Pending) -> None:
         from repro.parallel import parallel_crashsim
 
@@ -967,6 +1027,7 @@ class Engine:
                         deadline=remaining,
                         sampler=request.sampler,
                         tree=tree,
+                        adaptive=self.config.adaptive,
                     )
         except Exception:
             exc = _current_exception()
@@ -1180,6 +1241,7 @@ class Engine:
             degraded=degraded,
             trials_completed=result.trials_completed,
             achieved_epsilon=achieved,
+            stopped_early=getattr(result, "stopped_early", False),
             trace=trace,
         )
         if degraded:

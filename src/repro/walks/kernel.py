@@ -266,6 +266,10 @@ class WalkCrashKernel:
         self._buffers: tuple = ()
         self._multi_cap = 0
         self._multi_scratch: tuple = ()
+        self._moments_ids_cap = 0
+        self._moments_ids: Optional[np.ndarray] = None
+        self._moments_tot_cap = 0
+        self._moments_tot: Optional[np.ndarray] = None
         self.steps_processed = 0  # cumulative live-walk step advances
 
     # ------------------------------------------------------------------
@@ -307,6 +311,23 @@ class WalkCrashKernel:
                 np.empty(cap, dtype=np.float64),
             )
         return self._multi_scratch
+
+    def _ensure_moments_scratch(self, ids_cap: int, tot_cap: int):
+        """Walk-id owners + per-walk running totals for the moments paths.
+
+        ``ids`` is just ``arange`` — the adaptive paths tag each walk with
+        its own id (instead of its candidate index) so per-walk totals can
+        be recovered for the second moment; ``tot`` holds one running float
+        per live walk (per source in the multi path).  Kept across calls
+        like every other kernel buffer.
+        """
+        if ids_cap > self._moments_ids_cap:
+            self._moments_ids_cap = ids_cap
+            self._moments_ids = np.arange(ids_cap, dtype=np.int64)
+        if tot_cap > self._moments_tot_cap:
+            self._moments_tot_cap = tot_cap
+            self._moments_tot = np.empty(tot_cap, dtype=np.float64)
+        return self._moments_ids, self._moments_tot
 
     # ------------------------------------------------------------------
     # Single-tree accumulation (CrashSim Algorithm 1 step 3)
@@ -365,11 +386,8 @@ class WalkCrashKernel:
                     self.steps_processed += alive
                     steps_local += alive
                     row = rows.row(step)
-                    if row is not None:
-                        row_hits += 1
-                    else:
-                        row_misses += 1
                     if jit_step is not None and row is not None:
+                        row_hits += 1
                         alive = jit_step(
                             pos_a, cur_own, draws, alive, row, scratch, totals
                         )
@@ -380,10 +398,14 @@ class WalkCrashKernel:
                         break
                     cur_own, alt_own = alt_own, cur_own
                     crash_local += alive
+                    # Counted at the read site so the counters reconcile
+                    # exactly with the crash reads actually performed.
                     if row is not None:
+                        row_hits += 1
                         np.take(row, pos_a[:alive], out=contrib[:alive])
                         crash = contrib[:alive]
                     else:
+                        row_misses += 1
                         crash = rows.gather(step, pos_a[:alive])
                     totals += np.bincount(cur_own[:alive], weights=crash, minlength=k)
         _M_WALKS.inc(n_trials * k)
@@ -481,6 +503,245 @@ class WalkCrashKernel:
         _M_ROW_HITS.inc(row_hits)
         _M_ROW_MISSES.inc(row_misses)
         return totals
+
+    # ------------------------------------------------------------------
+    # Moments accumulation (adaptive sampling): totals + sum of squares
+    # ------------------------------------------------------------------
+
+    def _retire_hubs(
+        self, hub_cache, step: int, cur_own: np.ndarray, alive: int,
+        walk_tot: np.ndarray, offsets: Optional[np.ndarray] = None,
+    ) -> int:
+        """Retire walks sitting on a cached hub; returns the survivor count.
+
+        A walk whose current position is one of ``hub_cache.hubs`` folds the
+        precomputed expected remainder ``tails[step, hub]`` into its running
+        total and stops walking — unbiased (the tail is the conditional
+        expectation of exactly what the walk would have collected), strictly
+        variance-reducing, and it shrinks the live set on the graphs where
+        walks pile onto hubs.  ``U[step, position]`` for the current step
+        must already be folded before calling.  Owners are per-chunk-unique
+        walk ids, so the fold is a plain fancy-indexed add.  ``offsets``
+        (multi path) folds the same tail into each source's total row.
+        """
+        pos_a = self._buffers[0]
+        hub_idx = hub_cache.lookup[pos_a[:alive]]
+        at_hub = hub_idx >= 0
+        hit = at_hub.nonzero()[0]
+        if hit.size == 0:
+            return alive
+        tails = hub_cache.tails[step, hub_idx[hit]]
+        owners = cur_own[:alive]
+        if offsets is None:
+            walk_tot[owners[hit]] += tails
+        else:
+            for offset in offsets:
+                walk_tot[offset + owners[hit]] += tails
+        keep = (~at_hub).nonzero()[0]
+        n_new = keep.size
+        if n_new:
+            pos_a[:n_new] = pos_a[:alive][keep]
+            cur_own[:n_new] = owners[keep]
+        return n_new
+
+    def accumulate_moments(
+        self,
+        tree,
+        targets: np.ndarray,
+        n_trials: int,
+        *,
+        l_max: int,
+        rng,
+        walk_chunk: int = DEFAULT_WALK_CHUNK,
+        hub_cache=None,
+    ):
+        """``(totals, sumsq)`` per candidate — first two moments per trial.
+
+        The round-granular entry point for adaptive sampling: same warm
+        ping-pong buffers as :meth:`accumulate` (calling it round after
+        round reallocates nothing), but walks are tagged with per-chunk
+        walk ids instead of candidate indices so each walk's crash total is
+        individually recoverable; the chunk epilogue folds them into
+        per-candidate ``Σ x`` and ``Σ x²``, which is all the
+        empirical-Bernstein stopper needs.
+
+        Draw counts depend on live-walk counts, so this consumes the RNG
+        stream differently from :meth:`accumulate` — adaptive results are
+        deterministic for a seed but deliberately not bit-comparable to
+        fixed-``n_r`` runs.  Always steps through the NumPy path (never the
+        JIT fold, which accumulates into candidate totals directly), so
+        adaptive results are identical with and without ``REPRO_JIT``.
+
+        ``hub_cache`` (a :class:`repro.core.adaptive.HubCache`) retires
+        walks at cached hubs; its resident bytes are charged against
+        ``dense_row_budget`` before the dense ``U``-row cache sizes itself.
+        """
+        rng = ensure_rng(rng)
+        targets = np.asarray(targets, dtype=np.int64)
+        k = targets.size
+        totals = np.zeros(k, dtype=np.float64)
+        sumsq = np.zeros(k, dtype=np.float64)
+        if k == 0 or n_trials <= 0:
+            return totals, sumsq
+        budget = self.dense_row_budget
+        if hub_cache is not None:
+            budget = max(0, budget - hub_cache.nbytes)
+        rows = _TreeRows(tree, self.graph.num_nodes, l_max, budget)
+        trials_per_chunk = max(1, walk_chunk // k)
+        cap = min(trials_per_chunk, n_trials) * k
+        self._ensure_capacity(cap)
+        walk_ids, walk_tot = self._ensure_moments_scratch(cap, cap)
+        buffers = self._buffers
+        pos_a, own_a = buffers[0], buffers[2]
+        own_b = buffers[3]
+        draws = buffers[4]
+        contrib = buffers[13]
+        steps_local = 0
+        crash_local = 0
+        row_hits = 0
+        row_misses = 0
+        remaining = n_trials
+        with obs.span("walk_kernel_moments", trials=n_trials, candidates=k):
+            while remaining > 0:
+                trials = min(trials_per_chunk, remaining)
+                remaining -= trials
+                chunk = trials * k
+                alive = chunk
+                pos_a[:alive].reshape(trials, k)[:] = targets
+                own_a[:alive] = walk_ids[:alive]
+                walk_tot[:chunk] = 0.0
+                cur_own, alt_own = own_a, own_b
+                if hub_cache is not None:
+                    # Candidates that *are* hubs retire at step 0 with the
+                    # exact expectation — zero-variance estimates.
+                    alive = self._retire_hubs(hub_cache, 0, cur_own, alive, walk_tot)
+                for step in range(1, l_max + 1):
+                    if alive == 0:
+                        break
+                    rng.random(out=draws[:alive])
+                    self.steps_processed += alive
+                    steps_local += alive
+                    alive = self._step_numpy(cur_own, alt_own, alive)
+                    if alive == 0:
+                        break
+                    cur_own, alt_own = alt_own, cur_own
+                    crash_local += alive
+                    row = rows.row(step)
+                    if row is not None:
+                        row_hits += 1
+                        np.take(row, pos_a[:alive], out=contrib[:alive])
+                        crash = contrib[:alive]
+                    else:
+                        row_misses += 1
+                        crash = rows.gather(step, pos_a[:alive])
+                    walk_tot[cur_own[:alive]] += crash
+                    if hub_cache is not None and step < l_max:
+                        alive = self._retire_hubs(
+                            hub_cache, step, cur_own, alive, walk_tot
+                        )
+                wt = walk_tot[:chunk].reshape(trials, k)
+                totals += wt.sum(axis=0)
+                sumsq += np.square(wt).sum(axis=0)
+        _M_WALKS.inc(n_trials * k)
+        _M_STEPS.inc(steps_local)
+        _M_CRASH_READS.inc(crash_local)
+        _M_ROW_HITS.inc(row_hits)
+        _M_ROW_MISSES.inc(row_misses)
+        return totals, sumsq
+
+    def accumulate_multi_moments(
+        self,
+        trees: Sequence,
+        targets: np.ndarray,
+        n_trials: int,
+        *,
+        l_max: int,
+        rng,
+        walk_chunk: int = DEFAULT_WALK_CHUNK,
+    ):
+        """``(q, k)`` first and second moments over one shared walk stream.
+
+        The multi-source adaptive entry point.  One walk set is scored
+        against every source's tree (the ``accumulate_multi`` design) —
+        that shared stream *is* the common-random-number coupling the
+        adaptive stopper exploits: per-source estimates move together, and
+        the stopper's per-``(source, candidate)`` variances are measured on
+        the same walks, so one walk budget serves all ``q`` stop decisions.
+        No hub cache here: tails are per-tree, and ``q`` dense tail tables
+        would crowd out the dense-row budget that serves all trees.
+        """
+        rng = ensure_rng(rng)
+        targets = np.asarray(targets, dtype=np.int64)
+        k = targets.size
+        q = len(trees)
+        totals = np.zeros((q, k), dtype=np.float64)
+        sumsq = np.zeros((q, k), dtype=np.float64)
+        if k == 0 or n_trials <= 0 or q == 0:
+            return totals, sumsq
+        all_rows = [
+            _TreeRows(tree, self.graph.num_nodes, l_max, self.dense_row_budget)
+            for tree in trees
+        ]
+        trials_per_chunk = max(1, walk_chunk // k)
+        cap = min(trials_per_chunk, n_trials) * k
+        self._ensure_capacity(cap)
+        walk_ids, walk_tot = self._ensure_moments_scratch(cap, q * cap)
+        buffers = self._buffers
+        pos_a, own_a = buffers[0], buffers[2]
+        own_b = buffers[3]
+        draws = buffers[4]
+        contrib = buffers[13]
+        steps_local = 0
+        crash_local = 0
+        row_hits = 0
+        row_misses = 0
+        remaining = n_trials
+        with obs.span(
+            "walk_kernel_moments", trials=n_trials, candidates=k, sources=q
+        ):
+            while remaining > 0:
+                trials = min(trials_per_chunk, remaining)
+                remaining -= trials
+                chunk = trials * k
+                alive = chunk
+                pos_a[:alive].reshape(trials, k)[:] = targets
+                own_a[:alive] = walk_ids[:alive]
+                walk_tot[: q * chunk] = 0.0
+                cur_own, alt_own = own_a, own_b
+                for step in range(1, l_max + 1):
+                    if alive == 0:
+                        break
+                    rng.random(out=draws[:alive])
+                    self.steps_processed += alive
+                    steps_local += alive
+                    alive = self._step_numpy(cur_own, alt_own, alive)
+                    if alive == 0:
+                        break
+                    cur_own, alt_own = alt_own, cur_own
+                    crash_local += q * alive
+                    owners = cur_own[:alive]
+                    for index, rows in enumerate(all_rows):
+                        row = rows.row(step)
+                        if row is not None:
+                            row_hits += 1
+                            np.take(row, pos_a[:alive], out=contrib[:alive])
+                            crash = contrib[:alive]
+                        else:
+                            row_misses += 1
+                            crash = rows.gather(step, pos_a[:alive])
+                        seg = walk_tot[index * chunk : (index + 1) * chunk]
+                        seg[owners] += crash
+                for index in range(q):
+                    wt = walk_tot[index * chunk : (index + 1) * chunk]
+                    wt = wt.reshape(trials, k)
+                    totals[index] += wt.sum(axis=0)
+                    sumsq[index] += np.square(wt).sum(axis=0)
+        _M_WALKS.inc(n_trials * k)
+        _M_STEPS.inc(steps_local)
+        _M_CRASH_READS.inc(crash_local)
+        _M_ROW_HITS.inc(row_hits)
+        _M_ROW_MISSES.inc(row_misses)
+        return totals, sumsq
 
     # ------------------------------------------------------------------
     # One fused step (NumPy): coin + compact + move, in place

@@ -1,0 +1,366 @@
+"""Adaptive sampling: stopper math, hub cache, and cross-tier identity.
+
+Covers the contract of :mod:`repro.core.adaptive`:
+
+* :func:`plan_rounds` — geometric round grouping, a pure function of the
+  shard count shared by the serial and parallel drivers;
+* :class:`AdaptiveStopper` — empirical-Bernstein half-widths, convergence,
+  and the "never worse metadata" rule for ``achieved_epsilon``;
+* :func:`build_hub_cache` / :func:`exact_expectation` — the backward
+  recursion must agree with the guarantee suite's einsum oracle, and hub
+  tails must be the estimator's exact conditional expectations;
+* end-to-end: an adaptive run is byte-identical across serial / thread /
+  process execution and any worker count, stops genuinely early on easy
+  instances, stays within ε of the exact expectation, and degrades with
+  honest metadata when shards are lost.
+"""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.api import single_source
+from repro.core.adaptive import (
+    AdaptiveStopper,
+    build_hub_cache,
+    exact_expectation,
+    plan_rounds,
+    walk_value_bound,
+)
+from repro.core.crashsim import crashsim
+from repro.core.multi_source import crashsim_multi_source
+from repro.core.params import CrashSimParams
+from repro.core.revreach import revreach_levels
+from repro.datasets.example_graph import example_graph
+from repro.errors import DegradedResultWarning, ParameterError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi
+from repro.parallel import parallel_crashsim, parallel_crashsim_multi_source
+
+EPS = 0.1
+PARAMS = CrashSimParams(epsilon=EPS)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(300, 1500, seed=5)
+
+
+@pytest.fixture(scope="module")
+def tree(graph):
+    return revreach_levels(graph, 3, PARAMS.l_max, PARAMS.c)
+
+
+class TestPlanRounds:
+    def test_geometric_growth(self):
+        assert plan_rounds(63) == [1, 2, 4, 8, 16, 32]
+
+    def test_last_round_absorbs_remainder(self):
+        assert plan_rounds(10) == [1, 2, 4, 3]
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 7, 63, 64, 65, 1000])
+    def test_sums_to_shard_count(self, n):
+        rounds = plan_rounds(n)
+        assert sum(rounds) == n
+        assert all(size >= 1 for size in rounds) or n == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            plan_rounds(-1)
+
+
+class TestAdaptiveStopper:
+    def test_zero_estimates_trivially_converged(self):
+        stopper = AdaptiveStopper(PARAMS, 0, 0.0, 1)
+        assert stopper.converged()
+        assert stopper.achieved_epsilon(100) == PARAMS.epsilon
+
+    def test_needs_two_trials(self):
+        stopper = AdaptiveStopper(PARAMS, 3, 1.0, 4)
+        assert not stopper.converged()
+        stopper.update(np.zeros(3), np.zeros(3), 1)
+        assert not stopper.converged()
+        assert np.all(np.isinf(stopper.half_widths()))
+
+    def test_zero_variance_converges_fast(self):
+        stopper = AdaptiveStopper(PARAMS, 2, 1.0, 4)
+        # A constant stream: variance 0, only the 7b·ln/(3(t−1)) term left.
+        value = 0.25
+        t = 2000
+        stopper.update(
+            np.full(2, value * t), np.full(2, value * value * t), t
+        )
+        assert stopper.converged()
+        assert stopper.bound_epsilon() < EPS
+
+    def test_mismatched_update_rejected(self):
+        stopper = AdaptiveStopper(PARAMS, 3, 1.0, 1)
+        with pytest.raises(ParameterError):
+            stopper.update(np.zeros(2), np.zeros(2), 1)
+
+    def test_negative_trials_rejected(self):
+        stopper = AdaptiveStopper(PARAMS, 1, 1.0, 1)
+        with pytest.raises(ParameterError):
+            stopper.update(np.zeros(1), np.zeros(1), -1)
+
+    def test_achieved_never_worse_than_chernoff(self):
+        # Adversarially noisy stream: the EB bound is useless, so the
+        # inverted Lemma-3 bound must cap the reported ε.
+        stopper = AdaptiveStopper(PARAMS, 1, 5.0, 4)
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.0, 5.0, size=50)
+        stopper.update(
+            np.array([values.sum()]), np.array([(values**2).sum()]), 50
+        )
+        chernoff = PARAMS.achieved_epsilon(300, 50)
+        assert stopper.achieved_epsilon(300) <= chernoff
+
+    def test_no_trials_reports_range(self):
+        stopper = AdaptiveStopper(PARAMS, 2, 1.0, 1)
+        assert stopper.achieved_epsilon(300) == 1.0
+
+
+class TestExactExpectationAndHubs:
+    def test_exact_expectation_matches_einsum_oracle(self):
+        # The O(l_max·m) backward recursion vs the guarantee suite's
+        # stacked-tree einsum, off-diagonal (the l=0 term is source-only).
+        g = example_graph()
+        params = CrashSimParams()
+        trees = [
+            revreach_levels(g, s, params.l_max, params.c).matrix
+            for s in range(g.num_nodes)
+        ]
+        stacked = np.stack(trees)
+        oracle = np.einsum("ulk,vlk->uv", stacked, stacked)
+        for source in range(g.num_nodes):
+            tree = revreach_levels(g, source, params.l_max, params.c)
+            exact = exact_expectation(
+                g, tree, l_max=params.l_max, c=params.c
+            )
+            others = np.arange(g.num_nodes) != source
+            np.testing.assert_allclose(
+                exact[others], oracle[source][others], atol=1e-12
+            )
+
+    def test_hub_tails_are_exact_step0_expectations(self, graph, tree):
+        cache = build_hub_cache(
+            graph, tree, l_max=PARAMS.l_max, c=PARAMS.c, num_hubs=16
+        )
+        exact = exact_expectation(graph, tree, l_max=PARAMS.l_max, c=PARAMS.c)
+        np.testing.assert_allclose(cache.tails[0], exact[cache.hubs])
+
+    def test_hub_selection_deterministic_with_ties(self):
+        # in-degrees: node 3 → 2, nodes 0,1 → 1 each (tie broken low id).
+        g = DiGraph.from_edges(5, [(1, 3), (2, 3), (3, 0), (4, 1)])
+        cache = build_hub_cache(g, np.zeros((3, 5)), l_max=2, c=0.6, num_hubs=2)
+        assert cache.hubs.tolist() == [0, 3]
+
+    def test_no_eligible_hubs_returns_none(self):
+        g = DiGraph.from_edges(4, [])
+        assert build_hub_cache(g, np.zeros((3, 4)), l_max=2, c=0.6) is None
+        g2 = DiGraph.from_edges(4, [(0, 1)])
+        assert (
+            build_hub_cache(g2, np.zeros((3, 4)), l_max=2, c=0.6, num_hubs=0)
+            is None
+        )
+
+    def test_value_bound_sparse_matches_dense(self, tree):
+        sparse_bound = walk_value_bound(tree, PARAMS.l_max)
+        dense_bound = walk_value_bound(tree.matrix, PARAMS.l_max)
+        assert sparse_bound == pytest.approx(dense_bound)
+        assert sparse_bound >= 0.0
+
+    def test_hub_cache_preserves_the_estimate(self, graph, tree):
+        # Rao-Blackwellisation must not move the estimator's target: with
+        # and without the hub cache, both adaptive means stay within ε of
+        # the exact expectation (deterministic at pinned seeds).
+        from repro.core.adaptive import adaptive_crash_totals
+
+        targets = np.flatnonzero(graph.in_degrees() > 0)
+        targets = targets[targets != 3]
+        exact = exact_expectation(graph, tree, l_max=PARAMS.l_max, c=PARAMS.c)
+        for num_hubs in (0, 64):
+            outcome = adaptive_crash_totals(
+                graph,
+                tree,
+                targets,
+                PARAMS,
+                num_nodes=graph.num_nodes,
+                seed=17,
+                num_hubs=num_hubs,
+            )
+            mean = outcome.totals / max(outcome.trials_used, 1)
+            assert np.abs(mean - exact[targets]).max() <= EPS
+
+
+class TestAdaptiveEndToEnd:
+    def test_stops_early_within_epsilon(self, graph, tree):
+        result = crashsim(graph, 3, params=PARAMS, seed=42, adaptive=True)
+        assert result.stopped_early
+        assert not result.degraded
+        assert result.trials_completed < result.n_r // 2
+        assert result.achieved_epsilon <= EPS
+        exact = exact_expectation(graph, tree, l_max=PARAMS.l_max, c=PARAMS.c)
+        dense = np.zeros(graph.num_nodes)
+        dense[result.candidates] = result.scores
+        walkable = np.flatnonzero(graph.in_degrees() > 0)
+        walkable = walkable[walkable != 3]
+        assert np.abs(dense[walkable] - exact[walkable]).max() <= EPS
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_byte_identical_across_tiers(self, graph, mode, workers):
+        serial = crashsim(graph, 3, params=PARAMS, seed=42, adaptive=True)
+        parallel = parallel_crashsim(
+            graph, 3, params=PARAMS, seed=42, workers=workers, mode=mode,
+            adaptive=True,
+        )
+        assert np.array_equal(serial.scores, parallel.scores)
+        assert serial.trials_completed == parallel.trials_completed
+        assert serial.stopped_early == parallel.stopped_early
+        assert serial.achieved_epsilon == parallel.achieved_epsilon
+
+    def test_jit_toggle_does_not_change_bits(self, graph, monkeypatch):
+        baseline = crashsim(graph, 3, params=PARAMS, seed=42, adaptive=True)
+        monkeypatch.setenv("REPRO_JIT", "1")
+        toggled = crashsim(graph, 3, params=PARAMS, seed=42, adaptive=True)
+        assert np.array_equal(baseline.scores, toggled.scores)
+        assert baseline.trials_completed == toggled.trials_completed
+
+    def test_multi_source_identical_serial_vs_parallel(self, graph):
+        sources = [3, 7, 11]
+        serial = crashsim_multi_source(
+            graph, sources, params=PARAMS, seed=99, adaptive=True
+        )
+        for mode in ("thread", "process"):
+            parallel = parallel_crashsim_multi_source(
+                graph, sources, params=PARAMS, seed=99, workers=2, mode=mode,
+                adaptive=True,
+            )
+            for a, b in zip(serial, parallel):
+                assert np.array_equal(a.scores, b.scores)
+                assert a.trials_completed == b.trials_completed
+                assert a.stopped_early == b.stopped_early
+
+    def test_multi_source_crn_shares_one_trial_budget(self, graph):
+        # CRN design: all sources stop together on the shared walk stream,
+        # so every per-source result reports the same trial count.
+        results = crashsim_multi_source(
+            graph, [3, 7, 11], params=PARAMS, seed=99, adaptive=True
+        )
+        counts = {r.trials_completed for r in results}
+        assert len(counts) == 1
+        assert counts.pop() < results[0].n_r
+
+    def test_non_adaptive_path_untouched(self, graph):
+        fixed = crashsim(graph, 3, params=PARAMS, seed=42)
+        again = crashsim(graph, 3, params=PARAMS, seed=42, adaptive=False)
+        assert np.array_equal(fixed.scores, again.scores)
+        assert fixed.trials_completed == fixed.n_r
+        assert not fixed.stopped_early
+
+    def test_first_meeting_not_supported(self, graph):
+        with pytest.raises(ParameterError):
+            crashsim(
+                graph, 3, params=PARAMS, seed=1, adaptive=True,
+                first_meeting="reset",
+            )
+
+    def test_api_guard_non_crashsim_method(self, graph):
+        with pytest.raises(ParameterError):
+            single_source(graph, 3, method="naive-mc", adaptive=True)
+
+    def test_api_carries_stopped_early(self, graph):
+        scores = single_source(
+            graph, 3, epsilon=EPS, seed=42, adaptive=True
+        )
+        assert scores.stopped_early
+        assert not scores.degraded
+        assert scores.achieved_epsilon <= EPS
+        direct = crashsim(graph, 3, params=PARAMS, seed=42, adaptive=True)
+        dense = np.zeros(graph.num_nodes)
+        dense[direct.candidates] = direct.scores
+        dense[3] = 1.0
+        assert np.array_equal(np.asarray(scores), dense)
+
+    def test_deadline_composes_without_changing_bits(self, graph):
+        # A generous deadline must not perturb the adaptive plan: the run
+        # converges before the budget matters and returns full quality.
+        plain = parallel_crashsim(
+            graph, 3, params=PARAMS, seed=42, workers=2, mode="thread",
+            adaptive=True,
+        )
+        bounded = parallel_crashsim(
+            graph, 3, params=PARAMS, seed=42, workers=2, mode="thread",
+            adaptive=True, deadline=60.0,
+        )
+        assert np.array_equal(plain.scores, bounded.scores)
+        assert bounded.stopped_early and not bounded.degraded
+        assert bounded.trials_completed == plain.trials_completed
+
+
+class TestAdaptiveDegradation:
+    def test_lost_shards_degrade_with_honest_metadata(self, graph):
+        # ε far below what 64 trials can certify → the stopper never
+        # converges; one persistently failing shard loses 4 trials and the
+        # result must say so, with the Chernoff-capped honest ε.
+        params = CrashSimParams(epsilon=0.025, n_r_override=64)
+        with faults.active({"shard": {"1": {"kind": "raise", "times": 99}}}):
+            with pytest.warns(DegradedResultWarning):
+                result = parallel_crashsim(
+                    graph, 3, params=params, seed=123, workers=2,
+                    mode="thread", shards=16, adaptive=True,
+                )
+        assert result.degraded
+        assert not result.stopped_early
+        assert result.trials_completed == 60
+        assert (
+            result.achieved_epsilon
+            <= params.achieved_epsilon(graph.num_nodes, 60)
+        )
+
+    def test_exhausted_run_not_degraded(self, graph):
+        # Too few trials to converge, but none lost: the run is honest
+        # about the wider ε yet is NOT degraded — it did everything asked.
+        params = CrashSimParams(epsilon=0.025, n_r_override=64)
+        result = parallel_crashsim(
+            graph, 3, params=params, seed=123, workers=2, mode="thread",
+            shards=16, adaptive=True,
+        )
+        assert not result.degraded
+        assert not result.stopped_early
+        assert result.trials_completed == 64
+        assert result.achieved_epsilon > params.epsilon
+
+
+class TestAdaptiveMetrics:
+    def test_stop_counters_advance(self, graph):
+        from repro import obs
+
+        rounds = obs.REGISTRY.counter("repro_adaptive_rounds_total")
+        saved = obs.REGISTRY.counter("repro_adaptive_trials_saved_total")
+        stops = obs.REGISTRY.counter("repro_adaptive_stops_total")
+        before = (rounds.value, saved.value, stops.value)
+        result = crashsim(graph, 3, params=PARAMS, seed=42, adaptive=True)
+        assert rounds.value > before[0]
+        assert saved.value - before[1] == result.n_r - result.trials_completed
+        assert stops.value == before[2] + 1
+        assert (
+            stops.labels(reason="converged").value > 0
+        )
+
+
+class TestEngineAdaptive:
+    def test_engine_matches_direct_call(self, graph):
+        from repro.serve import Engine, EngineConfig
+
+        config = EngineConfig(epsilon=EPS, seed=11, adaptive=True)
+        engine = Engine(graph, config)
+        try:
+            answer = engine.query(3, seed=42)
+        finally:
+            engine.close()
+        direct = single_source(graph, 3, epsilon=EPS, seed=42, adaptive=True)
+        assert np.array_equal(np.asarray(answer.scores), np.asarray(direct))
+        assert answer.scores.stopped_early
+        assert answer.scores.trials_completed == direct.trials_completed

@@ -122,3 +122,32 @@ class TestValidation:
     def test_n_r_requires_positive_nodes(self):
         with pytest.raises(ParameterError):
             CrashSimParams().n_r_theoretical(0)
+
+
+class TestAchievedEpsilon:
+    @pytest.mark.parametrize("trials", [0, -1, -100])
+    def test_non_positive_trials_rejected(self, trials):
+        with pytest.raises(ParameterError):
+            CrashSimParams().achieved_epsilon(100, trials)
+
+    def test_overshooting_trials_clamps_to_nominal(self):
+        # More trials than Lemma 3 demands would invert to an ε tighter
+        # than δ supports at the nominal confidence — report nominal ε.
+        params = CrashSimParams(epsilon=0.1)
+        theoretical = params.n_r_theoretical(100)
+        assert params.achieved_epsilon(100, theoretical + 1) == params.epsilon
+        assert params.achieved_epsilon(100, 10 * theoretical) == params.epsilon
+
+    def test_exact_theoretical_count_reaches_nominal(self):
+        params = CrashSimParams(epsilon=0.1)
+        theoretical = params.n_r_theoretical(100)
+        achieved = params.achieved_epsilon(100, theoretical)
+        assert params.truncation_slack < achieved <= params.epsilon + 1e-9
+
+    def test_partial_trials_widen_monotonically(self):
+        params = CrashSimParams(epsilon=0.1)
+        theoretical = params.n_r_theoretical(1000)
+        counts = [1, theoretical // 10, theoretical // 2, theoretical]
+        widths = [params.achieved_epsilon(1000, t) for t in counts]
+        assert widths == sorted(widths, reverse=True)
+        assert widths[0] == 1.0  # one trial: clamped at SimRank's range

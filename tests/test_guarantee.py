@@ -121,6 +121,65 @@ class TestEndToEndGuarantee:
         assert errors.max() <= params.epsilon, errors.max()
 
 
+class TestAdaptiveGuarantee:
+    """Empirical-Bernstein early stopping keeps the ε guarantee.
+
+    The adaptive stopper (``repro.core.adaptive``) halts the trial loop
+    once the EB half-width plus the Lemma-2 truncation slack is within ε
+    for every candidate — so an early-stopped estimate must satisfy the
+    same |estimate − E[s]| ≤ ε contract the fixed-n_r run does, while
+    using at most half the Lemma-3 trial budget on these instances.
+    The graph is larger than the 64-hub cache, so most candidates are
+    genuinely stochastic (hub candidates retire exactly at step 0).
+    """
+
+    def test_within_epsilon_while_saving_trials(self):
+        graph = erdos_renyi(200, 1000, seed=11)
+        params = CrashSimParams(epsilon=0.05)
+        truth = crash_expectation(graph, params)
+        rng = np.random.default_rng(SEED)
+        errors = []
+        used_fractions = []
+        for source in (0, 17, 42, 101):
+            result = crashsim(
+                graph, source, params=params, seed=rng, adaptive=True
+            )
+            assert result.stopped_early and not result.degraded
+            errors.append(
+                np.abs(truth[source][result.candidates] - result.scores)
+            )
+            used_fractions.append(result.trials_completed / result.n_r)
+        errors = np.concatenate(errors)
+        assert errors.size >= 200  # the sweep covers 200+ pairs
+        assert errors.max() <= params.epsilon, errors.max()
+        # Aggregate trial budget over the sweep: at most half of Lemma 3's
+        # (hard sources may individually run a little past 0.5; the
+        # power-law bench gates the per-query ratio at scale).
+        assert float(np.mean(used_fractions)) <= 0.5, used_fractions
+        assert max(used_fractions) < 1.0, used_fractions
+
+    def test_deadline_never_worsens_adaptive_metadata(self):
+        # Early stop and deadline compose: when the stopper converges
+        # before the budget expires the answer is full quality, with
+        # metadata (and bits) identical to the unbounded adaptive run.
+        from repro.parallel import parallel_crashsim
+
+        graph = erdos_renyi(200, 1000, seed=11)
+        params = CrashSimParams(epsilon=0.05)
+        plain = parallel_crashsim(
+            graph, 0, params=params, seed=SEED, workers=2, mode="thread",
+            adaptive=True,
+        )
+        bounded = parallel_crashsim(
+            graph, 0, params=params, seed=SEED, workers=2, mode="thread",
+            adaptive=True, deadline=120.0,
+        )
+        assert np.array_equal(plain.scores, bounded.scores)
+        assert not bounded.degraded
+        assert bounded.achieved_epsilon == plain.achieved_epsilon
+        assert bounded.achieved_epsilon <= params.epsilon
+
+
 def test_fig2_literal_bias_is_real():
     """Why the concentration check uses the expectation, not plain SimRank:
     the literal estimator re-counts walk pairs that meet repeatedly in the

@@ -423,3 +423,106 @@ class TestJitGating:
         pure = run_kernel(graph, sampler=sampler, use_jit=False)
         jitted = run_kernel(graph, sampler=sampler, use_jit=True)
         assert np.array_equal(pure, jitted)
+
+
+class _CountingTree:
+    """Delegating tree proxy that counts ``gather`` calls."""
+
+    def __init__(self, tree):
+        self._tree = tree
+        self.gather_calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._tree, name)
+
+    def gather(self, step, positions):
+        self.gather_calls += 1
+        return self._tree.gather(step, positions)
+
+
+class TestDenseRowBudget:
+    """The dense U-row cache is all-or-nothing at ``dense_row_budget``.
+
+    ``(l_max + 1) · n · 8`` bytes buys every level row; one byte less and
+    every crash read falls back to ``tree.gather``.  The
+    ``repro_kernel_dense_row_{hits,misses}_total`` counters must reconcile
+    exactly with the gather calls actually made.
+    """
+
+    def _run(self, graph, budget):
+        from repro import obs
+
+        hits = obs.REGISTRY.counter("repro_kernel_dense_row_hits_total")
+        misses = obs.REGISTRY.counter("repro_kernel_dense_row_misses_total")
+        tree = _CountingTree(revreach_levels(graph, 0, L_MAX, C))
+        targets = walkable_targets(graph)
+        kernel = WalkCrashKernel(graph, C, dense_row_budget=budget)
+        before = (hits.value, misses.value)
+        totals = kernel.accumulate(
+            tree, targets, 48, l_max=L_MAX, rng=ensure_rng(42)
+        )
+        return (
+            totals,
+            hits.value - before[0],
+            misses.value - before[1],
+            tree.gather_calls,
+        )
+
+    def test_exact_budget_caches_every_row(self, unweighted):
+        budget = (L_MAX + 1) * unweighted.num_nodes * 8
+        totals, hits, misses, gathers = self._run(unweighted, budget)
+        assert hits > 0
+        assert misses == 0
+        assert gathers == 0
+
+    def test_one_byte_short_falls_back_to_gather(self, unweighted):
+        budget = (L_MAX + 1) * unweighted.num_nodes * 8 - 1
+        totals, hits, misses, gathers = self._run(unweighted, budget)
+        assert hits == 0
+        assert misses > 0
+        assert misses == gathers
+
+    def test_budget_boundary_preserves_bits(self, unweighted):
+        full = (L_MAX + 1) * unweighted.num_nodes * 8
+        cached, *_ = self._run(unweighted, full)
+        fallback, *_ = self._run(unweighted, full - 1)
+        assert np.array_equal(cached, fallback)
+
+    def test_hub_cache_bytes_charged_against_budget(self, unweighted):
+        # accumulate_moments deducts the hub cache's bytes first: a budget
+        # that exactly fits rows + hub cache keeps the dense rows; one
+        # byte less evicts them (misses), without changing the answer.
+        from repro import obs
+        from repro.core.adaptive import build_hub_cache
+
+        hits_c = obs.REGISTRY.counter("repro_kernel_dense_row_hits_total")
+        miss_c = obs.REGISTRY.counter("repro_kernel_dense_row_misses_total")
+        tree = revreach_levels(unweighted, 0, L_MAX, C)
+        hub_cache = build_hub_cache(
+            unweighted, tree, l_max=L_MAX, c=C, num_hubs=8
+        )
+        targets = walkable_targets(unweighted)
+        rows_bytes = (L_MAX + 1) * unweighted.num_nodes * 8
+        outputs = []
+        deltas = []
+        for budget in (
+            rows_bytes + hub_cache.nbytes,
+            rows_bytes + hub_cache.nbytes - 1,
+        ):
+            kernel = WalkCrashKernel(unweighted, C, dense_row_budget=budget)
+            before = (hits_c.value, miss_c.value)
+            outputs.append(
+                kernel.accumulate_moments(
+                    tree,
+                    targets,
+                    48,
+                    l_max=L_MAX,
+                    rng=ensure_rng(42),
+                    hub_cache=hub_cache,
+                )
+            )
+            deltas.append((hits_c.value - before[0], miss_c.value - before[1]))
+        assert deltas[0][0] > 0 and deltas[0][1] == 0
+        assert deltas[1][0] == 0 and deltas[1][1] > 0
+        assert np.array_equal(outputs[0][0], outputs[1][0])
+        assert np.array_equal(outputs[0][1], outputs[1][1])
